@@ -1,0 +1,46 @@
+# Common workflows for the ODR reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench report artifacts fidelity examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates every paper table/figure as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full experiment report (every table and figure, 60s per configuration).
+report:
+	$(GO) run ./cmd/odrsim
+
+# Live-measured markdown results report.
+report-md:
+	$(GO) run ./cmd/odrreport -o report.md
+
+# Plot-ready CSVs for Table 2 and Figures 9-13.
+artifacts:
+	$(GO) run ./cmd/odrsim -csv artifacts table2
+
+# Executable paper-anchor suite (33 tolerance-checked anchors).
+fidelity:
+	$(GO) run ./cmd/odrsim fidelity
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/publiccloud
+	$(GO) run ./examples/gamestream
+	$(GO) run ./examples/spectate
+
+clean:
+	rm -rf artifacts report.md

@@ -1,0 +1,290 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its artifact from the
+// simulator and reports the headline values as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same rows/series the paper reports (shape, not absolute
+// hardware numbers — see EXPERIMENTS.md for the side-by-side).
+package odr
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/experiments"
+	"odr/internal/pictor"
+)
+
+// benchOptions keeps benchmark wall time reasonable: 20 simulated seconds
+// per configuration is enough for stable averages.
+func benchOptions() experiments.Options {
+	return experiments.Options{Duration: 20 * time.Second, Seed: 1}
+}
+
+func BenchmarkFig1_FPSGaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1(benchOptions())
+		b.ReportMetric(r.CloudFPS[1], "IM-cloud-fps")
+		b.ReportMetric(r.ClientFPS[1], "IM-client-fps")
+	}
+}
+
+func BenchmarkFig3_RegulationFPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3(benchOptions())
+		b.ReportMetric(rows[0].RenderFPS, "NoReg-render-fps")
+		b.ReportMetric(rows[1].DecodeFPS, "Int60-decode-fps")
+		b.ReportMetric(rows[4].DecodeFPS, "RVSMax-decode-fps")
+	}
+}
+
+func BenchmarkFig4_TimeVariation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(benchOptions())
+		b.ReportMetric(r.RenderUnder16*100, "render-under-16.6ms-%")
+		b.ReportMetric(r.EncodeUnder16*100, "encode-under-16.6ms-%")
+	}
+}
+
+func BenchmarkFig5_Timelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(benchOptions())
+		b.ReportMetric(float64(len(rows)), "schemes")
+	}
+}
+
+func BenchmarkFig6_MtPLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(benchOptions())
+		b.ReportMetric(rows[0].MeanMs, "NoReg-mtp-ms")
+		b.ReportMetric(rows[2].MeanMs, "IntMax-mtp-ms")
+	}
+}
+
+func BenchmarkFig7_DRAMEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7(benchOptions())
+		b.ReportMetric(rows[0].MissRate*100, "NoReg-miss-%")
+		b.ReportMetric(rows[1].ReadTimeNs, "Int60-read-ns")
+	}
+}
+
+func BenchmarkTable2_FPSGapMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		groups := experiments.Table2(m)
+		b.ReportMetric(groups[0].AvgGap[experiments.NoReg], "priv720p-noreg-gap")
+		b.ReportMetric(groups[0].AvgGap[experiments.ODRMax], "priv720p-odrmax-gap")
+		b.ReportMetric(groups[1].AvgGap[experiments.NoReg], "gce720p-noreg-gap")
+	}
+}
+
+func BenchmarkFig9_QoSAverages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		r := experiments.Fig9(m)
+		last := len(r.Groups) - 1
+		b.ReportMetric(r.ClientFPS[experiments.ODRMax][last], "overall-odrmax-fps")
+		b.ReportMetric(r.LatencyMs[experiments.NoReg][last], "overall-noreg-mtp-ms")
+		b.ReportMetric(r.LatencyMs[experiments.ODRMax][last], "overall-odrmax-mtp-ms")
+	}
+}
+
+func BenchmarkFig10_ClientFPSDistributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		cells := experiments.Fig10(m)
+		b.ReportMetric(float64(len(cells["Priv720p"])), "cells")
+	}
+}
+
+func BenchmarkFig11_LatencyDistributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		cells := experiments.Fig11(m)
+		b.ReportMetric(float64(len(cells["GCE720p"])), "cells")
+	}
+}
+
+func BenchmarkFig12_MemoryEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		rows := experiments.Fig12(m)
+		// The AVG rows are the last 7 entries (one per policy).
+		avgNoReg := rows[len(rows)-7]
+		avgODR60 := rows[len(rows)-1]
+		b.ReportMetric(avgNoReg.IPC, "avg-noreg-ipc")
+		b.ReportMetric(avgODR60.IPC, "avg-odr60-ipc")
+	}
+}
+
+func BenchmarkFig13_Power(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		rows := experiments.Fig13(m)
+		avgNoReg := rows[len(rows)-7]
+		avgODR60 := rows[len(rows)-1]
+		b.ReportMetric(avgNoReg.Watts, "avg-noreg-watts")
+		b.ReportMetric(avgODR60.Watts, "avg-odr60-watts")
+	}
+}
+
+func BenchmarkFig14Fig15_UserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		rows := experiments.UserStudy(m)
+		var nonCloud, odrMax float64
+		for _, r := range rows {
+			switch r.Config {
+			case "NonCloud":
+				nonCloud = r.Result.MeanRating
+			case "ODRMax":
+				odrMax = r.Result.MeanRating
+			}
+		}
+		b.ReportMetric(nonCloud, "noncloud-rating")
+		b.ReportMetric(odrMax, "odrmax-rating")
+	}
+}
+
+func BenchmarkSummary_Section66(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		s := experiments.Summary(m)
+		b.ReportMetric(s.NoRegAvgGap, "noreg-avg-gap")
+		b.ReportMetric(s.ODRAvgGap, "odr-avg-gap")
+		b.ReportMetric(100*(1-s.ODRMaxLat/s.NoRegLat), "odr-mtp-reduction-%")
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationMulBuf2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationMulBuf2(benchOptions())
+		b.ReportMetric(rows[0].MtPMeanMs, "with-buf2-mtp-ms")
+		b.ReportMetric(rows[1].MtPMeanMs, "without-buf2-mtp-ms")
+	}
+}
+
+func BenchmarkAblationAcceleration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationAcceleration(benchOptions())
+		b.ReportMetric(rows[0].ClientFPS, "accel-fps")
+		b.ReportMetric(rows[1].ClientFPS, "delay-only-fps")
+	}
+}
+
+func BenchmarkAblationPriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationPriority(benchOptions())
+		b.ReportMetric(rows[0].MtPMeanMs, "priority-mtp-ms")
+		b.ReportMetric(rows[1].MtPMeanMs, "nopriority-mtp-ms")
+	}
+}
+
+func BenchmarkAblationRVSFeedback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationRVSFeedback(benchOptions())
+		b.ReportMetric(rows[0].ClientFPS, "rtt25ms-fps")
+		b.ReportMetric(rows[1].ClientFPS, "rtt1ms-fps")
+	}
+}
+
+func BenchmarkAblationContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationContention(benchOptions())
+		b.ReportMetric(rows[0].ClientFPS, "odrmax-fps")
+		b.ReportMetric(rows[3].ClientFPS, "noreg-nocontention-fps")
+	}
+}
+
+// Extension benches (beyond the paper: §5.2 future work and consolidation).
+
+func BenchmarkExtensionVRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.VRRStudy(benchOptions())
+		for _, r := range rows {
+			if r.Config == "ODRMax+VRR" {
+				b.ReportMetric(r.Rating, "vrr-rating")
+			}
+			if r.Config == "ODRMax+fixed60Hz" {
+				b.ReportMetric(r.Rating, "fixed-rating")
+			}
+		}
+	}
+}
+
+func BenchmarkExtensionConsolidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Consolidation(benchOptions())
+		for _, r := range rows {
+			if r.Sessions == 3 && r.Policy == "ODR60" {
+				b.ReportMetric(float64(r.QoSMet), "odr-x3-qos-met")
+				b.ReportMetric(r.ServerWatts, "odr-x3-watts")
+			}
+			if r.Sessions == 3 && r.Policy == "NoReg" {
+				b.ReportMetric(r.MeanMtPMs, "noreg-x3-mtp-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// pipeline seconds per wall second for a single busy configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	o := experiments.Options{Duration: 10 * time.Second, Seed: 1}
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(o)
+		_ = m.Get(pictor.IM, g, experiments.NoReg)
+	}
+}
+
+// BenchmarkFidelity runs the executable paper-anchor suite and reports how
+// many of the 33 anchors land within tolerance.
+func BenchmarkFidelity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(benchOptions())
+		rows := experiments.Fidelity(m)
+		passed := 0
+		for _, r := range rows {
+			if r.OK {
+				passed++
+			}
+		}
+		b.ReportMetric(float64(passed), "anchors-passed")
+		b.ReportMetric(float64(len(rows)), "anchors-total")
+	}
+}
+
+// BenchmarkSweepAPM regenerates the §5.3 input-rate validation sweep.
+func BenchmarkSweepAPM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.SweepAPM(benchOptions())
+		for _, r := range rows {
+			if r.X == 5 {
+				b.ReportMetric(r.GapMean, "gap-at-300apm")
+			}
+		}
+	}
+}
+
+// BenchmarkSweepBandwidth regenerates the bandwidth-cliff sweep.
+func BenchmarkSweepBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.SweepBandwidth(benchOptions())
+		for _, r := range out["NoReg"] {
+			if r.X == 22 {
+				b.ReportMetric(r.MtPMeanMs, "noreg-22mbps-mtp-ms")
+			}
+		}
+		for _, r := range out["ODR60"] {
+			if r.X == 22 {
+				b.ReportMetric(r.MtPMeanMs, "odr60-22mbps-mtp-ms")
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command odrclient connects to an odrserver, plays for a while (decoding
+// frames and injecting synthetic user inputs), and reports client-side QoS:
+// decode FPS and motion-to-photon latency.
+//
+// Usage:
+//
+//	odrclient [-addr localhost:7311] [-duration 10s] [-apm 180] [-view]
+//
+// With -view, decoded frames are drawn live in the terminal as 24-bit ANSI
+// half-block art.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"odr"
+	"odr/internal/ansi"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7311", "server address")
+	duration := flag.Duration("duration", 10*time.Second, "play time")
+	apm := flag.Float64("apm", 180, "actions per minute to inject (Poisson)")
+	seed := flag.Int64("seed", 1, "input-timing seed")
+	view := flag.Bool("view", false, "draw decoded frames in the terminal (ANSI art)")
+	cols := flag.Int("cols", 80, "terminal columns for -view")
+	rows := flag.Int("rows", 22, "terminal rows for -view")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cli := odr.NewStreamClient(conn)
+	if *view {
+		var r *ansi.Renderer
+		fmt.Print(ansi.Clear())
+		last := time.Now()
+		cli.OnFrame(func(seq uint64, pix []byte) {
+			// Lazily size the renderer from the first frame (pixels are
+			// RGBA, so width*height = len/4; the server default is 16:9).
+			if r == nil {
+				n := len(pix) / 4
+				w := 640
+				for ; w > 1; w-- {
+					h := n / w
+					if w*h == n && w*9 == h*16 {
+						break
+					}
+				}
+				if w <= 1 {
+					return
+				}
+				r = ansi.NewRenderer(w, n/w, *cols, *rows)
+			}
+			// Cap terminal redraws at ~30Hz.
+			if time.Since(last) < 33*time.Millisecond {
+				return
+			}
+			last = time.Now()
+			fmt.Fprint(os.Stdout, ansi.Home()+r.Frame(pix))
+		})
+	}
+	done := make(chan error, 1)
+	go func() { done <- cli.Run() }()
+
+	rng := rand.New(rand.NewSource(*seed))
+	rate := *apm / 60.0
+	end := time.Now().Add(*duration)
+	for time.Now().Before(end) {
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if gap < 50*time.Millisecond {
+			gap = 50 * time.Millisecond
+		}
+		time.Sleep(gap)
+		if _, err := cli.SendInput(); err != nil {
+			break
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	rep := cli.Report()
+	cli.Stop()
+	if err := <-done; err != nil {
+		log.Printf("client: %v", err)
+	}
+	log.Printf("frames %d  FPS %.1f  bitrate %.1f Mbps  MtP mean %.1f ms p99 %.1f ms (%d inputs)",
+		rep.Frames, rep.FPS,
+		float64(rep.Bytes)*8/1e6/duration.Seconds(),
+		rep.MeanLatency, rep.P99Latency, rep.LatencySamples)
+}

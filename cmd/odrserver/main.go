@@ -1,0 +1,93 @@
+// Command odrserver runs the real-time streaming server: it listens for a
+// client, renders the synthetic 3D application, regulates it with the
+// chosen policy, encodes frames and streams them.
+//
+// Usage:
+//
+//	odrserver [-addr :7311] [-policy odr|interval|noreg] [-fps 60]
+//	          [-width 640] [-height 360] [-once] [-hub]
+//
+// With -hub, all connected clients share one rendered game (each with its
+// own encoder and pacing); without it, each client gets a private session.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"odr"
+)
+
+func main() {
+	addr := flag.String("addr", ":7311", "listen address")
+	policy := flag.String("policy", "odr", "regulation policy: odr, interval, noreg")
+	fps := flag.Float64("fps", 60, "target FPS (0 = maximize)")
+	width := flag.Int("width", 640, "frame width")
+	height := flag.Int("height", 360, "frame height")
+	once := flag.Bool("once", false, "serve a single client, then exit")
+	hubMode := flag.Bool("hub", false, "share one game across all clients (spectating)")
+	bands := flag.Bool("bands", true, "band-skip delta coding (faster encode on static content)")
+	flag.Parse()
+
+	var kind odr.StreamPolicy
+	switch *policy {
+	case "odr":
+		kind = odr.StreamODR
+	case "interval", "int":
+		kind = odr.StreamInterval
+	case "noreg":
+		kind = odr.StreamNoReg
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("odrserver: %s policy, target %.0f FPS, %dx%d, listening on %s",
+		kind, *fps, *width, *height, ln.Addr())
+	if *hubMode {
+		hub := odr.NewHub(odr.HubConfig{
+			Width: *width, Height: *height, TargetFPS: *fps,
+			Codec: odr.CodecOptions{Bands: *bands},
+		})
+		go hub.Run()
+		defer hub.Stop()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				log.Fatal(err)
+			}
+			addr := conn.RemoteAddr()
+			log.Printf("hub client connected: %s", addr)
+			hub.Attach(conn, 0, func(st odr.SessionStats) {
+				log.Printf("hub client %s detached: sent %d, dropped %d", addr, st.Sent, st.Dropped)
+			})
+		}
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("client connected: %s", conn.RemoteAddr())
+		srv := odr.NewStreamServer(conn, odr.StreamServerConfig{
+			Width: *width, Height: *height, Policy: kind, TargetFPS: *fps,
+			Codec: odr.CodecOptions{Bands: *bands},
+		})
+		start := time.Now()
+		if err := srv.Run(); err != nil {
+			log.Printf("session error: %v", err)
+		}
+		st := srv.Stats().Snapshot()
+		secs := time.Since(start).Seconds()
+		log.Printf("session done after %.1fs: rendered %d (%.1f/s), sent %d (%.1f/s), dropped %d, priority %d",
+			secs, st.Rendered, float64(st.Rendered)/secs, st.Sent, float64(st.Sent)/secs, st.Dropped, st.Priority)
+		if *once {
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command odrsim regenerates the paper's tables and figures from the
+// pipeline simulator.
+//
+// Usage:
+//
+//	odrsim [-duration 60s] [-seed 1] [experiment ...]
+//
+// With no arguments it runs every experiment. Experiment names: fig1, fig3,
+// fig4, fig5, fig6, fig7, table2, fig9, fig10, fig11, fig12, fig13,
+// userstudy (fig14+fig15), summary, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"odr/internal/experiments"
+)
+
+func main() {
+	duration := flag.Duration("duration", 60*time.Second, "simulated duration per configuration")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV artifacts into this directory")
+	parallel := flag.Int("parallel", 0, "prefetch the evaluation matrix with this many workers (0 = all CPUs, -1 = sequential)")
+	flag.Parse()
+
+	o := experiments.Options{Duration: *duration, Seed: *seed, Out: os.Stdout}
+	m := experiments.NewMatrix(o)
+	if *parallel >= 0 {
+		m.Prefetch(*parallel)
+	}
+
+	all := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "table2",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "userstudy", "summary", "ablations",
+		"vrr", "consolidation", "sweeps", "seeds", "fidelity"}
+	want := flag.Args()
+	if len(want) == 0 {
+		want = all
+	}
+
+	start := time.Now()
+	for _, name := range want {
+		switch strings.ToLower(name) {
+		case "fig1":
+			experiments.Fig1(o)
+		case "fig3":
+			experiments.Fig3(o)
+		case "fig4":
+			experiments.Fig4(o)
+		case "fig5":
+			experiments.Fig5(o)
+		case "fig6":
+			experiments.Fig6(o)
+		case "fig7":
+			experiments.Fig7(o)
+		case "table2":
+			experiments.Table2(m)
+		case "fig9":
+			experiments.Fig9(m)
+		case "fig10":
+			experiments.Fig10(m)
+		case "fig11":
+			experiments.Fig11(m)
+		case "fig12":
+			experiments.Fig12(m)
+		case "fig13":
+			experiments.Fig13(m)
+		case "userstudy", "fig14", "fig15":
+			experiments.UserStudy(m)
+		case "summary":
+			experiments.Summary(m)
+		case "ablations":
+			experiments.AblationMulBuf2(o)
+			experiments.AblationAcceleration(o)
+			experiments.AblationPriority(o)
+			experiments.AblationRVSFeedback(o)
+			experiments.AblationContention(o)
+		case "vrr":
+			experiments.VRRStudy(o)
+		case "consolidation":
+			experiments.Consolidation(o)
+			experiments.ConsolidationMix(o)
+		case "sweeps":
+			experiments.SweepAPM(o)
+			experiments.SweepBandwidth(o)
+			experiments.SweepRVScc(o)
+		case "seeds":
+			experiments.SummaryCI(o, 5)
+		case "fidelity":
+			experiments.Fidelity(m)
+		default:
+			fmt.Fprintf(os.Stderr, "odrsim: unknown experiment %q (known: %s)\n", name, strings.Join(all, ", "))
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+	if *csvDir != "" {
+		files, err := experiments.WriteCSVArtifacts(m, *csvDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrsim: writing CSV artifacts: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d CSV artifacts to %s\n", len(files), *csvDir)
+	}
+	fmt.Printf("completed in %.1fs wall time\n", time.Since(start).Seconds())
+}

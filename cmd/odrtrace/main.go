@@ -1,0 +1,146 @@
+// Command odrtrace exports simulator measurements as CSV for plotting: the
+// Fig. 4 CDFs and frame-time traces, and per-window FPS series for any
+// configuration.
+//
+// Usage:
+//
+//	odrtrace -kind cdf   [-benchmark IM] [-platform priv] [-policy noreg] > cdf.csv
+//	odrtrace -kind trace [-benchmark IM] ...                              > trace.csv
+//	odrtrace -kind fps   [-policy odr -fps 60] ...                        > fps.csv
+//
+// A trace exported with -kind trace can be replayed as the workload of a
+// later run with -replay trace.csv (trace-driven simulation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"odr/internal/pictor"
+	"odr/internal/pipeline"
+	"odr/internal/regulator"
+	"odr/internal/trace"
+	"odr/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "cdf", "export kind: cdf, trace, fps")
+	benchmark := flag.String("benchmark", "IM", "benchmark: STK, 0AD, RE, D2, IM, ITP")
+	platform := flag.String("platform", "priv", "platform: priv, gce")
+	resolution := flag.String("resolution", "720p", "resolution: 720p, 1080p")
+	policy := flag.String("policy", "noreg", "policy: noreg, int, rvs, odr")
+	fps := flag.Float64("fps", 0, "target FPS (0 = max; refresh rate for rvs)")
+	duration := flag.Duration("duration", 60*time.Second, "simulated duration")
+	seed := flag.Int64("seed", 1, "seed")
+	replay := flag.String("replay", "", "CSV trace to replay as the workload (from -kind trace)")
+	flag.Parse()
+
+	var b pictor.Benchmark
+	for _, cand := range pictor.Benchmarks {
+		if string(cand) == *benchmark {
+			b = cand
+		}
+	}
+	if b == "" {
+		log.Fatalf("unknown benchmark %q", *benchmark)
+	}
+	plat := pictor.PrivateCloud
+	if *platform == "gce" {
+		plat = pictor.GoogleGCE
+	}
+	res := pictor.R720p
+	if *resolution == "1080p" {
+		res = pictor.R1080p
+	}
+	var factory pipeline.PolicyFactory
+	switch *policy {
+	case "noreg":
+		factory = func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewNoReg(ctx) }
+	case "int":
+		factory = func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewInterval(ctx, *fps) }
+	case "rvs":
+		hz := *fps
+		if hz == 0 {
+			hz = 240
+		}
+		factory = func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewRVS(ctx, hz, 0) }
+	case "odr":
+		factory = func(ctx *regulator.Ctx) regulator.Policy {
+			return regulator.NewODR(ctx, regulator.ODROptions{TargetFPS: *fps})
+		}
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	cfg := pipeline.Config{
+		Workload:      b.Params(),
+		Scale:         pictor.Scale(plat, res),
+		Net:           pictor.Network(plat),
+		Policy:        factory,
+		Duration:      *duration,
+		Seed:          *seed,
+		CollectFrames: 200,
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := workload.ParseTraceCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := workload.NewTraceSampler(rows, b.Params().InputRate, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Source = src
+	}
+	r := pipeline.Run(cfg)
+
+	switch *kind {
+	case "cdf":
+		t := trace.NewTable("step", "time_ms", "cdf")
+		emit := func(step string, xs, ps []float64) {
+			for i := range xs {
+				if err := t.AddRow(step, xs[i], ps[i]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		rx, rp := r.RenderTimes.CDF()
+		ex, ep := r.EncodeTimes.CDF()
+		tx, tp := r.TransTimes.CDF()
+		emit("render", rx, rp)
+		emit("encode", ex, ep)
+		emit("trans", tx, tp)
+		fmt.Print(t.String())
+	case "trace":
+		// Full per-frame cost trace; replayable with -replay.
+		t := trace.NewTable("frame", "render_ms", "copy_ms", "encode_ms", "decode_ms", "bytes", "complexity", "trans_ms")
+		for i, f := range r.FrameTrace {
+			err := t.AddRow(i,
+				float64(f.CostRender)/1e6,
+				float64(f.CostCopy)/1e6,
+				float64(f.CostEncode)/1e6,
+				float64(f.CostDecode)/1e6,
+				f.Bytes,
+				f.Complexity,
+				float64(f.SendEnd-f.EncodeEnd)/1e6)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Print(t.String())
+	case "fps":
+		if err := trace.WriteSeries(os.Stdout, "window", "client_fps", r.ClientRates.Samples()); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}

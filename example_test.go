@@ -1,0 +1,62 @@
+package odr_test
+
+import (
+	"fmt"
+	"time"
+
+	"odr"
+)
+
+// ExampleSimulate reproduces the paper's headline comparison for one
+// benchmark: ODR at a 60 FPS goal removes the FPS gap that no regulation
+// leaves behind.
+func ExampleSimulate() {
+	noreg, err := odr.Simulate(odr.SimConfig{
+		Benchmark: "IM",
+		Policy:    odr.PolicyNoReg,
+		Duration:  20 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	reg, err := odr.Simulate(odr.SimConfig{
+		Benchmark: "IM",
+		Policy:    odr.PolicyODR,
+		TargetFPS: 60,
+		Duration:  20 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("NoReg gap > 50: %v\n", noreg.FPSGapMean > 50)
+	fmt.Printf("ODR60 gap < 6: %v\n", reg.FPSGapMean < 6)
+	fmt.Printf("ODR60 hits target: %v\n", reg.ClientFPS >= 59 && reg.ClientFPS <= 66)
+	// Output:
+	// NoReg gap > 50: true
+	// ODR60 gap < 6: true
+	// ODR60 hits target: true
+}
+
+// ExamplePacer shows Algorithm 1 directly: fast frames are delayed to the
+// interval, a slow frame builds a deficit, and the following frames run
+// back-to-back (no delay) until the budget is repaid.
+func ExamplePacer() {
+	p := odr.NewPacer(60) // 16.67ms interval
+	now := time.Duration(0)
+	frame := func(processing time.Duration) time.Duration {
+		start := now
+		now += processing
+		d := p.PaceAfter(start, now)
+		now += d
+		return d
+	}
+	fmt.Println("fast frame delayed:", frame(5*time.Millisecond) > 10*time.Millisecond)
+	fmt.Println("slow frame not delayed:", frame(40*time.Millisecond) == 0)
+	fmt.Println("catch-up frame not delayed:", frame(5*time.Millisecond) == 0)
+	// Output:
+	// fast frame delayed: true
+	// slow frame not delayed: true
+	// catch-up frame not delayed: true
+}

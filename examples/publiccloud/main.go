@@ -1,0 +1,47 @@
+// Publiccloud: the paper's headline deployment question — is a conventional
+// public cloud (GCE-like path: 25 ms RTT, ~21 Mbps usable, deep buffers)
+// viable for cloud gaming? NoReg collapses into seconds of latency from
+// network-queue congestion; ODR meets the 60 FPS / 100 ms envelope (§6.4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"odr"
+)
+
+func main() {
+	const qosLatencyMs = 100 // action-game bound [14]
+	run := func(policy odr.Policy, target float64) *odr.SimResult {
+		r, err := odr.Simulate(odr.SimConfig{
+			Benchmark:  "IM",
+			Platform:   "gce",
+			Resolution: "720p",
+			Policy:     policy,
+			TargetFPS:  target,
+			Duration:   40 * time.Second,
+			Seed:       5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	fmt.Println("InMind, 720p, GCE-like public cloud; QoS envelope: 60 FPS, 100 ms MtP")
+	fmt.Printf("%-8s %10s %12s %12s %10s   %s\n", "policy", "client", "MtP (ms)", "p99 (ms)", "Mbps", "verdict")
+	for _, c := range []struct {
+		p odr.Policy
+		t float64
+	}{{odr.PolicyNoReg, 0}, {odr.PolicyInterval, 60}, {odr.PolicyRVS, 60}, {odr.PolicyODR, 60}} {
+		r := run(c.p, c.t)
+		verdict := "FAILS QoS"
+		if r.ClientFPS >= 59 && r.MtPMeanMs <= qosLatencyMs {
+			verdict = "meets QoS -> public-cloud deployable"
+		}
+		fmt.Printf("%-8s %10.1f %12.1f %12.1f %10.1f   %s\n",
+			r.Label, r.ClientFPS, r.MtPMeanMs, r.MtPP99Ms, r.BandwidthMbps, verdict)
+	}
+}

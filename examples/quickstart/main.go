@@ -1,0 +1,46 @@
+// Quickstart: simulate InMind on the private cloud with and without ODR and
+// print the headline comparison — excessive rendering removed, the 60 FPS
+// target met, and motion-to-photon latency reduced.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"odr"
+)
+
+func main() {
+	run := func(policy odr.Policy, target float64) *odr.SimResult {
+		r, err := odr.Simulate(odr.SimConfig{
+			Benchmark:  "IM",
+			Platform:   "priv",
+			Resolution: "720p",
+			Policy:     policy,
+			TargetFPS:  target,
+			Duration:   30 * time.Second,
+			Seed:       1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	noreg := run(odr.PolicyNoReg, 0)
+	odr60 := run(odr.PolicyODR, 60)
+	odrMax := run(odr.PolicyODR, 0)
+
+	fmt.Println("InMind, 720p, private cloud (30s simulated):")
+	fmt.Printf("%-8s %10s %10s %10s %12s %10s\n", "policy", "render", "client", "FPS gap", "MtP (ms)", "power (W)")
+	for _, r := range []*odr.SimResult{noreg, odr60, odrMax} {
+		fmt.Printf("%-8s %10.1f %10.1f %10.1f %12.1f %10.1f\n",
+			r.Label, r.RenderFPS, r.ClientFPS, r.FPSGapMean, r.MtPMeanMs, r.PowerWatts)
+	}
+	fmt.Println()
+	fmt.Printf("ODR removed %.0f excess frames/s of rendering (%.0f%% of the GPU work),\n",
+		noreg.RenderFPS-odr60.RenderFPS, 100*(1-odr60.RenderFPS/noreg.RenderFPS))
+	fmt.Printf("met the 60 FPS target at %.1f FPS, cut power by %.0f%% and MtP latency by %.0f%%.\n",
+		odr60.ClientFPS, 100*(1-odr60.PowerWatts/noreg.PowerWatts), 100*(1-odr60.MtPMeanMs/noreg.MtPMeanMs))
+}

@@ -1,0 +1,68 @@
+// Regulator comparison: sweep all six Pictor benchmarks under every
+// regulation policy on the private cloud and print the §6-style comparison
+// table — the workload the paper's introduction motivates (a cloud gaming
+// fleet wasting power on frames nobody sees).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"odr"
+)
+
+func main() {
+	benchmarks := []string{"STK", "0AD", "RE", "D2", "IM", "ITP"}
+	policies := []struct {
+		name   string
+		policy odr.Policy
+		target float64
+	}{
+		{"NoReg", odr.PolicyNoReg, 0},
+		{"Int60", odr.PolicyInterval, 60},
+		{"RVS60", odr.PolicyRVS, 60},
+		{"ODR60", odr.PolicyODR, 60},
+		{"ODRMax", odr.PolicyODR, 0},
+	}
+
+	fmt.Printf("%-5s", "bench")
+	for _, p := range policies {
+		fmt.Printf(" | %-24s", p.name)
+	}
+	fmt.Println()
+	fmt.Printf("%-5s", "")
+	for range policies {
+		fmt.Printf(" | %7s %8s %7s", "client", "MtP(ms)", "W")
+	}
+	fmt.Println()
+
+	type agg struct{ fps, mtp, w float64 }
+	totals := make([]agg, len(policies))
+	for _, b := range benchmarks {
+		fmt.Printf("%-5s", b)
+		for i, p := range policies {
+			r, err := odr.Simulate(odr.SimConfig{
+				Benchmark: b,
+				Policy:    p.policy,
+				TargetFPS: p.target,
+				Duration:  20 * time.Second,
+				Seed:      3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			totals[i].fps += r.ClientFPS
+			totals[i].mtp += r.MtPMeanMs
+			totals[i].w += r.PowerWatts
+			fmt.Printf(" | %7.1f %8.1f %7.0f", r.ClientFPS, r.MtPMeanMs, r.PowerWatts)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-5s", "AVG")
+	n := float64(len(benchmarks))
+	for i := range policies {
+		fmt.Printf(" | %7.1f %8.1f %7.0f", totals[i].fps/n, totals[i].mtp/n, totals[i].w/n)
+	}
+	fmt.Println()
+}

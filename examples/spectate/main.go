@@ -1,0 +1,90 @@
+// Spectate: one game, many viewers. A Hub renders the synthetic game once
+// and streams it to three clients over real TCP — a 60 FPS player who also
+// injects inputs, a full-rate spectator, and a 10 FPS thumbnail preview.
+// Each viewer has its own encoder and ODR pacing, so the slow preview never
+// stalls the player, and the player's input flash is visible to everyone
+// while the motion-to-photon sample is attributed only to the player.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"odr"
+)
+
+func main() {
+	hub := odr.NewHub(odr.HubConfig{Width: 320, Height: 180, TargetFPS: 60})
+	go hub.Run()
+	defer hub.Stop()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Accept loop: first connection is the player (full rate), then a
+	// full-rate spectator, then a quarter-resolution 10 FPS thumbnail.
+	plans := []odr.HubAttachOptions{
+		{},                            // player
+		{},                            // spectator
+		{ClientFPS: 10, Downscale: 2}, // thumbnail
+	}
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			var opts odr.HubAttachOptions
+			if i < len(plans) {
+				opts = plans[i]
+			}
+			hub.AttachWithOptions(conn, opts)
+		}
+	}()
+
+	dial := func() *odr.StreamClient {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := odr.NewStreamClient(conn)
+		go func() {
+			if err := c.Run(); err != nil {
+				log.Printf("client: %v", err)
+			}
+		}()
+		return c
+	}
+	player := dial()
+	spectator := dial()
+	thumbnail := dial()
+
+	// Play for two seconds with a few clicks.
+	end := time.Now().Add(2 * time.Second)
+	for time.Now().Before(end) {
+		time.Sleep(300 * time.Millisecond)
+		if _, err := player.SendInput(); err != nil {
+			break
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	for _, row := range []struct {
+		name string
+		c    *odr.StreamClient
+	}{{"player", player}, {"spectator", spectator}, {"thumbnail", thumbnail}} {
+		rep := row.c.Report()
+		fmt.Printf("%-10s %4d frames at %5.1f FPS", row.name, rep.Frames, rep.FPS)
+		if rep.LatencySamples > 0 {
+			fmt.Printf("   MtP %5.1f ms over %d inputs", rep.MeanLatency, rep.LatencySamples)
+		}
+		fmt.Println()
+		row.c.Stop()
+	}
+	fmt.Printf("hub rendered %d frames once for all three viewers\n", hub.Rendered())
+}

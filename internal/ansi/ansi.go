@@ -1,0 +1,88 @@
+// Package ansi renders RGBA frames as ANSI terminal art using 24-bit color
+// half-block characters (▀ with independent foreground/background colors
+// packs two pixel rows per text row). It gives the streaming client a
+// zero-dependency live view of the decoded video.
+package ansi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Renderer converts frames of a fixed source size to terminal art of a
+// fixed character size, with simple box sampling.
+type Renderer struct {
+	srcW, srcH int
+	cols, rows int
+	b          strings.Builder
+}
+
+// NewRenderer returns a renderer mapping srcW×srcH RGBA frames onto
+// cols×rows terminal cells (each cell shows 1×2 sampled pixels). cols/rows
+// default to 80×22 when zero.
+func NewRenderer(srcW, srcH, cols, rows int) *Renderer {
+	if cols <= 0 {
+		cols = 80
+	}
+	if rows <= 0 {
+		rows = 22
+	}
+	return &Renderer{srcW: srcW, srcH: srcH, cols: cols, rows: rows}
+}
+
+// sample averages the RGBA pixels of the source rectangle.
+func (r *Renderer) sample(pix []byte, x0, y0, x1, y1 int) (uint8, uint8, uint8) {
+	if x1 <= x0 {
+		x1 = x0 + 1
+	}
+	if y1 <= y0 {
+		y1 = y0 + 1
+	}
+	var sr, sg, sb, n int
+	for y := y0; y < y1 && y < r.srcH; y++ {
+		row := y * r.srcW * 4
+		for x := x0; x < x1 && x < r.srcW; x++ {
+			i := row + x*4
+			sr += int(pix[i])
+			sg += int(pix[i+1])
+			sb += int(pix[i+2])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return uint8(sr / n), uint8(sg / n), uint8(sb / n)
+}
+
+// Frame renders one RGBA frame (len must be srcW*srcH*4) to a string of
+// ANSI-colored half blocks, terminated with a color reset.
+func (r *Renderer) Frame(pix []byte) string {
+	if len(pix) != r.srcW*r.srcH*4 {
+		return ""
+	}
+	r.b.Reset()
+	// Each text row covers two sampled pixel rows.
+	for row := 0; row < r.rows; row++ {
+		yTop0 := (row * 2) * r.srcH / (r.rows * 2)
+		yTop1 := (row*2 + 1) * r.srcH / (r.rows * 2)
+		yBot0 := yTop1
+		yBot1 := (row*2 + 2) * r.srcH / (r.rows * 2)
+		for col := 0; col < r.cols; col++ {
+			x0 := col * r.srcW / r.cols
+			x1 := (col + 1) * r.srcW / r.cols
+			tr, tg, tb := r.sample(pix, x0, yTop0, x1, yTop1)
+			br, bg, bb := r.sample(pix, x0, yBot0, x1, yBot1)
+			fmt.Fprintf(&r.b, "\x1b[38;2;%d;%d;%dm\x1b[48;2;%d;%d;%dm▀", tr, tg, tb, br, bg, bb)
+		}
+		r.b.WriteString("\x1b[0m\n")
+	}
+	return r.b.String()
+}
+
+// Home returns the ANSI sequence that moves the cursor to the top-left so
+// consecutive frames overdraw in place.
+func Home() string { return "\x1b[H" }
+
+// Clear returns the ANSI clear-screen sequence.
+func Clear() string { return "\x1b[2J\x1b[H" }

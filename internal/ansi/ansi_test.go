@@ -1,0 +1,81 @@
+package ansi
+
+import (
+	"strings"
+	"testing"
+)
+
+func solidFrame(w, h int, r, g, b byte) []byte {
+	pix := make([]byte, w*h*4)
+	for i := 0; i < len(pix); i += 4 {
+		pix[i], pix[i+1], pix[i+2], pix[i+3] = r, g, b, 255
+	}
+	return pix
+}
+
+func TestFrameShape(t *testing.T) {
+	re := NewRenderer(32, 18, 16, 4)
+	out := re.Frame(solidFrame(32, 18, 10, 20, 30))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4", len(lines))
+	}
+	if got := strings.Count(out, "▀"); got != 16*4 {
+		t.Fatalf("blocks = %d, want 64", got)
+	}
+	if !strings.Contains(out, "38;2;10;20;30") {
+		t.Fatalf("solid color missing from output")
+	}
+	if !strings.HasSuffix(lines[0], "\x1b[0m") {
+		t.Fatal("rows must reset color")
+	}
+}
+
+func TestFrameWrongSize(t *testing.T) {
+	re := NewRenderer(32, 18, 16, 4)
+	if re.Frame(make([]byte, 7)) != "" {
+		t.Fatal("wrong-size frame should render empty")
+	}
+}
+
+func TestFrameDistinguishesTopAndBottom(t *testing.T) {
+	// Top half red, bottom half blue; a single text row must use different
+	// fg (top) and bg (bottom) colors.
+	const w, h = 8, 4
+	pix := make([]byte, w*h*4)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := (y*w + x) * 4
+			if y < h/2 {
+				pix[i] = 255
+			} else {
+				pix[i+2] = 255
+			}
+			pix[i+3] = 255
+		}
+	}
+	re := NewRenderer(w, h, 4, 1)
+	out := re.Frame(pix)
+	if !strings.Contains(out, "38;2;255;0;0") || !strings.Contains(out, "48;2;0;0;255") {
+		t.Fatalf("top/bottom colors not separated: %q", out)
+	}
+}
+
+func TestDefaultsAndHelpers(t *testing.T) {
+	re := NewRenderer(16, 9, 0, 0)
+	if re.cols != 80 || re.rows != 22 {
+		t.Fatalf("defaults = %dx%d", re.cols, re.rows)
+	}
+	if Home() == "" || Clear() == "" {
+		t.Fatal("helpers empty")
+	}
+}
+
+func BenchmarkFrame(b *testing.B) {
+	re := NewRenderer(320, 180, 80, 22)
+	pix := solidFrame(320, 180, 100, 150, 200)
+	b.SetBytes(int64(len(pix)))
+	for i := 0; i < b.N; i++ {
+		re.Frame(pix)
+	}
+}

@@ -1,0 +1,125 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// Band-mode delta coding: the frame is split into horizontal bands of
+// bandRows rows; bands whose quantized content is identical to the previous
+// frame are skipped entirely — the encoder never delta-codes or entropy-
+// codes them. For the mostly-static content cloud UIs and many game scenes
+// produce, this removes most of the encode work; for fully-dynamic content
+// it degrades gracefully to whole-frame coding with a few bytes of band
+// headers.
+//
+// Bitstream (frame type 2): uvarint bandRows, uvarint changed-band count,
+// then per changed band: uvarint band index, uvarint payload length, RLE
+// payload of the band's byte-wise delta.
+
+// bandRows is the height of one band in pixel rows.
+const bandRows = 16
+
+// frameBands is the frame type for band-coded delta frames.
+const frameBands = 2
+
+// bandCount returns the number of bands for height h.
+func bandCount(h int) int { return (h + bandRows - 1) / bandRows }
+
+// bandRange returns the byte range of band i in a w×h RGBA frame.
+func bandRange(w, h, i int) (start, end int) {
+	rowBytes := w * 4
+	start = i * bandRows * rowBytes
+	end = start + bandRows*rowBytes
+	if max := h * rowBytes; end > max {
+		end = max
+	}
+	return start, end
+}
+
+// encodeBands appends a band-coded delta of q against prev to out.
+func encodeBands(out, q, prev []byte, w, h int) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		out = append(out, scratch[:n]...)
+	}
+	nBands := bandCount(h)
+	var changed []int
+	for i := 0; i < nBands; i++ {
+		s, e := bandRange(w, h, i)
+		if !bytes.Equal(q[s:e], prev[s:e]) {
+			changed = append(changed, i)
+		}
+	}
+	put(uint64(bandRows))
+	put(uint64(len(changed)))
+	delta := make([]byte, 0, bandRows*w*4)
+	for _, i := range changed {
+		s, e := bandRange(w, h, i)
+		delta = delta[:e-s]
+		for j := range delta {
+			delta[j] = q[s+j] - prev[s+j]
+		}
+		payload := rleAppend(nil, delta)
+		put(uint64(i))
+		put(uint64(len(payload)))
+		out = append(out, payload...)
+	}
+	return out
+}
+
+// decodeBands applies a band-coded delta payload to cur (w×h RGBA).
+func decodeBands(payload, cur []byte, w, h int) error {
+	i := 0
+	next := func() (uint64, error) {
+		v, used := binary.Uvarint(payload[i:])
+		if used <= 0 {
+			return 0, ErrCorrupt
+		}
+		i += used
+		return v, nil
+	}
+	rows, err := next()
+	if err != nil {
+		return err
+	}
+	if rows != bandRows {
+		// Future-proofing: only the fixed band height is produced today.
+		return ErrCorrupt
+	}
+	n, err := next()
+	if err != nil {
+		return err
+	}
+	nBands := bandCount(h)
+	for k := uint64(0); k < n; k++ {
+		idx, err := next()
+		if err != nil {
+			return err
+		}
+		if int(idx) >= nBands {
+			return ErrCorrupt
+		}
+		plen, err := next()
+		if err != nil {
+			return err
+		}
+		if i+int(plen) > len(payload) {
+			return ErrTruncated
+		}
+		s, e := bandRange(w, h, int(idx))
+		delta, err := rleDecode(payload[i:i+int(plen)], e-s)
+		if err != nil {
+			return err
+		}
+		i += int(plen)
+		for j := range delta {
+			cur[s+j] += delta[j]
+		}
+	}
+	if i != len(payload) {
+		return ErrCorrupt
+	}
+	return nil
+}

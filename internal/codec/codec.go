@@ -1,0 +1,299 @@
+// Package codec implements the video-style frame codec used by the
+// real-time streaming stack: temporal delta against the previous frame,
+// quantization, and run-length entropy coding. It stands in for the
+// VirtualGL/TurboVNC video streaming the paper builds on — what matters to
+// FPS regulation is that encoding takes real, content-dependent time and
+// that static scene regions compress away (which is why the paper's streams
+// fit in 15–60 Mbps).
+//
+// Bitstream layout (all integers little-endian):
+//
+//	byte 0:     magic 0xD3
+//	byte 1:     frame type (0 = key, 1 = delta)
+//	byte 2:     quantization shift (0-7)
+//	bytes 3-6:  width (uint32)
+//	bytes 7-10: height (uint32)
+//	bytes 11+:  RLE payload
+//
+// RLE payload tokens:
+//
+//	0x00 <uvarint n>            — n zero bytes
+//	0x01 <uvarint n> <n bytes>  — n literal bytes
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	magic     = 0xD3
+	headerLen = 11
+
+	frameKey   = 0
+	frameDelta = 1
+)
+
+// Errors returned by the decoder.
+var (
+	ErrBadMagic   = errors.New("codec: bad magic byte")
+	ErrTruncated  = errors.New("codec: truncated bitstream")
+	ErrDimensions = errors.New("codec: frame dimensions mismatch")
+	ErrNoKeyframe = errors.New("codec: delta frame before any keyframe")
+	ErrCorrupt    = errors.New("codec: corrupt payload")
+)
+
+// Options configures an Encoder.
+type Options struct {
+	// QuantShift drops the low bits of each sample before coding
+	// (0 = lossless, higher = smaller and lossier). Default 2.
+	QuantShift uint
+	// KeyInterval forces a keyframe every N frames (default 120; the
+	// first frame is always a keyframe).
+	KeyInterval int
+	// Bands enables band-skip delta coding: unchanged 16-row bands are
+	// skipped without any coding work, cutting encode time on mostly-
+	// static content (see bands.go).
+	Bands bool
+}
+
+// Encoder compresses a stream of same-sized RGBA frames.
+type Encoder struct {
+	w, h  int
+	opts  Options
+	prev  []byte // previous *quantized* frame
+	count int
+
+	frames int64
+	bytes  int64
+}
+
+// NewEncoder returns an encoder for w×h RGBA frames.
+func NewEncoder(w, h int, opts Options) *Encoder {
+	if opts.QuantShift > 7 {
+		opts.QuantShift = 7
+	}
+	if opts.KeyInterval <= 0 {
+		opts.KeyInterval = 120
+	}
+	return &Encoder{w: w, h: h, opts: opts}
+}
+
+// FrameSize returns the raw frame size in bytes.
+func (e *Encoder) FrameSize() int { return e.w * e.h * 4 }
+
+// Frames returns the number of frames encoded.
+func (e *Encoder) Frames() int64 { return e.frames }
+
+// Bytes returns the total encoded output size.
+func (e *Encoder) Bytes() int64 { return e.bytes }
+
+// Encode compresses pix (len must be w*h*4) and returns the bitstream.
+func (e *Encoder) Encode(pix []byte) ([]byte, error) {
+	if len(pix) != e.FrameSize() {
+		return nil, fmt.Errorf("codec: frame is %d bytes, want %d", len(pix), e.FrameSize())
+	}
+	q := quantize(pix, e.opts.QuantShift)
+	isKey := e.prev == nil || e.count%e.opts.KeyInterval == 0
+	e.count++
+
+	out := make([]byte, headerLen, headerLen+len(q)/8)
+	out[0] = magic
+	out[2] = byte(e.opts.QuantShift)
+	binary.LittleEndian.PutUint32(out[3:], uint32(e.w))
+	binary.LittleEndian.PutUint32(out[7:], uint32(e.h))
+
+	switch {
+	case isKey:
+		out[1] = frameKey
+		out = rleAppend(out, q)
+	case e.opts.Bands:
+		out[1] = frameBands
+		out = encodeBands(out, q, e.prev, e.w, e.h)
+	default:
+		out[1] = frameDelta
+		delta := make([]byte, len(q))
+		for i := range q {
+			delta[i] = q[i] - e.prev[i]
+		}
+		out = rleAppend(out, delta)
+	}
+	e.prev = q
+	e.frames++
+	e.bytes += int64(len(out))
+	return out, nil
+}
+
+// ForceKeyframe makes the next frame a keyframe (e.g. after a client joins).
+func (e *Encoder) ForceKeyframe() { e.count = 0; e.prev = nil }
+
+// QuantShift returns the current quantization shift.
+func (e *Encoder) QuantShift() uint { return e.opts.QuantShift }
+
+// SetQuantShift changes the quantization at a frame boundary (adaptive
+// quality). Raising it coarsens and shrinks subsequent frames; the next
+// delta stays decodable because deltas are byte-exact against whatever the
+// previous frame reconstructed to.
+func (e *Encoder) SetQuantShift(s uint) {
+	if s > 7 {
+		s = 7
+	}
+	e.opts.QuantShift = s
+}
+
+// Decoder decompresses a stream produced by Encoder.
+type Decoder struct {
+	w, h int
+	cur  []byte
+}
+
+// NewDecoder returns a decoder; dimensions are learned from the first frame.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Decode decompresses one bitstream frame and returns the reconstructed
+// RGBA pixels. The returned slice is owned by the decoder and valid until
+// the next Decode.
+func (d *Decoder) Decode(bs []byte) ([]byte, error) {
+	if len(bs) < headerLen {
+		return nil, ErrTruncated
+	}
+	if bs[0] != magic {
+		return nil, ErrBadMagic
+	}
+	ftype := bs[1]
+	w := int(binary.LittleEndian.Uint32(bs[3:]))
+	h := int(binary.LittleEndian.Uint32(bs[7:]))
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, ErrDimensions
+	}
+	size := w * h * 4
+	if d.cur != nil && (d.w != w || d.h != h) {
+		return nil, ErrDimensions
+	}
+	switch ftype {
+	case frameKey:
+		payload, err := rleDecode(bs[headerLen:], size)
+		if err != nil {
+			return nil, err
+		}
+		d.w, d.h = w, h
+		d.cur = payload
+	case frameDelta:
+		if d.cur == nil {
+			return nil, ErrNoKeyframe
+		}
+		payload, err := rleDecode(bs[headerLen:], size)
+		if err != nil {
+			return nil, err
+		}
+		for i := range d.cur {
+			d.cur[i] += payload[i]
+		}
+	case frameBands:
+		if d.cur == nil {
+			return nil, ErrNoKeyframe
+		}
+		if err := decodeBands(bs[headerLen:], d.cur, w, h); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, ErrCorrupt
+	}
+	return d.cur, nil
+}
+
+// Size returns the current frame dimensions (0,0 before the first frame).
+func (d *Decoder) Size() (w, h int) { return d.w, d.h }
+
+// quantize returns pix with the low QuantShift bits cleared.
+func quantize(pix []byte, shift uint) []byte {
+	out := make([]byte, len(pix))
+	if shift == 0 {
+		copy(out, pix)
+		return out
+	}
+	mask := byte(0xFF) << shift
+	for i, v := range pix {
+		out[i] = v & mask
+	}
+	return out
+}
+
+// rleAppend appends the RLE coding of data to dst and returns dst.
+func rleAppend(dst, data []byte) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	i := 0
+	for i < len(data) {
+		if data[i] == 0 {
+			j := i
+			for j < len(data) && data[j] == 0 {
+				j++
+			}
+			dst = append(dst, 0x00)
+			n := binary.PutUvarint(scratch[:], uint64(j-i))
+			dst = append(dst, scratch[:n]...)
+			i = j
+			continue
+		}
+		// Literal run: extend until we hit a zero run long enough to be
+		// worth a token (>= 4 zeros).
+		j := i
+		zeros := 0
+		for j < len(data) {
+			if data[j] == 0 {
+				zeros++
+				if zeros >= 4 {
+					j -= zeros - 1
+					break
+				}
+			} else {
+				zeros = 0
+			}
+			j++
+		}
+		if j > len(data) {
+			j = len(data)
+		}
+		dst = append(dst, 0x01)
+		n := binary.PutUvarint(scratch[:], uint64(j-i))
+		dst = append(dst, scratch[:n]...)
+		dst = append(dst, data[i:j]...)
+		i = j
+	}
+	return dst
+}
+
+// rleDecode expands an RLE payload into exactly size bytes.
+func rleDecode(payload []byte, size int) ([]byte, error) {
+	out := make([]byte, 0, size)
+	i := 0
+	for i < len(payload) {
+		tok := payload[i]
+		i++
+		n, used := binary.Uvarint(payload[i:])
+		if used <= 0 {
+			return nil, ErrCorrupt
+		}
+		i += used
+		if n > uint64(size-len(out)) {
+			return nil, ErrCorrupt
+		}
+		switch tok {
+		case 0x00:
+			out = append(out, make([]byte, n)...)
+		case 0x01:
+			if i+int(n) > len(payload) {
+				return nil, ErrTruncated
+			}
+			out = append(out, payload[i:i+int(n)]...)
+			i += int(n)
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	if len(out) != size {
+		return nil, ErrTruncated
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bitstreams to the decoder: it must never
+// panic, and valid prefixes must not be silently misdecoded into frames of
+// the wrong size.
+func FuzzDecode(f *testing.F) {
+	enc := NewEncoder(8, 8, Options{QuantShift: 2})
+	for i := int64(0); i < 3; i++ {
+		bs, err := enc.Encode(genFrame(8, 8, i))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bs)
+	}
+	bandEnc := NewEncoder(8, 32, Options{Bands: true})
+	for i := int64(0); i < 3; i++ {
+		bs, err := bandEnc.Encode(genFrame(8, 32, i))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bs)
+	}
+	f.Add([]byte{magic, frameDelta, 0, 8, 0, 0, 0, 8, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder()
+		pix, err := dec.Decode(data)
+		if err == nil {
+			w, h := dec.Size()
+			if len(pix) != w*h*4 {
+				t.Fatalf("decoded %d bytes for %dx%d", len(pix), w, h)
+			}
+		}
+	})
+}
+
+// FuzzRLERoundTrip checks the entropy coder against arbitrary inputs.
+func FuzzRLERoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xAB}, 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		enc := rleAppend(nil, data)
+		dec, err := rleDecode(enc, len(data))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

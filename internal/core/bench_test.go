@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/core"
+	"odr/internal/frame"
+	"odr/internal/realrt"
+	"odr/internal/sim"
+	"odr/internal/simrt"
+)
+
+// BenchmarkMultiBufferSimHandoff measures Put/Acquire/Release round trips on
+// the simulation runtime.
+func BenchmarkMultiBufferSimHandoff(b *testing.B) {
+	env := sim.NewEnv()
+	dom := simrt.NewDomain(env)
+	mb := core.NewMultiBuffer(dom)
+	f := &frame.Frame{}
+	env.Spawn("producer", func(p *sim.Proc) {
+		w := simrt.NewWaiter(p)
+		for i := 0; i < b.N; i++ {
+			if !mb.Put(w, f) {
+				return
+			}
+		}
+	})
+	done := 0
+	env.Spawn("consumer", func(p *sim.Proc) {
+		w := simrt.NewWaiter(p)
+		for done < b.N {
+			if mb.Acquire(w) == nil {
+				return
+			}
+			mb.Release()
+			done++
+		}
+	})
+	b.ResetTimer()
+	env.RunAll()
+	env.Shutdown()
+	if done != b.N {
+		b.Fatalf("done %d of %d", done, b.N)
+	}
+}
+
+// BenchmarkMultiBufferRealHandoff measures the same round trip with real
+// goroutines and the channel-cond runtime.
+func BenchmarkMultiBufferRealHandoff(b *testing.B) {
+	dom := realrt.NewDomain()
+	mb := core.NewMultiBuffer(dom)
+	f := &frame.Frame{}
+	go func() {
+		w := realrt.NewWaiter(dom)
+		for i := 0; i < b.N; i++ {
+			if !mb.Put(w, f) {
+				return
+			}
+		}
+	}()
+	w := realrt.NewWaiter(dom)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mb.Acquire(w) == nil {
+			b.Fatal("closed early")
+		}
+		mb.Release()
+	}
+	b.StopTimer()
+	mb.Close()
+}
+
+// BenchmarkPacer measures the Algorithm 1 bookkeeping cost per frame.
+func BenchmarkPacer(b *testing.B) {
+	p := core.NewPacer(60)
+	var now time.Duration
+	for i := 0; i < b.N; i++ {
+		start := now
+		now += 9 * time.Millisecond
+		now += p.PaceAfter(start, now)
+	}
+}
+
+// BenchmarkInputBoxOnInput measures input observation cost (real runtime,
+// as in the stream stack's input loop).
+func BenchmarkInputBoxOnInput(b *testing.B) {
+	dom := realrt.NewDomain()
+	box := core.NewInputBox(dom)
+	for i := 0; i < b.N; i++ {
+		box.OnInput(frame.InputID(i+1), time.Duration(i))
+		if i%8 == 7 {
+			box.ConsumePending()
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"time"
+
+	"odr/internal/frame"
+)
+
+// InputStamp aliases frame.InputStamp: one pending user input awaiting a
+// responding frame.
+type InputStamp = frame.InputStamp
+
+// InputBox implements the application-side half of PriorityFrame (§5.3): it
+// observes user inputs (the paper intercepts XNextEvent), combines pending
+// inputs the way the benchmarks' main loops do, and cancels the rendering
+// delay so the input-triggered frame renders immediately.
+//
+// The renderer calls DelayInterruptible instead of a plain sleep: an input
+// arriving during the delay wakes the renderer at once. Before rendering a
+// frame it calls ConsumePending to tag the frame with all combined inputs.
+type InputBox struct {
+	dom     Domain
+	arrived Cond
+
+	pending []InputStamp
+	total   int64
+
+	// subscribers are additional conds broadcast on every input, letting
+	// components in the same domain (e.g. a MultiBuffer the renderer is
+	// blocked on) wake their waiters when an input arrives.
+	subscribers []Cond
+}
+
+// NewInputBox returns an empty input box in the given domain.
+func NewInputBox(dom Domain) *InputBox {
+	return &InputBox{dom: dom, arrived: dom.NewCond()}
+}
+
+// OnInput records a user input and wakes any renderer blocked in
+// DelayInterruptible. Safe to call from any goroutine in the real-time
+// domain and from any kernel context in the simulation domain.
+func (b *InputBox) OnInput(id frame.InputID, issued time.Duration) {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	b.pending = append(b.pending, InputStamp{ID: id, Issued: issued})
+	b.total++
+	b.arrived.Broadcast()
+	for _, c := range b.subscribers {
+		c.Broadcast()
+	}
+}
+
+// Subscribe registers an additional cond (from the same domain) to be
+// broadcast whenever an input arrives.
+func (b *InputBox) Subscribe(c Cond) {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	b.subscribers = append(b.subscribers, c)
+}
+
+// PendingLocked reports whether any input is pending. The caller must
+// already hold the domain lock (used as a WaitBackFree interrupt predicate).
+func (b *InputBox) PendingLocked() bool { return len(b.pending) > 0 }
+
+// HasPending reports whether any input awaits a responding frame.
+func (b *InputBox) HasPending() bool {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	return len(b.pending) > 0
+}
+
+// ConsumePending removes and returns all pending inputs (oldest first).
+// The renderer combines them into the next frame, which responds to all of
+// them (position/posture combining, §5.3).
+func (b *InputBox) ConsumePending() []InputStamp {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	out := b.pending
+	b.pending = nil
+	return out
+}
+
+// Total returns the number of inputs ever observed.
+func (b *InputBox) Total() int64 {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	return b.total
+}
+
+// DelayInterruptible delays the renderer for d, returning early if an input
+// arrives (or is already pending). It reports whether it was cut short by an
+// input. A non-positive d returns immediately with the pending status.
+func (b *InputBox) DelayInterruptible(w Waiter, d time.Duration) bool {
+	mu := b.dom.Locker()
+	mu.Lock()
+	if len(b.pending) > 0 {
+		mu.Unlock()
+		return true
+	}
+	if d <= 0 {
+		mu.Unlock()
+		return false
+	}
+	deadline := b.dom.Now() + d
+	for {
+		remaining := deadline - b.dom.Now()
+		if remaining <= 0 {
+			mu.Unlock()
+			return false
+		}
+		signaled := w.WaitTimeout(b.arrived, remaining)
+		if signaled && len(b.pending) > 0 {
+			mu.Unlock()
+			return true
+		}
+		if !signaled {
+			mu.Unlock()
+			return false
+		}
+		// Spurious wake (input consumed by a racing check): loop.
+	}
+}
+
+// Tag stamps f with the given combined inputs: the oldest input defines the
+// frame's motion-to-photon reference, and the frame is marked as a priority
+// frame.
+func Tag(f *frame.Frame, inputs []InputStamp) {
+	if len(inputs) == 0 {
+		return
+	}
+	f.Input = inputs[0].ID
+	f.InputTime = inputs[0].Issued
+	f.Priority = true
+	f.Inputs = append(f.Inputs, inputs...)
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"odr/internal/frame"
+)
+
+// MultiBuffer is ODR's synchronization buffer between two pipeline stages
+// (§5.1). It holds a front buffer (the frame the consumer works on) and a
+// back buffer (the frame the producer fills next).
+//
+//   - The producer (Put) blocks while the back buffer is occupied — this is
+//     how the 3D application "pauses its rendering until the buffers are
+//     swapped".
+//   - The consumer (Acquire) blocks while the front buffer is empty — this is
+//     how the server proxy "pauses swapping to wait for it to be populated".
+//   - The swap happens when the consumer releases the front buffer and the
+//     back buffer is full (Release); the faster side therefore always waits
+//     for the slower side, synchronizing the two stages' rates without any
+//     timing feedback.
+//
+// PutPriority implements PriorityFrame's obsolete-frame dropping (§5.3): an
+// input-triggered frame replaces any not-yet-consumed frames instead of
+// waiting behind them.
+type MultiBuffer struct {
+	dom     Domain
+	changed Cond
+
+	front     *frame.Frame
+	back      *frame.Frame
+	consuming bool // front is currently held by the consumer
+	closed    bool
+
+	puts  int64
+	drops int64
+}
+
+// NewMultiBuffer returns an empty multi-buffer in the given domain.
+func NewMultiBuffer(dom Domain) *MultiBuffer {
+	return &MultiBuffer{dom: dom, changed: dom.NewCond()}
+}
+
+// promoteLocked moves the back buffer to the front when the front is free.
+func (b *MultiBuffer) promoteLocked() {
+	if b.front == nil && b.back != nil {
+		b.front, b.back = b.back, nil
+	}
+}
+
+// Put stores f into the back buffer, blocking the producer while the back
+// buffer is occupied. It returns false if the buffer was closed while
+// waiting.
+func (b *MultiBuffer) Put(w Waiter, f *frame.Frame) bool {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	for b.back != nil && !b.closed {
+		w.Wait(b.changed)
+	}
+	if b.closed {
+		return false
+	}
+	b.back = f
+	b.puts++
+	b.promoteLocked()
+	b.changed.Broadcast()
+	return true
+}
+
+// TryPut stores f if the back buffer is free, without blocking.
+func (b *MultiBuffer) TryPut(f *frame.Frame) bool {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	if b.back != nil || b.closed {
+		return false
+	}
+	b.back = f
+	b.puts++
+	b.promoteLocked()
+	b.changed.Broadcast()
+	return true
+}
+
+// PutPriority stores an input-triggered frame, dropping any frames that are
+// buffered but not yet consumed (they are obsolete: they would be displayed
+// before f, delaying it). It never blocks. It returns the dropped frames so
+// the caller can account for them (e.g. carry their input stamps forward).
+func (b *MultiBuffer) PutPriority(f *frame.Frame) []*frame.Frame {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	var dropped []*frame.Frame
+	if b.back != nil {
+		dropped = append(dropped, b.back)
+		b.back = nil
+	}
+	if b.front != nil && !b.consuming {
+		dropped = append(dropped, b.front)
+		b.front = nil
+	}
+	if b.front == nil {
+		b.front = f
+	} else {
+		b.back = f
+	}
+	b.puts++
+	b.drops += int64(len(dropped))
+	b.changed.Broadcast()
+	return dropped
+}
+
+// Acquire returns the front-buffer frame for processing, blocking the
+// consumer while the front buffer is empty. The frame stays in the front
+// buffer until Release; callers must pair every successful Acquire with a
+// Release. Acquire returns nil if the buffer is closed.
+func (b *MultiBuffer) Acquire(w Waiter) *frame.Frame {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	for b.front == nil && !b.closed {
+		w.Wait(b.changed)
+	}
+	if b.front == nil {
+		return nil
+	}
+	b.consuming = true
+	return b.front
+}
+
+// TryAcquire is Acquire without blocking.
+func (b *MultiBuffer) TryAcquire() *frame.Frame {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	if b.front == nil {
+		return nil
+	}
+	b.consuming = true
+	return b.front
+}
+
+// Release marks the front-buffer frame as consumed and swaps the back buffer
+// in (this is the "swap Mul-Buf" step of Algorithm 1). The producer, if
+// blocked, is woken.
+func (b *MultiBuffer) Release() {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	b.front = nil
+	b.consuming = false
+	b.promoteLocked()
+	b.changed.Broadcast()
+}
+
+// Changed exposes the buffer's condition variable so that other components
+// in the same domain (notably InputBox) can wake waiters: PriorityFrame
+// cancels the renderer's buffer-swapping wait by broadcasting this cond when
+// an input arrives.
+func (b *MultiBuffer) Changed() Cond { return b.changed }
+
+// WaitBackFree blocks until the back buffer is free (the renderer's
+// "pause until the buffers are swapped", §5.1) or the buffer is closed.
+// If interrupt is non-nil it is evaluated — with the domain lock held — at
+// entry and after every wakeup; when it reports true, WaitBackFree returns
+// false immediately (PriorityFrame canceling the rendering delay, §5.3).
+// It returns true if the back buffer is free or the buffer closed.
+func (b *MultiBuffer) WaitBackFree(w Waiter, interrupt func() bool) bool {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	for b.back != nil && !b.closed {
+		if interrupt != nil && interrupt() {
+			return false
+		}
+		w.Wait(b.changed)
+	}
+	if interrupt != nil && interrupt() {
+		return false
+	}
+	return true
+}
+
+// WaitBackFull blocks until the back buffer holds a frame (Algorithm 1 line
+// 17, wait_for_Mul-Buf1_back_buf_full) or the buffer is closed. Note that
+// with PriorityFrame a priority frame can land directly in the front buffer;
+// WaitFrameReady covers that case and is what the ODR encode loop uses.
+func (b *MultiBuffer) WaitBackFull(w Waiter) {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	for b.back == nil && !b.closed {
+		w.Wait(b.changed)
+	}
+}
+
+// WaitFrameReady blocks until a frame is available in either buffer or the
+// buffer is closed.
+func (b *MultiBuffer) WaitFrameReady(w Waiter) {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	for b.front == nil && b.back == nil && !b.closed {
+		w.Wait(b.changed)
+	}
+}
+
+// Close releases all waiters; subsequent Puts fail and Acquires return nil
+// once drained.
+func (b *MultiBuffer) Close() {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	b.closed = true
+	b.changed.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (b *MultiBuffer) Closed() bool {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	return b.closed
+}
+
+// Puts returns the number of frames stored (including priority puts).
+func (b *MultiBuffer) Puts() int64 {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	return b.puts
+}
+
+// Drops returns the number of obsolete frames dropped by PutPriority.
+func (b *MultiBuffer) Drops() int64 {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	return b.drops
+}
+
+// Occupancy returns how many frames are currently buffered (0, 1 or 2).
+func (b *MultiBuffer) Occupancy() int {
+	mu := b.dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	if b.front != nil {
+		n++
+	}
+	if b.back != nil {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+
+	"odr/internal/metrics"
+	"odr/internal/pictor"
+	"odr/internal/pipeline"
+)
+
+// Fig1Result holds Figure 1: cloud vs client FPS for Red Eclipse and InMind
+// under no regulation — the excessive-rendering motivation.
+type Fig1Result struct {
+	Benchmarks []string
+	CloudFPS   []float64
+	ClientFPS  []float64
+}
+
+// Fig1 reproduces Figure 1 (720p private cloud, NoReg).
+func Fig1(o Options) Fig1Result {
+	o = o.withDefaults()
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	var res Fig1Result
+	fmt.Fprintln(o.Out, "Figure 1: excessive frame rendering causes large FPS gaps (NoReg, 720p private)")
+	for _, b := range []pictor.Benchmark{pictor.RE, pictor.IM} {
+		r := runOne(o, b, g, NoReg)
+		res.Benchmarks = append(res.Benchmarks, string(b))
+		res.CloudFPS = append(res.CloudFPS, r.RenderFPS)
+		res.ClientFPS = append(res.ClientFPS, r.ClientFPS)
+		fmt.Fprintf(o.Out, "  %-12s cloud FPS %6.1f   client FPS %6.1f   gap %6.1f\n",
+			b, r.RenderFPS, r.ClientFPS, r.RenderFPS-r.ClientFPS)
+	}
+	return res
+}
+
+// Fig3Row is one configuration of Figure 3.
+type Fig3Row struct {
+	Config    string
+	RenderFPS float64
+	EncodeFPS float64
+	DecodeFPS float64
+}
+
+// Fig3 reproduces Figure 3: InMind's render/encode/decode FPS under NoReg,
+// Int60, IntMax, RVS60 and RVSMax (720p private cloud).
+func Fig3(o Options) []Fig3Row {
+	o = o.withDefaults()
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	fmt.Fprintln(o.Out, "Figure 3: InMind render/encode/decode FPS under §4 regulations (720p private)")
+	var rows []Fig3Row
+	for _, id := range []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax} {
+		r := runOne(o, pictor.IM, g, id)
+		row := Fig3Row{Config: r.Label, RenderFPS: r.RenderFPS, EncodeFPS: r.EncodeFPS, DecodeFPS: r.ClientFPS}
+		rows = append(rows, row)
+		fmt.Fprintf(o.Out, "  %-8s render %6.1f  encode %6.1f  decode %6.1f\n",
+			row.Config, row.RenderFPS, row.EncodeFPS, row.DecodeFPS)
+	}
+	return rows
+}
+
+// Fig4Result holds Figure 4: the CDFs (a) and a per-frame trace (b) of
+// InMind's render, encode and transmission times.
+type Fig4Result struct {
+	RenderCDFx, RenderCDFy []float64
+	EncodeCDFx, EncodeCDFy []float64
+	TransCDFx, TransCDFy   []float64
+	// Fraction of frames completing within the 16.6 ms interval, the
+	// §4.1 observation (paper: 80-90 %).
+	RenderUnder16, EncodeUnder16 float64
+	// Trace of ~100 consecutive frames (ms).
+	TraceRender, TraceEncode, TraceTrans []float64
+}
+
+// Fig4 reproduces Figure 4 (InMind, NoReg, 720p private cloud).
+func Fig4(o Options) Fig4Result {
+	o = o.withDefaults()
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	cfg := pipeline.Config{
+		Label:         "NoReg",
+		Workload:      pictor.IM.Params(),
+		Scale:         pictor.Scale(g.Platform, g.Resolution),
+		Net:           pictor.Network(g.Platform),
+		Policy:        factory(NoReg, g.Resolution),
+		Duration:      o.Duration,
+		Seed:          seedFor(o.Seed, pictor.IM, g, NoReg),
+		CollectFrames: 100,
+	}
+	r := pipeline.Run(cfg)
+	var res Fig4Result
+	res.RenderCDFx, res.RenderCDFy = r.RenderTimes.CDF()
+	res.EncodeCDFx, res.EncodeCDFy = r.EncodeTimes.CDF()
+	res.TransCDFx, res.TransCDFy = r.TransTimes.CDF()
+	res.RenderUnder16 = r.RenderTimes.FractionBelow(16.6)
+	res.EncodeUnder16 = r.EncodeTimes.FractionBelow(16.6)
+	for _, f := range r.FrameTrace {
+		res.TraceRender = append(res.TraceRender, msf(f.RenderEnd-f.RenderStart))
+		res.TraceEncode = append(res.TraceEncode, msf(f.EncodeEnd-f.EncodeStart))
+		res.TraceTrans = append(res.TraceTrans, msf(f.SendEnd-f.EncodeEnd))
+	}
+	fmt.Fprintln(o.Out, "Figure 4: InMind processing-time variation (NoReg, 720p private)")
+	fmt.Fprintf(o.Out, "  render: p50 %5.1fms p90 %5.1fms p99 %5.1fms  under-16.6ms %4.1f%%\n",
+		r.RenderTimes.Percentile(50), r.RenderTimes.Percentile(90), r.RenderTimes.Percentile(99), res.RenderUnder16*100)
+	fmt.Fprintf(o.Out, "  encode: p50 %5.1fms p90 %5.1fms p99 %5.1fms  under-16.6ms %4.1f%%\n",
+		r.EncodeTimes.Percentile(50), r.EncodeTimes.Percentile(90), r.EncodeTimes.Percentile(99), res.EncodeUnder16*100)
+	fmt.Fprintf(o.Out, "  trans:  p50 %5.1fms p90 %5.1fms p99 %5.1fms\n",
+		r.TransTimes.Percentile(50), r.TransTimes.Percentile(90), r.TransTimes.Percentile(99))
+	fmt.Fprintf(o.Out, "  trace collected for %d frames\n", len(res.TraceRender))
+	return res
+}
+
+// Fig5Row is one frame of a Figure 5-style pipeline timeline.
+type Fig5Row struct {
+	Seq                    uint64
+	RenderStart, RenderEnd float64 // ms from trace start
+	EncodeStart, EncodeEnd float64
+	SendEnd, DecodeEnd     float64
+	Priority               bool
+}
+
+// Fig5 reproduces the Figure 5 pipeline timelines: the first frames of
+// InMind under Int60, RVS60 and ODR60, showing how each scheme schedules
+// render/encode/decode. (Figure 5a's "ideal pipeline" corresponds to the
+// ODR rows when no spike occurs.)
+func Fig5(o Options) map[string][]Fig5Row {
+	o = o.withDefaults()
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	out := make(map[string][]Fig5Row)
+	fmt.Fprintln(o.Out, "Figure 5: pipeline timelines (InMind, 720p private, first 8 displayed frames)")
+	for _, id := range []PolicyID{IntGoal, RVSGoal, ODRGoal} {
+		cfg := pipeline.Config{
+			Label:         label(id, g.Resolution),
+			Workload:      pictor.IM.Params(),
+			Scale:         pictor.Scale(g.Platform, g.Resolution),
+			Net:           pictor.Network(g.Platform),
+			Policy:        factory(id, g.Resolution),
+			Duration:      o.Duration,
+			Seed:          seedFor(o.Seed, pictor.IM, g, id),
+			CollectFrames: 8,
+		}
+		r := pipeline.Run(cfg)
+		var rows []Fig5Row
+		var t0 float64
+		for i, f := range r.FrameTrace {
+			if i == 0 {
+				t0 = msf(f.RenderStart)
+			}
+			rows = append(rows, Fig5Row{
+				Seq:         f.Seq,
+				RenderStart: msf(f.RenderStart) - t0,
+				RenderEnd:   msf(f.RenderEnd) - t0,
+				EncodeStart: msf(f.EncodeStart) - t0,
+				EncodeEnd:   msf(f.EncodeEnd) - t0,
+				SendEnd:     msf(f.SendEnd) - t0,
+				DecodeEnd:   msf(f.DecodeEnd) - t0,
+				Priority:    f.Priority,
+			})
+		}
+		out[cfg.Label] = rows
+		fmt.Fprintf(o.Out, "  %s:\n", cfg.Label)
+		for _, row := range rows {
+			fmt.Fprintf(o.Out, "    frame %4d  render %7.1f-%7.1f  encode %7.1f-%7.1f  decoded %7.1f%s\n",
+				row.Seq, row.RenderStart, row.RenderEnd, row.EncodeStart, row.EncodeEnd, row.DecodeEnd,
+				priMark(row.Priority))
+		}
+	}
+	return out
+}
+
+func priMark(p bool) string {
+	if p {
+		return "  [priority]"
+	}
+	return ""
+}
+
+// Fig6Row is one configuration of Figure 6.
+type Fig6Row struct {
+	Config string
+	MeanMs float64
+	P99Ms  float64
+}
+
+// Fig6 reproduces Figure 6: InMind's MtP latency under the §4
+// configurations (720p private cloud).
+func Fig6(o Options) []Fig6Row {
+	o = o.withDefaults()
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	fmt.Fprintln(o.Out, "Figure 6: InMind MtP latency under §4 regulations (720p private)")
+	var rows []Fig6Row
+	for _, id := range []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax} {
+		r := runOne(o, pictor.IM, g, id)
+		row := Fig6Row{Config: r.Label, MeanMs: r.MtP.Mean(), P99Ms: r.MtP.Percentile(99)}
+		rows = append(rows, row)
+		fmt.Fprintf(o.Out, "  %-8s mean %6.1fms  p99 %6.1fms\n", row.Config, row.MeanMs, row.P99Ms)
+	}
+	return rows
+}
+
+// Fig7Row is one configuration of Figure 7.
+type Fig7Row struct {
+	Config     string
+	MissRate   float64
+	ReadTimeNs float64
+	IPC        float64
+}
+
+// Fig7 reproduces Figure 7: InMind's DRAM row-buffer miss rate, read access
+// time and IPC under the §4 configurations (720p private cloud).
+func Fig7(o Options) []Fig7Row {
+	o = o.withDefaults()
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	fmt.Fprintln(o.Out, "Figure 7: InMind DRAM efficiency under §4 regulations (720p private)")
+	var rows []Fig7Row
+	for _, id := range []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax} {
+		r := runOne(o, pictor.IM, g, id)
+		row := Fig7Row{Config: r.Label, MissRate: r.MissRate, ReadTimeNs: r.ReadTimeNs, IPC: r.IPC}
+		rows = append(rows, row)
+		fmt.Fprintf(o.Out, "  %-8s miss %5.1f%%  read %5.1fns  IPC %5.2f\n",
+			row.Config, row.MissRate*100, row.ReadTimeNs, row.IPC)
+	}
+	return rows
+}
+
+func msf(d interface{ Nanoseconds() int64 }) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// boxOf converts a metrics box for reporting.
+func boxOf(d *metrics.Dist) metrics.Box { return d.Box() }

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+
+	"odr/internal/pictor"
+	"odr/internal/trace"
+)
+
+// WriteCSVArtifacts regenerates the matrix-backed artifacts (Table 2,
+// Figures 9-13) and writes them as plot-ready CSV files into dir:
+//
+//	table2.csv   group,config,avg_gap,max_gap,max_gap_benchmark
+//	fig9.csv     group,config,client_fps,mtp_ms
+//	fig10.csv    group,benchmark,config,p1,p25,mean,p75,p99   (client FPS)
+//	fig11.csv    same columns (MtP latency ms)
+//	fig12.csv    benchmark,config,ipc,miss_rate,read_ns
+//	fig13.csv    benchmark,config,watts
+//
+// It returns the files written.
+func WriteCSVArtifacts(m *Matrix, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	save := func(name string, t *trace.Table) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := t.WriteCSV(f); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	t2 := trace.NewTable("group", "config", "avg_gap", "max_gap", "max_gap_benchmark")
+	for _, g := range Table2(m) {
+		for _, id := range Table2Policies {
+			if err := t2.AddRow(g.Group, string(id), g.AvgGap[id], g.MaxGap[id], g.MaxGapB[id]); err != nil {
+				return written, err
+			}
+		}
+	}
+	if err := save("table2.csv", t2); err != nil {
+		return written, err
+	}
+
+	f9 := Fig9(m)
+	t9 := trace.NewTable("group", "config", "client_fps", "mtp_ms")
+	for i, g := range f9.Groups {
+		for _, id := range EvalPolicies {
+			if err := t9.AddRow(g, string(id), f9.ClientFPS[id][i], f9.LatencyMs[id][i]); err != nil {
+				return written, err
+			}
+		}
+	}
+	if err := save("fig9.csv", t9); err != nil {
+		return written, err
+	}
+
+	boxTable := func(cells map[string][]BoxCell) (*trace.Table, error) {
+		t := trace.NewTable("group", "benchmark", "config", "p1", "p25", "mean", "p75", "p99")
+		for _, g := range fig10Groups {
+			for _, c := range cells[g.String()] {
+				b := c.Box
+				if err := t.AddRow(g.String(), c.Benchmark, c.Config, b.P1, b.P25, b.Mean, b.P75, b.P99); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return t, nil
+	}
+	t10, err := boxTable(Fig10(m))
+	if err != nil {
+		return written, err
+	}
+	if err := save("fig10.csv", t10); err != nil {
+		return written, err
+	}
+	t11, err := boxTable(Fig11(m))
+	if err != nil {
+		return written, err
+	}
+	if err := save("fig11.csv", t11); err != nil {
+		return written, err
+	}
+
+	t12 := trace.NewTable("benchmark", "config", "ipc", "miss_rate", "read_ns")
+	for _, r := range Fig12(m) {
+		if err := t12.AddRow(r.Benchmark, r.Config, r.IPC, r.MissRate, r.ReadTimeNs); err != nil {
+			return written, err
+		}
+	}
+	if err := save("fig12.csv", t12); err != nil {
+		return written, err
+	}
+
+	t13 := trace.NewTable("benchmark", "config", "watts")
+	for _, r := range Fig13(m) {
+		if err := t13.AddRow(r.Benchmark, r.Config, r.Watts); err != nil {
+			return written, err
+		}
+	}
+	if err := save("fig13.csv", t13); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// expectedCSVRows sanity-checks an artifact directory (used by tests).
+func expectedCSVRows() map[string]int {
+	groups := len(fig10Groups)
+	benches := len(pictor.Benchmarks)
+	return map[string]int{
+		"table2.csv": 3 * len(Table2Policies),
+		"fig9.csv":   5 * len(EvalPolicies),
+		"fig10.csv":  groups * benches * len(EvalPolicies),
+		"fig11.csv":  groups * benches * len(EvalPolicies),
+		"fig12.csv":  (benches + 1) * len(EvalPolicies),
+		"fig13.csv":  (benches + 1) * len(EvalPolicies),
+	}
+}

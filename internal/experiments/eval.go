@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"odr/internal/metrics"
+	"odr/internal/pictor"
+	"odr/internal/pipeline"
+)
+
+// Matrix lazily runs and caches the full evaluation matrix: 6 benchmarks ×
+// 4 platform groups × 8 configurations (§6.1's 28 configurations per
+// benchmark, plus the ODRMax-noPri row of Table 2). Experiments that share
+// cells (Table 2, Figures 9-13) reuse one Matrix.
+//
+// Cells are deterministic and independent, so Prefetch can run them on all
+// CPUs; Get itself stays single-threaded (experiments call it from one
+// goroutine).
+type Matrix struct {
+	o     Options
+	mu    sync.Mutex
+	cells map[string]*pipeline.Result
+}
+
+// NewMatrix returns an empty matrix over o.
+func NewMatrix(o Options) *Matrix {
+	return &Matrix{o: o.withDefaults(), cells: make(map[string]*pipeline.Result)}
+}
+
+// Options returns the matrix's options.
+func (m *Matrix) Options() Options { return m.o }
+
+// Get runs (or returns the cached run of) one cell.
+func (m *Matrix) Get(b pictor.Benchmark, g pictor.PlatformGroup, id PolicyID) *pipeline.Result {
+	key := string(b) + "/" + g.String() + "/" + string(id)
+	m.mu.Lock()
+	if r, ok := m.cells[key]; ok {
+		m.mu.Unlock()
+		return r
+	}
+	m.mu.Unlock()
+	r := runOne(m.o, b, g, id)
+	m.mu.Lock()
+	m.cells[key] = r
+	m.mu.Unlock()
+	return r
+}
+
+// Prefetch runs every cell of the full matrix concurrently (bounded by
+// workers; 0 = GOMAXPROCS) so that subsequent experiments hit only the
+// cache. Each cell is an independent deterministic simulation, so the
+// results are identical to sequential execution.
+func (m *Matrix) Prefetch(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type cell struct {
+		b  pictor.Benchmark
+		g  pictor.PlatformGroup
+		id PolicyID
+	}
+	var cells []cell
+	for _, g := range pictor.Groups {
+		for _, b := range pictor.Benchmarks {
+			for _, id := range Table2Policies {
+				cells = append(cells, cell{b, g, id})
+			}
+		}
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.Get(c.b, c.g, c.id)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// groupMean averages a metric over the six benchmarks for one group/policy.
+func (m *Matrix) groupMean(g pictor.PlatformGroup, id PolicyID, f func(*pipeline.Result) float64) float64 {
+	var vals []float64
+	for _, b := range pictor.Benchmarks {
+		vals = append(vals, f(m.Get(b, g, id)))
+	}
+	return mean(vals)
+}
+
+// Table2Group holds one platform group's column of Table 2.
+type Table2Group struct {
+	Group   string
+	AvgGap  map[PolicyID]float64
+	MaxGap  map[PolicyID]float64
+	MaxGapB map[PolicyID]string // benchmark with the largest gap
+}
+
+// Table2 reproduces Table 2: average and maximum FPS gaps per configuration
+// for the three platform groups the paper prints (720p private, 720p GCE,
+// 1080p GCE).
+func Table2(m *Matrix) []Table2Group {
+	o := m.o
+	groups := []pictor.PlatformGroup{
+		{Platform: pictor.PrivateCloud, Resolution: pictor.R720p},
+		{Platform: pictor.GoogleGCE, Resolution: pictor.R720p},
+		{Platform: pictor.GoogleGCE, Resolution: pictor.R1080p},
+	}
+	fmt.Fprintln(o.Out, "Table 2: Average/Max FPS gaps per configuration (benchmark with largest gap)")
+	var out []Table2Group
+	for _, g := range groups {
+		tg := Table2Group{
+			Group:   g.String(),
+			AvgGap:  make(map[PolicyID]float64),
+			MaxGap:  make(map[PolicyID]float64),
+			MaxGapB: make(map[PolicyID]string),
+		}
+		fmt.Fprintf(o.Out, "  %s:\n", g)
+		for _, id := range Table2Policies {
+			var avgs []float64
+			maxGap, maxB := 0.0, ""
+			for _, b := range pictor.Benchmarks {
+				r := m.Get(b, g, id)
+				avgs = append(avgs, r.GapMean)
+				if r.GapMax > maxGap {
+					maxGap, maxB = r.GapMax, string(b)
+				}
+			}
+			tg.AvgGap[id] = mean(avgs)
+			tg.MaxGap[id] = maxGap
+			tg.MaxGapB[id] = maxB
+			fmt.Fprintf(o.Out, "    %-14s %7.1f / %7.1f  (%s)\n", label(id, g.Resolution), tg.AvgGap[id], maxGap, maxB)
+		}
+		out = append(out, tg)
+	}
+	return out
+}
+
+// Fig9Result holds Figure 9: per-group and overall average client FPS (a)
+// and MtP latency (b) for all ten configuration labels.
+type Fig9Result struct {
+	Groups    []string
+	ClientFPS map[PolicyID][]float64 // indexed like Groups; last entry overall
+	LatencyMs map[PolicyID][]float64
+}
+
+// Fig9 reproduces Figures 9a and 9b over all four platform groups plus the
+// overall average.
+func Fig9(m *Matrix) Fig9Result {
+	o := m.o
+	res := Fig9Result{
+		ClientFPS: make(map[PolicyID][]float64),
+		LatencyMs: make(map[PolicyID][]float64),
+	}
+	for _, g := range pictor.Groups {
+		res.Groups = append(res.Groups, g.String())
+	}
+	res.Groups = append(res.Groups, "OverallAvg")
+	fmt.Fprintln(o.Out, "Figure 9a/9b: average client FPS and MtP latency")
+	for _, id := range EvalPolicies {
+		var fpsRow, latRow []float64
+		for _, g := range pictor.Groups {
+			fpsRow = append(fpsRow, m.groupMean(g, id, func(r *pipeline.Result) float64 { return r.ClientFPS }))
+			latRow = append(latRow, m.groupMean(g, id, func(r *pipeline.Result) float64 { return r.MtP.Mean() }))
+		}
+		fpsRow = append(fpsRow, mean(fpsRow))
+		latRow = append(latRow, mean(latRow))
+		res.ClientFPS[id] = fpsRow
+		res.LatencyMs[id] = latRow
+	}
+	for i, gname := range res.Groups {
+		fmt.Fprintf(o.Out, "  %s:\n", gname)
+		for _, id := range EvalPolicies {
+			resn := pictor.R720p
+			if i == 2 || i == 3 {
+				resn = pictor.R1080p
+			}
+			fmt.Fprintf(o.Out, "    %-8s client FPS %7.1f   MtP %9.1f ms\n",
+				label(id, resn), res.ClientFPS[id][i], res.LatencyMs[id][i])
+		}
+	}
+	return res
+}
+
+// BoxCell is one benchmark × configuration box-plot entry.
+type BoxCell struct {
+	Benchmark string
+	Config    string
+	Box       metrics.Box
+}
+
+// fig10Groups are the three groups plotted in Figures 10 and 11.
+var fig10Groups = []pictor.PlatformGroup{
+	{Platform: pictor.PrivateCloud, Resolution: pictor.R720p},
+	{Platform: pictor.GoogleGCE, Resolution: pictor.R720p},
+	{Platform: pictor.GoogleGCE, Resolution: pictor.R1080p},
+}
+
+// Fig10 reproduces Figure 10: per-benchmark client-FPS distributions
+// (1/25/mean/75/99 %ile over 200 ms windows) for the seven evaluation
+// configurations in each of the three plotted groups.
+func Fig10(m *Matrix) map[string][]BoxCell {
+	o := m.o
+	out := make(map[string][]BoxCell)
+	fmt.Fprintln(o.Out, "Figure 10: client FPS distributions (p1/p25/mean/p75/p99)")
+	for _, g := range fig10Groups {
+		var cells []BoxCell
+		fmt.Fprintf(o.Out, "  %s:\n", g)
+		for _, b := range pictor.Benchmarks {
+			for _, id := range EvalPolicies {
+				r := m.Get(b, g, id)
+				cells = append(cells, BoxCell{Benchmark: string(b), Config: r.Label, Box: r.ClientRates.Box()})
+				fmt.Fprintf(o.Out, "    %-4s %-8s %s\n", b, r.Label, r.ClientRates.Box())
+			}
+		}
+		out[g.String()] = cells
+	}
+	return out
+}
+
+// Fig11 reproduces Figure 11: per-benchmark MtP latency distributions for
+// the same matrix as Figure 10.
+func Fig11(m *Matrix) map[string][]BoxCell {
+	o := m.o
+	out := make(map[string][]BoxCell)
+	fmt.Fprintln(o.Out, "Figure 11: MtP latency distributions in ms (p1/p25/mean/p75/p99)")
+	for _, g := range fig10Groups {
+		var cells []BoxCell
+		fmt.Fprintf(o.Out, "  %s:\n", g)
+		for _, b := range pictor.Benchmarks {
+			for _, id := range EvalPolicies {
+				r := m.Get(b, g, id)
+				cells = append(cells, BoxCell{Benchmark: string(b), Config: r.Label, Box: r.MtP.Box()})
+				fmt.Fprintf(o.Out, "    %-4s %-8s %s\n", b, r.Label, r.MtP.Box())
+			}
+		}
+		out[g.String()] = cells
+	}
+	return out
+}
+
+// Fig12Row is one benchmark × configuration memory-efficiency entry
+// (720p private cloud, Figure 12).
+type Fig12Row struct {
+	Benchmark  string
+	Config     string
+	IPC        float64
+	MissRate   float64
+	ReadTimeNs float64
+}
+
+// Fig12 reproduces Figure 12: per-benchmark IPC, DRAM row-buffer miss rate
+// and DRAM read access time for the 720p private-cloud evaluation, plus the
+// fleet averages the text quotes.
+func Fig12(m *Matrix) []Fig12Row {
+	o := m.o
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	policies := []PolicyID{NoReg, IntMax, RVSMax, ODRMax, IntGoal, RVSGoal, ODRGoal}
+	var rows []Fig12Row
+	fmt.Fprintln(o.Out, "Figure 12: memory efficiency (720p private cloud)")
+	for _, b := range append(append([]pictor.Benchmark{}, pictor.Benchmarks...), "AVG") {
+		for _, id := range policies {
+			var row Fig12Row
+			if b == "AVG" {
+				row = Fig12Row{
+					Benchmark:  "AVG",
+					Config:     label(id, g.Resolution),
+					IPC:        m.groupMean(g, id, func(r *pipeline.Result) float64 { return r.IPC }),
+					MissRate:   m.groupMean(g, id, func(r *pipeline.Result) float64 { return r.MissRate }),
+					ReadTimeNs: m.groupMean(g, id, func(r *pipeline.Result) float64 { return r.ReadTimeNs }),
+				}
+			} else {
+				r := m.Get(b, g, id)
+				row = Fig12Row{Benchmark: string(b), Config: r.Label, IPC: r.IPC, MissRate: r.MissRate, ReadTimeNs: r.ReadTimeNs}
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(o.Out, "  %-4s %-8s IPC %5.2f  miss %5.1f%%  read %5.1fns\n",
+				row.Benchmark, row.Config, row.IPC, row.MissRate*100, row.ReadTimeNs)
+		}
+	}
+	return rows
+}
+
+// Fig13Row is one benchmark × configuration power entry (Figure 13).
+type Fig13Row struct {
+	Benchmark string
+	Config    string
+	Watts     float64
+}
+
+// Fig13 reproduces Figure 13: per-benchmark wall power for the 720p
+// private-cloud evaluation, plus the fleet average.
+func Fig13(m *Matrix) []Fig13Row {
+	o := m.o
+	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	policies := []PolicyID{NoReg, IntMax, RVSMax, ODRMax, IntGoal, RVSGoal, ODRGoal}
+	var rows []Fig13Row
+	fmt.Fprintln(o.Out, "Figure 13: power usage (720p private cloud)")
+	for _, b := range append(append([]pictor.Benchmark{}, pictor.Benchmarks...), "AVG") {
+		for _, id := range policies {
+			var row Fig13Row
+			if b == "AVG" {
+				row = Fig13Row{
+					Benchmark: "AVG",
+					Config:    label(id, g.Resolution),
+					Watts:     m.groupMean(g, id, func(r *pipeline.Result) float64 { return r.PowerWatts }),
+				}
+			} else {
+				r := m.Get(b, g, id)
+				row = Fig13Row{Benchmark: string(b), Config: r.Label, Watts: r.PowerWatts}
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(o.Out, "  %-4s %-8s %6.1f W\n", row.Benchmark, row.Config, row.Watts)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 and §6) from the pipeline simulator. Each experiment has a
+// function that runs the required configurations, prints the same rows or
+// series the paper reports, and returns the numbers in a structured form so
+// tests and benchmarks can assert on them.
+//
+// The experiment inventory, with the paper artifact each reproduces, is in
+// DESIGN.md; measured-vs-paper values are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"odr/internal/pictor"
+	"odr/internal/pipeline"
+	"odr/internal/regulator"
+)
+
+// Options tunes experiment runs. The zero value gives the defaults used for
+// EXPERIMENTS.md (60 s per configuration, seed 1).
+type Options struct {
+	// Duration is the measured simulation length per run.
+	Duration time.Duration
+	// Seed is the base RNG seed; per-run seeds derive from it.
+	Seed int64
+	// Out receives the human-readable report; nil discards it.
+	Out io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration == 0 {
+		o.Duration = 60 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// PolicyID names a regulation configuration the way the paper labels it.
+type PolicyID string
+
+// The configuration labels used across Table 2 and Figures 3-15.
+const (
+	NoReg       PolicyID = "NoReg"
+	IntMax      PolicyID = "IntMax"
+	RVSMax      PolicyID = "RVSMax"
+	ODRMax      PolicyID = "ODRMax"
+	ODRMaxNoPri PolicyID = "ODRMax-noPri"
+	IntGoal     PolicyID = "Int60/30"
+	RVSGoal     PolicyID = "RVS60/30"
+	ODRGoal     PolicyID = "ODR60/30"
+)
+
+// label resolves a PolicyID to the concrete label for a resolution
+// (Int60/30 becomes Int60 at 720p and Int30 at 1080p).
+func label(id PolicyID, res pictor.Resolution) string {
+	goal := fmt.Sprintf("%d", int(res.TargetFPS()))
+	switch id {
+	case IntGoal:
+		return "Int" + goal
+	case RVSGoal:
+		return "RVS" + goal
+	case ODRGoal:
+		return "ODR" + goal
+	default:
+		return string(id)
+	}
+}
+
+// factory builds the pipeline policy factory for a PolicyID under a
+// resolution's QoS goal.
+func factory(id PolicyID, res pictor.Resolution) pipeline.PolicyFactory {
+	goal := res.TargetFPS()
+	switch id {
+	case NoReg:
+		return func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewNoReg(ctx) }
+	case IntMax:
+		return func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewInterval(ctx, 0) }
+	case RVSMax:
+		return func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewRVS(ctx, 240, 0) }
+	case ODRMax:
+		return func(ctx *regulator.Ctx) regulator.Policy {
+			return regulator.NewODR(ctx, regulator.ODROptions{})
+		}
+	case ODRMaxNoPri:
+		return func(ctx *regulator.Ctx) regulator.Policy {
+			return regulator.NewODR(ctx, regulator.ODROptions{DisablePriority: true})
+		}
+	case IntGoal:
+		return func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewInterval(ctx, goal) }
+	case RVSGoal:
+		return func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewRVS(ctx, goal, 0) }
+	case ODRGoal:
+		return func(ctx *regulator.Ctx) regulator.Policy {
+			return regulator.NewODR(ctx, regulator.ODROptions{TargetFPS: goal})
+		}
+	}
+	panic("experiments: unknown policy " + string(id))
+}
+
+// EvalPolicies is the seven-configuration set of Figures 9-13 (§6.1: no
+// regulation plus three regulators under each of the two QoS goals).
+var EvalPolicies = []PolicyID{NoReg, IntMax, RVSMax, ODRMax, IntGoal, RVSGoal, ODRGoal}
+
+// Table2Policies adds the PriorityFrame-ablated ODR row of Table 2.
+var Table2Policies = []PolicyID{NoReg, IntMax, RVSMax, ODRMaxNoPri, ODRMax, IntGoal, RVSGoal, ODRGoal}
+
+// seedFor derives a deterministic per-run seed.
+func seedFor(base int64, b pictor.Benchmark, g pictor.PlatformGroup, id PolicyID) int64 {
+	h := base
+	mix := func(s string) {
+		for _, c := range s {
+			h = h*1099511628211 + int64(c)
+		}
+	}
+	mix(string(b))
+	mix(g.String())
+	mix(string(id))
+	if h < 0 {
+		h = -h
+	}
+	return h | 1
+}
+
+// runOne executes one (benchmark, group, policy) cell.
+func runOne(o Options, b pictor.Benchmark, g pictor.PlatformGroup, id PolicyID) *pipeline.Result {
+	cfg := pipeline.Config{
+		Label:    label(id, g.Resolution),
+		Workload: b.Params(),
+		Scale:    pictor.Scale(g.Platform, g.Resolution),
+		Net:      pictor.Network(g.Platform),
+		Policy:   factory(id, g.Resolution),
+		Duration: o.Duration,
+		Seed:     seedFor(o.Seed, b, g, id),
+	}
+	return pipeline.Run(cfg)
+}
+
+// mean returns the arithmetic mean of xs (0 when empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"odr/internal/pictor"
+	"odr/internal/pipeline"
+)
+
+// FidelityRow is one paper-anchor check: the value the paper reports, the
+// value this reproduction measures, and whether the measurement lands
+// inside the declared tolerance band.
+type FidelityRow struct {
+	Name      string
+	Paper     float64
+	Measured  float64
+	Tolerance float64 // relative band, e.g. 0.25 = ±25 %
+	OK        bool
+}
+
+// Fidelity runs the executable version of EXPERIMENTS.md: every headline
+// paper number with a declared tolerance, measured fresh and checked. The
+// tolerances encode "shape fidelity" — tight (10-25 %) where the simulator
+// is calibrated directly, loose (50 %+) where only the direction and order
+// of magnitude are claimed.
+func Fidelity(m *Matrix) []FidelityRow {
+	o := m.o
+	g720 := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
+	gce720 := pictor.PlatformGroup{Platform: pictor.GoogleGCE, Resolution: pictor.R720p}
+
+	var rows []FidelityRow
+	add := func(name string, paper, measured, tol float64) {
+		ok := paper != 0 && math.Abs(measured-paper)/math.Abs(paper) <= tol
+		rows = append(rows, FidelityRow{Name: name, Paper: paper, Measured: measured, Tolerance: tol, OK: ok})
+	}
+
+	// §4.1 / Fig. 3 — InMind under the analysis configurations.
+	im := func(id PolicyID) *pipeline.Result { return m.Get(pictor.IM, g720, id) }
+	add("Fig3 IM NoReg render FPS", 189, im(NoReg).RenderFPS, 0.15)
+	add("Fig3 IM NoReg client FPS", 93, im(NoReg).ClientFPS, 0.10)
+	add("Fig3 IM NoReg render-encode gap", 96, im(NoReg).RenderFPS-im(NoReg).EncodeFPS, 0.20)
+	add("Fig3 IM Int60 client FPS", 53, im(IntGoal).ClientFPS, 0.10)
+	add("Fig3 IM IntMax client FPS", 46, im(IntMax).ClientFPS, 0.20)
+	add("Fig3 IM RVS60 client FPS", 54, im(RVSGoal).ClientFPS, 0.25)
+	add("Fig3 IM RVSMax client FPS", 76, im(RVSMax).ClientFPS, 0.15)
+
+	// §4.2 / Fig. 6 — latency inflation of the §4 regulators.
+	add("Fig6 IM NoReg MtP ms", 41.6, im(NoReg).MtP.Mean(), 0.25)
+	add("Fig6 IM IntMax MtP ms", 66.3, im(IntMax).MtP.Mean(), 0.50)
+
+	// §4.3 / Fig. 7 — DRAM behaviour.
+	add("Fig7 IM NoReg miss rate %", 75, im(NoReg).MissRate*100, 0.10)
+	add("Fig7 IM NoReg read ns", 68, im(NoReg).ReadTimeNs, 0.15)
+	add("Fig7 IM Int60 read ns", 47, im(IntGoal).ReadTimeNs, 0.25)
+
+	// Table 2 — gaps.
+	t2 := Table2(m)
+	add("Table2 720pPriv NoReg avg gap", 60.7, t2[0].AvgGap[NoReg], 0.60)
+	add("Table2 720pGCE NoReg avg gap", 154.7, t2[1].AvgGap[NoReg], 0.30)
+	add("Table2 1080pGCE NoReg avg gap", 140.6, t2[2].AvgGap[NoReg], 0.50)
+
+	// Figure 9 / §6.6 — QoS.
+	s := Summary(m)
+	add("S6.6 overall NoReg->ODR gap ratio", 99.1/2.6, s.NoRegAvgGap/s.ODRAvgGap, 0.50)
+	add("S6.6 ODRMax FPS gain over NoReg %", 5.5, 100*(s.ODRMaxFPS/s.NoRegFPS-1), 0.80)
+	add("S6.6 ODRMax FPS gain over IntMax %", 62.5, 100*(s.ODRMaxFPS/s.IntMaxFPS-1), 0.30)
+	add("S6.6 ODRMax FPS gain over RVSMax %", 32.8, 100*(s.ODRMaxFPS/s.RVSMaxFPS-1), 0.40)
+	add("S6.6 ODR MtP reduction vs NoReg %", 93.6, 100*(1-s.ODRMaxLat/s.NoRegLat), 0.10)
+	add("S6.6 ODR goal attainment", 1.0, s.ODRGoalFPSvsTarget, 0.05)
+	add("Fig9b NoReg GCE720p MtP ms", 3210, m.groupMean(gce720, NoReg, func(r *pipeline.Result) float64 { return r.MtP.Mean() }), 0.50)
+	add("Fig9b ODR60 GCE720p MtP ms (<77)", 73, m.groupMean(gce720, ODRGoal, func(r *pipeline.Result) float64 { return r.MtP.Mean() }), 0.20)
+
+	// §6.5 — efficiency.
+	add("S6.6 IPC gain %", 14.4, 100*s.IPCGain, 0.30)
+	add("S6.6 miss-rate drop %", 11, 100*s.MissRateDrop, 0.30)
+	add("S6.6 read-time drop %", 19, 100*s.ReadTimeDrop, 0.20)
+	add("S6.6 power drop %", 16, 100*s.PowerDrop, 0.50)
+	add("Fig13 fleet NoReg watts", 198.7, m.groupMean(g720, NoReg, func(r *pipeline.Result) float64 { return r.PowerWatts }), 0.10)
+	add("Fig13 ITP NoReg watts", 264.1, m.Get(pictor.ITP, g720, NoReg).PowerWatts, 0.10)
+	add("Fig13 ITP ODR60 watts", 145.2, m.Get(pictor.ITP, g720, ODRGoal).PowerWatts, 0.20)
+
+	// §6.7 — user study ordering anchors.
+	study := UserStudy(m)
+	ratings := map[string]float64{}
+	for _, r := range study {
+		ratings[r.Config] = r.Result.MeanRating
+	}
+	add("Fig14 NonCloud rating", 8.03, ratings["NonCloud"], 0.10)
+	add("Fig14 ODRMax rating", 8.0, ratings["ODRMax"], 0.15)
+	add("Fig14 NoReg rating", 3.1, ratings["NoReg"], 0.40)
+
+	passed := 0
+	for _, r := range rows {
+		if r.OK {
+			passed++
+		}
+	}
+	fmt.Fprintf(o.Out, "Fidelity: %d/%d paper anchors within tolerance\n", passed, len(rows))
+	for _, r := range rows {
+		mark := "ok  "
+		if !r.OK {
+			mark = "MISS"
+		}
+		fmt.Fprintf(o.Out, "  [%s] %-38s paper %9.1f  measured %9.1f  (±%.0f%%)\n",
+			mark, r.Name, r.Paper, r.Measured, r.Tolerance*100)
+	}
+	return rows
+}

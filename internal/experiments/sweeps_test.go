@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSweepAPMValidatesPaperAssumption(t *testing.T) {
+	rows := SweepAPM(testOptions())
+	var atPaperRegime, atExtreme *SweepRow
+	for i := range rows {
+		if rows[i].X == 5 {
+			atPaperRegime = &rows[i]
+		}
+		if rows[i].X == 20 {
+			atExtreme = &rows[i]
+		}
+	}
+	if atPaperRegime == nil || atExtreme == nil {
+		t.Fatal("sweep points missing")
+	}
+	// §5.3: within the human APM regime PriorityFrame keeps the gap small.
+	if atPaperRegime.GapMean > 5 {
+		t.Errorf("gap at 300 APM = %.1f, want <= ~4 (paper: priority frames do not significantly increase gaps)", atPaperRegime.GapMean)
+	}
+	// Beyond human rates the gap grows: the assumption is load-bearing.
+	if atExtreme.GapMean <= atPaperRegime.GapMean {
+		t.Errorf("gap at 1200 APM (%.1f) not above 300 APM (%.1f)", atExtreme.GapMean, atPaperRegime.GapMean)
+	}
+	// Latency stays flat throughout (priority frames always jump the queue).
+	for _, r := range rows {
+		if r.MtPMeanMs > 45 {
+			t.Errorf("MtP at %.1f inputs/s = %.1fms, want flat ~30", r.X, r.MtPMeanMs)
+		}
+	}
+}
+
+func TestSweepBandwidthCliffs(t *testing.T) {
+	out := SweepBandwidth(testOptions())
+	noreg, odr := out["NoReg"], out["ODR60"]
+	if len(noreg) == 0 || len(odr) == 0 {
+		t.Fatal("missing sweep series")
+	}
+	// At 22 Mbps (just below NoReg's offered load): NoReg collapses into
+	// seconds; ODR stays interactive.
+	for i := range noreg {
+		if noreg[i].X == 22 {
+			if noreg[i].MtPMeanMs < 500 {
+				t.Errorf("NoReg at 22 Mbps MtP = %.0fms, want congestion collapse", noreg[i].MtPMeanMs)
+			}
+			if odr[i].MtPMeanMs > 120 {
+				t.Errorf("ODR60 at 22 Mbps MtP = %.0fms, want interactive", odr[i].MtPMeanMs)
+			}
+			if odr[i].ClientFPS < 58 {
+				t.Errorf("ODR60 at 22 Mbps FPS = %.1f, want ~60", odr[i].ClientFPS)
+			}
+		}
+		// With ample bandwidth NoReg recovers (no congestion to cause).
+		if noreg[i].X == 50 && noreg[i].MtPMeanMs > 200 {
+			t.Errorf("NoReg at 50 Mbps MtP = %.0fms, want recovered", noreg[i].MtPMeanMs)
+		}
+	}
+	// ODR degrades gracefully below its target's bandwidth needs: latency
+	// stays bounded even when FPS cannot be met.
+	for _, r := range odr {
+		if r.MtPMeanMs > 250 {
+			t.Errorf("ODR60 at %.0f Mbps MtP = %.0fms: backpressure failed", r.X, r.MtPMeanMs)
+		}
+	}
+}
+
+func TestSweepRVSccTension(t *testing.T) {
+	rows := SweepRVScc(testOptions())
+	first, last := rows[0], rows[len(rows)-1]
+	// Stronger filtering trades FPS away.
+	if last.ClientFPS >= first.ClientFPS {
+		t.Errorf("cc=%.2f FPS %.1f not below cc=%.2f FPS %.1f", last.X, last.ClientFPS, first.X, first.ClientFPS)
+	}
+	// The gap stays closed across the whole range (RVS always removes it).
+	for _, r := range rows {
+		if r.GapMean > 3 {
+			t.Errorf("cc=%.2f gap = %.1f, want ~0", r.X, r.GapMean)
+		}
+	}
+}
+
+func TestSummaryCISeedStability(t *testing.T) {
+	o := testOptions()
+	o.Duration = 8 * time.Second
+	res := SummaryCI(o, 3)
+	if res.Seeds != 3 || res.NoRegGap.N != 3 {
+		t.Fatalf("seed count wrong: %+v", res)
+	}
+	// The headline separations must dwarf the seed noise.
+	if res.NoRegGap.Mean-res.ODRGap.Mean < 10*(res.NoRegGap.Stddev+res.ODRGap.Stddev+1) {
+		t.Errorf("gap separation not robust to seeds: %v vs %v", res.NoRegGap, res.ODRGap)
+	}
+	if res.NoRegLatMs.Mean < res.ODRMaxLatMs.Mean*3 {
+		t.Errorf("latency separation not robust: %v vs %v", res.NoRegLatMs, res.ODRMaxLatMs)
+	}
+	if res.GoalAttainPct.Stddev > 3 {
+		t.Errorf("goal attainment unstable across seeds: %v", res.GoalAttainPct)
+	}
+}

@@ -1,0 +1,31 @@
+package frame
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyForInputFrame(t *testing.T) {
+	f := &Frame{
+		Input:     7,
+		InputTime: 10 * time.Millisecond,
+		DecodeEnd: 55 * time.Millisecond,
+	}
+	if got := f.Latency(); got != 45*time.Millisecond {
+		t.Fatalf("Latency = %v, want 45ms", got)
+	}
+}
+
+func TestLatencyZeroForRefreshFrame(t *testing.T) {
+	f := &Frame{DecodeEnd: 100 * time.Millisecond}
+	if f.Latency() != 0 {
+		t.Fatal("refresh frame must report zero MtP latency")
+	}
+}
+
+func TestPipelineTime(t *testing.T) {
+	f := &Frame{RenderStart: 5 * time.Millisecond, DecodeEnd: 42 * time.Millisecond}
+	if got := f.PipelineTime(); got != 37*time.Millisecond {
+		t.Fatalf("PipelineTime = %v", got)
+	}
+}

@@ -1,0 +1,294 @@
+// Package metrics provides the measurement instruments used throughout the
+// ODR reproduction: event-rate (FPS) counters, windowed rate tracking,
+// sample distributions with percentile queries, CDFs and latency recorders.
+//
+// All instruments work on virtual time (time.Duration since simulation start)
+// and are equally usable with real wall-clock offsets in the stream stack.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Dist accumulates float64 samples and answers summary-statistic and
+// percentile queries. The zero value is ready to use.
+type Dist struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add appends a sample.
+func (d *Dist) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+}
+
+// N returns the number of samples.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Sum returns the sum of all samples.
+func (d *Dist) Sum() float64 { return d.sum }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+// Var returns the population variance (0 when fewer than 2 samples).
+func (d *Dist) Var() float64 {
+	n := len(d.samples)
+	if n < 2 {
+		return 0
+	}
+	m := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		dd := v - m
+		ss += dd * dd
+	}
+	return ss / float64(n)
+}
+
+// Stddev returns the population standard deviation.
+func (d *Dist) Stddev() float64 { return math.Sqrt(d.Var()) }
+
+// CoV returns the coefficient of variation (stddev/mean, 0 if mean is 0).
+func (d *Dist) CoV() float64 {
+	m := d.Mean()
+	if m == 0 {
+		return 0
+	}
+	return d.Stddev() / m
+}
+
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Min returns the smallest sample (0 when empty).
+func (d *Dist) Min() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[0]
+}
+
+// Max returns the largest sample (0 when empty).
+func (d *Dist) Max() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[len(d.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. Empty distributions return 0.
+func (d *Dist) Percentile(p float64) float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	if n == 1 {
+		return d.samples[0]
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// Box summarises the distribution the way the paper's box plots do:
+// 1 %ile, 25 %ile, mean, 75 %ile and 99 %ile.
+type Box struct {
+	P1, P25, Mean, P75, P99 float64
+}
+
+// Box returns the five-number summary used by Figures 10 and 11.
+func (d *Dist) Box() Box {
+	return Box{
+		P1:   d.Percentile(1),
+		P25:  d.Percentile(25),
+		Mean: d.Mean(),
+		P75:  d.Percentile(75),
+		P99:  d.Percentile(99),
+	}
+}
+
+// String formats the box in a compact fixed order.
+func (b Box) String() string {
+	return fmt.Sprintf("p1=%.1f p25=%.1f mean=%.1f p75=%.1f p99=%.1f",
+		b.P1, b.P25, b.Mean, b.P75, b.P99)
+}
+
+// CDF returns (value, cumulative-probability) pairs at each distinct sample,
+// suitable for plotting Fig. 4a-style CDFs.
+func (d *Dist) CDF() (values, probs []float64) {
+	n := len(d.samples)
+	if n == 0 {
+		return nil, nil
+	}
+	d.ensureSorted()
+	for i, v := range d.samples {
+		if i > 0 && v == values[len(values)-1] {
+			probs[len(probs)-1] = float64(i+1) / float64(n)
+			continue
+		}
+		values = append(values, v)
+		probs = append(probs, float64(i+1)/float64(n))
+	}
+	return values, probs
+}
+
+// FractionBelow returns the fraction of samples strictly below x.
+func (d *Dist) FractionBelow(x float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	i := sort.SearchFloat64s(d.samples, x)
+	return float64(i) / float64(len(d.samples))
+}
+
+// Samples returns a copy of the samples in insertion-independent (sorted)
+// order.
+func (d *Dist) Samples() []float64 {
+	d.ensureSorted()
+	out := make([]float64, len(d.samples))
+	copy(out, d.samples)
+	return out
+}
+
+// RateCounter measures an event rate (e.g. FPS) over fixed windows. Every
+// Tick records one event; Rates() returns one rate sample per completed
+// window, which is how the paper reports "FPS for each small period
+// (e.g. 200 ms)" (§5.2).
+type RateCounter struct {
+	window      time.Duration
+	windowStart time.Duration
+	inWindow    int
+	total       int64
+	rates       Dist
+	firstTick   time.Duration
+	lastTick    time.Duration
+	ticked      bool
+}
+
+// NewRateCounter returns a counter with the given averaging window.
+func NewRateCounter(window time.Duration) *RateCounter {
+	if window <= 0 {
+		window = 200 * time.Millisecond
+	}
+	return &RateCounter{window: window}
+}
+
+// Tick records one event at time now.
+func (r *RateCounter) Tick(now time.Duration) {
+	if !r.ticked {
+		r.ticked = true
+		r.firstTick = now
+		r.windowStart = now
+	}
+	for now >= r.windowStart+r.window {
+		r.closeWindow()
+	}
+	r.inWindow++
+	r.total++
+	r.lastTick = now
+}
+
+func (r *RateCounter) closeWindow() {
+	r.rates.Add(float64(r.inWindow) / r.window.Seconds())
+	r.inWindow = 0
+	r.windowStart += r.window
+}
+
+// Flush closes the current partial window accounting up to time now. Call
+// once at the end of a run before reading Rates.
+func (r *RateCounter) Flush(now time.Duration) {
+	if !r.ticked {
+		return
+	}
+	for now >= r.windowStart+r.window {
+		r.closeWindow()
+	}
+}
+
+// Total returns the total number of events recorded.
+func (r *RateCounter) Total() int64 { return r.total }
+
+// MeanRate returns total events divided by the span from the first tick to
+// now (the long-run average FPS).
+func (r *RateCounter) MeanRate(now time.Duration) float64 {
+	if !r.ticked || now <= r.firstTick {
+		return 0
+	}
+	return float64(r.total) / (now - r.firstTick).Seconds()
+}
+
+// Rates returns the per-window rate distribution (call Flush first).
+func (r *RateCounter) Rates() *Dist { return &r.rates }
+
+// LatencyRecorder accumulates latency samples (e.g. motion-to-photon) as a
+// distribution in milliseconds.
+type LatencyRecorder struct {
+	d Dist
+}
+
+// Record adds one latency sample.
+func (l *LatencyRecorder) Record(lat time.Duration) {
+	l.d.Add(float64(lat) / float64(time.Millisecond))
+}
+
+// Dist returns the underlying distribution (values in milliseconds).
+func (l *LatencyRecorder) Dist() *Dist { return &l.d }
+
+// MeanMs returns the mean latency in milliseconds.
+func (l *LatencyRecorder) MeanMs() float64 { return l.d.Mean() }
+
+// GapStat tracks the paper's FPS-gap metric: the difference between two
+// rates (cloud rendering FPS minus client decoding FPS) sampled per window.
+type GapStat struct {
+	d Dist
+}
+
+// AddWindow records one window's gap given the two windowed rates.
+func (g *GapStat) AddWindow(renderFPS, clientFPS float64) {
+	gap := renderFPS - clientFPS
+	if gap < 0 {
+		gap = 0
+	}
+	g.d.Add(gap)
+}
+
+// Mean returns the average gap across windows.
+func (g *GapStat) Mean() float64 { return g.d.Mean() }
+
+// Max returns the largest windowed gap.
+func (g *GapStat) Max() float64 { return g.d.Max() }
+
+// Dist exposes the gap distribution.
+func (g *GapStat) Dist() *Dist { return &g.d }

@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.N() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Fatal("empty Dist should return zeros")
+	}
+	if v, p := d.CDF(); v != nil || p != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestDistBasicStats(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Add(v)
+	}
+	if d.N() != 8 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if !almostEq(d.Mean(), 5, 1e-9) {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+	if !almostEq(d.Stddev(), 2, 1e-9) {
+		t.Fatalf("Stddev = %v", d.Stddev())
+	}
+	if d.Min() != 2 || d.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+}
+
+func TestDistPercentiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {25, 25.75}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); !almostEq(got, c.want, 0.011) {
+			t.Errorf("P%v = %v, want ~%v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDistPercentileSingleSample(t *testing.T) {
+	var d Dist
+	d.Add(42)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if d.Percentile(p) != 42 {
+			t.Fatalf("P%v = %v, want 42", p, d.Percentile(p))
+		}
+	}
+}
+
+func TestDistAddAfterPercentileQuery(t *testing.T) {
+	var d Dist
+	d.Add(3)
+	d.Add(1)
+	_ = d.Percentile(50) // forces sort
+	d.Add(2)
+	if d.Min() != 1 || d.Max() != 3 || !almostEq(d.Percentile(50), 2, 1e-9) {
+		t.Fatal("Dist corrupted by interleaved Add and query")
+	}
+}
+
+func TestDistCDFMonotone(t *testing.T) {
+	var d Dist
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		d.Add(rng.NormFloat64())
+	}
+	vals, probs := d.CDF()
+	if len(vals) != len(probs) {
+		t.Fatal("length mismatch")
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			t.Fatal("CDF values not strictly increasing")
+		}
+		if probs[i] <= probs[i-1] {
+			t.Fatal("CDF probs not increasing")
+		}
+	}
+	if !almostEq(probs[len(probs)-1], 1, 1e-9) {
+		t.Fatalf("final prob = %v", probs[len(probs)-1])
+	}
+}
+
+func TestDistCDFDuplicates(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{1, 1, 1, 2} {
+		d.Add(v)
+	}
+	vals, probs := d.CDF()
+	if len(vals) != 2 || vals[0] != 1 || !almostEq(probs[0], 0.75, 1e-9) {
+		t.Fatalf("CDF with duplicates = %v %v", vals, probs)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var d Dist
+	for i := 0; i < 10; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.FractionBelow(5); !almostEq(got, 0.5, 1e-9) {
+		t.Fatalf("FractionBelow(5) = %v", got)
+	}
+	if got := d.FractionBelow(100); !almostEq(got, 1, 1e-9) {
+		t.Fatalf("FractionBelow(100) = %v", got)
+	}
+	if got := d.FractionBelow(-1); got != 0 {
+		t.Fatalf("FractionBelow(-1) = %v", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestDistPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var d Dist
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			d.Add(v)
+		}
+		pa := float64(a) / 255 * 100
+		pb := float64(b) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := d.Percentile(pa), d.Percentile(pb)
+		return va <= vb && va >= d.Min() && vb <= d.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestDistMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var d Dist
+		n := 0
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			d.Add(v)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return d.Mean() >= d.Min()-1e-6 && d.Mean() <= d.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateCounterSteadyRate(t *testing.T) {
+	r := NewRateCounter(200 * time.Millisecond)
+	// 60 events/sec for 2 seconds.
+	for i := 0; i < 120; i++ {
+		r.Tick(time.Duration(i) * time.Second / 60)
+	}
+	r.Flush(2 * time.Second)
+	if r.Total() != 120 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if m := r.MeanRate(2 * time.Second); !almostEq(m, 60, 1) {
+		t.Fatalf("MeanRate = %v, want ~60", m)
+	}
+	rates := r.Rates()
+	if rates.N() < 9 {
+		t.Fatalf("windows = %d, want >= 9", rates.N())
+	}
+	if !almostEq(rates.Mean(), 60, 2) {
+		t.Fatalf("windowed mean = %v, want ~60", rates.Mean())
+	}
+}
+
+func TestRateCounterIdleWindowsAreZero(t *testing.T) {
+	r := NewRateCounter(100 * time.Millisecond)
+	r.Tick(0)
+	r.Tick(10 * time.Millisecond)
+	// long silence, then one more
+	r.Tick(950 * time.Millisecond)
+	r.Flush(time.Second)
+	rates := r.Rates()
+	if rates.N() != 10 {
+		t.Fatalf("windows = %d, want 10", rates.N())
+	}
+	if rates.Min() != 0 {
+		t.Fatalf("expected idle zero-rate windows, min = %v", rates.Min())
+	}
+}
+
+func TestRateCounterNoTicks(t *testing.T) {
+	r := NewRateCounter(100 * time.Millisecond)
+	r.Flush(time.Second)
+	if r.Rates().N() != 0 || r.MeanRate(time.Second) != 0 {
+		t.Fatal("counter with no ticks should report nothing")
+	}
+}
+
+func TestRateCounterDefaultWindow(t *testing.T) {
+	r := NewRateCounter(0)
+	if r.window != 200*time.Millisecond {
+		t.Fatalf("default window = %v", r.window)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var l LatencyRecorder
+	l.Record(10 * time.Millisecond)
+	l.Record(30 * time.Millisecond)
+	if !almostEq(l.MeanMs(), 20, 1e-9) {
+		t.Fatalf("MeanMs = %v", l.MeanMs())
+	}
+	if l.Dist().N() != 2 {
+		t.Fatalf("N = %d", l.Dist().N())
+	}
+}
+
+func TestGapStatClampsNegative(t *testing.T) {
+	var g GapStat
+	g.AddWindow(50, 60) // client faster than render: gap clamps to 0
+	g.AddWindow(100, 60)
+	if g.Max() != 40 {
+		t.Fatalf("Max = %v", g.Max())
+	}
+	if !almostEq(g.Mean(), 20, 1e-9) {
+		t.Fatalf("Mean = %v", g.Mean())
+	}
+}
+
+func TestBoxSummary(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i))
+	}
+	b := d.Box()
+	if !(b.P1 < b.P25 && b.P25 < b.Mean && b.Mean < b.P75 && b.P75 < b.P99) {
+		t.Fatalf("box out of order: %+v", b)
+	}
+	if b.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,171 @@
+// Package netsim models the network path between the cloud server proxy and
+// the client: propagation delay with jitter, bandwidth-limited transmission,
+// cross-traffic drift, and the deep tail-drop buffer whose queueing is
+// responsible for the paper's NoReg latency collapse on GCE (§6.4: up to
+// 3.2 s average MtP latency caused by FPS-gap-induced congestion).
+//
+// The package is a pure model (samplers plus a byte-counted queue); the
+// pipeline's network process drives it with its own virtual-time sleeps, and
+// the real-time stack uses only the real network.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Params describes one network path.
+type Params struct {
+	Name string
+	// RTT is the base round-trip time; one-way propagation is RTT/2.
+	RTT time.Duration
+	// Jitter is the relative jitter applied to propagation and
+	// transmission times (standard-deviation fraction).
+	Jitter float64
+	// Bandwidth is the usable path bandwidth in bytes/second.
+	Bandwidth float64
+	// BufferBytes is the send-side buffering (socket plus bottleneck
+	// queue). Frames beyond it are tail-dropped.
+	BufferBytes int
+}
+
+// Link is a stateful sampler for one path. It is deterministic for a given
+// (Params, seed).
+type Link struct {
+	p   Params
+	rng *rand.Rand
+
+	// bwFactor drifts to model cross traffic on shared paths.
+	bwFactor float64
+
+	sentFrames int64
+	sentBytes  int64
+}
+
+// NewLink returns a link for p seeded with seed.
+func NewLink(p Params, seed int64) *Link {
+	return &Link{p: p, rng: rand.New(rand.NewSource(seed)), bwFactor: 1}
+}
+
+// Params returns the link parameters.
+func (l *Link) Params() Params { return l.p }
+
+// jitterMul returns a multiplicative jitter factor >= 0.5.
+func (l *Link) jitterMul() float64 {
+	f := 1 + l.rng.NormFloat64()*l.p.Jitter
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}
+
+// stepBandwidth advances the cross-traffic drift (mean-reverting walk in
+// [0.85, 1.15]).
+func (l *Link) stepBandwidth() {
+	l.bwFactor += 0.05*(1-l.bwFactor) + l.rng.NormFloat64()*0.015
+	l.bwFactor = math.Max(0.85, math.Min(1.15, l.bwFactor))
+}
+
+// TxTime samples the serialization time for a frame of the given size and
+// records it as sent. backlogBytes is the sender-side queue depth: when the
+// queue holds more than half the path buffer, the transport is in sustained
+// congestion and serialization slows by up to 30 % (loss recovery and
+// retransmissions stealing goodput — the fate of an unpaced TCP stream on a
+// saturated path).
+func (l *Link) TxTime(bytes, backlogBytes int) time.Duration {
+	l.stepBandwidth()
+	bw := l.p.Bandwidth * l.bwFactor
+	t := float64(bytes) / bw * l.jitterMul()
+	if l.p.BufferBytes > 0 && backlogBytes > l.p.BufferBytes/2 {
+		frac := float64(backlogBytes-l.p.BufferBytes/2) / float64(l.p.BufferBytes/2)
+		if frac > 1 {
+			frac = 1
+		}
+		t *= 1 + 0.3*frac
+	}
+	l.sentFrames++
+	l.sentBytes += int64(bytes)
+	return time.Duration(t * float64(time.Second))
+}
+
+// PropDelay samples a one-way propagation delay.
+func (l *Link) PropDelay() time.Duration {
+	return time.Duration(float64(l.p.RTT) / 2 * l.jitterMul())
+}
+
+// SentFrames returns the number of frames transmitted.
+func (l *Link) SentFrames() int64 { return l.sentFrames }
+
+// SentBytes returns the number of bytes transmitted.
+func (l *Link) SentBytes() int64 { return l.sentBytes }
+
+// ThroughputMbps returns the average offered throughput over the given span.
+func (l *Link) ThroughputMbps(span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(l.sentBytes) * 8 / 1e6 / span.Seconds()
+}
+
+// ByteQueue is a byte-counted tail-drop FIFO: the send buffer in front of
+// the bandwidth bottleneck. It stores opaque items with sizes; the pipeline
+// stores frames.
+type ByteQueue[T any] struct {
+	capBytes int
+	curBytes int
+	items    []byteItem[T]
+	drops    int64
+	maxBytes int
+}
+
+type byteItem[T any] struct {
+	v    T
+	size int
+}
+
+// NewByteQueue returns a queue holding at most capBytes bytes (0 =
+// unbounded).
+func NewByteQueue[T any](capBytes int) *ByteQueue[T] {
+	return &ByteQueue[T]{capBytes: capBytes}
+}
+
+// Push enqueues v if it fits; otherwise it is tail-dropped. Reports whether
+// v was enqueued.
+func (q *ByteQueue[T]) Push(v T, size int) bool {
+	if q.capBytes > 0 && q.curBytes+size > q.capBytes {
+		q.drops++
+		return false
+	}
+	q.items = append(q.items, byteItem[T]{v: v, size: size})
+	q.curBytes += size
+	if q.curBytes > q.maxBytes {
+		q.maxBytes = q.curBytes
+	}
+	return true
+}
+
+// Pop dequeues the oldest item.
+func (q *ByteQueue[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	it := q.items[0]
+	q.items[0] = byteItem[T]{}
+	q.items = q.items[1:]
+	q.curBytes -= it.size
+	return it.v, true
+}
+
+// Len returns the number of queued items.
+func (q *ByteQueue[T]) Len() int { return len(q.items) }
+
+// Bytes returns the queued byte count.
+func (q *ByteQueue[T]) Bytes() int { return q.curBytes }
+
+// MaxBytes returns the high-water byte mark.
+func (q *ByteQueue[T]) MaxBytes() int { return q.maxBytes }
+
+// Drops returns the number of tail-dropped items.
+func (q *ByteQueue[T]) Drops() int64 { return q.drops }

@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testParams() Params {
+	return Params{
+		Name:        "test",
+		RTT:         20 * time.Millisecond,
+		Jitter:      0.1,
+		Bandwidth:   10e6 / 8, // 10 Mbps
+		BufferBytes: 1 << 20,
+	}
+}
+
+func TestLinkDeterministic(t *testing.T) {
+	a, b := NewLink(testParams(), 1), NewLink(testParams(), 1)
+	for i := 0; i < 100; i++ {
+		if a.TxTime(40<<10, 0) != b.TxTime(40<<10, 0) {
+			t.Fatal("same-seed links diverged on TxTime")
+		}
+		if a.PropDelay() != b.PropDelay() {
+			t.Fatal("same-seed links diverged on PropDelay")
+		}
+	}
+}
+
+func TestTxTimeMatchesBandwidth(t *testing.T) {
+	l := NewLink(testParams(), 2)
+	const bytes = 125 << 10 // 125 KiB at 1.25 MB/s -> ~100ms
+	var total time.Duration
+	n := 2000
+	for i := 0; i < n; i++ {
+		total += l.TxTime(bytes, 0)
+	}
+	meanMs := total.Seconds() * 1000 / float64(n)
+	if meanMs < 80 || meanMs > 125 {
+		t.Fatalf("mean tx = %.1fms, want ~100ms", meanMs)
+	}
+	if l.SentFrames() != int64(n) || l.SentBytes() != int64(n*bytes) {
+		t.Fatalf("accounting wrong: %d frames, %d bytes", l.SentFrames(), l.SentBytes())
+	}
+}
+
+func TestTxTimeCongestionPenalty(t *testing.T) {
+	clean := NewLink(testParams(), 3)
+	congested := NewLink(testParams(), 3)
+	var tClean, tCong time.Duration
+	for i := 0; i < 1000; i++ {
+		tClean += clean.TxTime(40<<10, 0)
+		tCong += congested.TxTime(40<<10, testParams().BufferBytes) // fully backed up
+	}
+	ratio := float64(tCong) / float64(tClean)
+	if ratio < 1.2 || ratio > 1.4 {
+		t.Fatalf("congestion penalty ratio = %.2f, want ~1.3", ratio)
+	}
+}
+
+func TestTxTimeNoPenaltyBelowHalfBuffer(t *testing.T) {
+	a, b := NewLink(testParams(), 4), NewLink(testParams(), 4)
+	for i := 0; i < 100; i++ {
+		if a.TxTime(10<<10, 0) != b.TxTime(10<<10, testParams().BufferBytes/2-1) {
+			t.Fatal("penalty applied below the half-buffer threshold")
+		}
+	}
+}
+
+func TestPropDelayNearHalfRTT(t *testing.T) {
+	l := NewLink(testParams(), 5)
+	var total time.Duration
+	n := 2000
+	for i := 0; i < n; i++ {
+		d := l.PropDelay()
+		if d <= 0 {
+			t.Fatal("non-positive propagation delay")
+		}
+		total += d
+	}
+	meanMs := total.Seconds() * 1000 / float64(n)
+	if meanMs < 8 || meanMs > 12.5 {
+		t.Fatalf("mean one-way = %.2fms, want ~10ms", meanMs)
+	}
+}
+
+func TestThroughputAccounting(t *testing.T) {
+	l := NewLink(testParams(), 6)
+	l.TxTime(1_000_000, 0) // 1 MB
+	mbps := l.ThroughputMbps(8 * time.Second)
+	if mbps < 0.9 || mbps > 1.1 {
+		t.Fatalf("ThroughputMbps = %.2f, want ~1 (8Mb over 8s)", mbps)
+	}
+	if l.ThroughputMbps(0) != 0 {
+		t.Fatal("zero span should report 0")
+	}
+}
+
+func TestByteQueueFIFOAndAccounting(t *testing.T) {
+	q := NewByteQueue[string](100)
+	if !q.Push("a", 40) || !q.Push("b", 40) {
+		t.Fatal("pushes within capacity failed")
+	}
+	if q.Push("c", 40) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("Drops = %d", q.Drops())
+	}
+	if q.Bytes() != 80 || q.Len() != 2 || q.MaxBytes() != 80 {
+		t.Fatalf("accounting: bytes=%d len=%d max=%d", q.Bytes(), q.Len(), q.MaxBytes())
+	}
+	v, ok := q.Pop()
+	if !ok || v != "a" {
+		t.Fatalf("Pop = %q,%v, want a", v, ok)
+	}
+	if q.Bytes() != 40 {
+		t.Fatalf("bytes after pop = %d", q.Bytes())
+	}
+	if !q.Push("c", 60) {
+		t.Fatal("push after pop should fit")
+	}
+}
+
+func TestByteQueuePopEmpty(t *testing.T) {
+	q := NewByteQueue[int](10)
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+}
+
+func TestByteQueueUnbounded(t *testing.T) {
+	q := NewByteQueue[int](0)
+	for i := 0; i < 1000; i++ {
+		if !q.Push(i, 1<<20) {
+			t.Fatal("unbounded queue rejected a push")
+		}
+	}
+	if q.Drops() != 0 {
+		t.Fatal("unbounded queue dropped")
+	}
+}
+
+// Property: bytes accounting is always the sum of queued item sizes, and
+// Pop returns items in Push order.
+func TestByteQueueInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		q := NewByteQueue[int](4096)
+		var model []struct{ v, size int }
+		bytes := 0
+		next := 0
+		for _, op := range ops {
+			size := int(op%1024) + 1
+			if op%3 == 0 && len(model) > 0 {
+				v, ok := q.Pop()
+				if !ok || v != model[0].v {
+					return false
+				}
+				bytes -= model[0].size
+				model = model[1:]
+			} else {
+				ok := q.Push(next, size)
+				wantOK := bytes+size <= 4096
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, struct{ v, size int }{next, size})
+					bytes += size
+				}
+				next++
+			}
+			if q.Bytes() != bytes || q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthDriftBounded(t *testing.T) {
+	l := NewLink(testParams(), 8)
+	for i := 0; i < 10000; i++ {
+		l.TxTime(1000, 0)
+		if l.bwFactor < 0.85 || l.bwFactor > 1.15 {
+			t.Fatalf("bwFactor %v escaped bounds", l.bwFactor)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package pictor catalogs the evaluation setup of the paper (§6.1): the six
+// Pictor-suite benchmarks (Table 1), the two deployment platforms (private
+// cloud and Google Compute Engine), the two resolutions, and the 28
+// per-benchmark configurations formed by {NoReg, Int, RVS, ODR} × QoS goals.
+//
+// The benchmark parameters are calibrated so that the unregulated (NoReg)
+// behaviour matches the rates the paper reports: e.g. InMind at 720p in the
+// private cloud renders at ~190 FPS while encoding/decoding at ~93 FPS
+// (Fig. 3), and IMHOTEP shows the largest FPS gap (Table 2).
+package pictor
+
+import (
+	"fmt"
+	"time"
+
+	"odr/internal/netsim"
+	"odr/internal/workload"
+)
+
+// Benchmark identifies one Pictor benchmark.
+type Benchmark string
+
+// The six benchmarks of Table 1.
+const (
+	STK Benchmark = "STK" // SuperTuxKart — racing game
+	ZAD Benchmark = "0AD" // 0 A.D. — real-time strategy
+	RE  Benchmark = "RE"  // Red Eclipse — first-person shooter
+	D2  Benchmark = "D2"  // DoTA2 — battle arena
+	IM  Benchmark = "IM"  // InMind — VR game
+	ITP Benchmark = "ITP" // IMHOTEP — health-training VR
+)
+
+// Benchmarks lists all six in the paper's order.
+var Benchmarks = []Benchmark{STK, ZAD, RE, D2, IM, ITP}
+
+// Description returns the Table 1 description.
+func (b Benchmark) Description() string {
+	switch b {
+	case STK:
+		return "Racing Game"
+	case ZAD:
+		return "Real-time Strategy Game"
+	case RE:
+		return "First-person Shooter Game"
+	case D2:
+		return "Battle Arena Game"
+	case IM:
+		return "VR Game"
+	case ITP:
+		return "Health Training VR"
+	}
+	return "Unknown"
+}
+
+// Params returns the workload model parameters for b. Medians are for 720p
+// on the private-cloud hardware (i7-7820x + GTX 1080Ti); see package
+// workload for the model.
+func (b Benchmark) Params() workload.Params {
+	ms := func(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+	switch b {
+	case STK:
+		return workload.Params{
+			Name: string(b), RenderMedian: ms(4.0), CopyMedian: ms(1.1),
+			EncodeMedian: ms(5.2), DecodeMedian: ms(3.4),
+			Jitter: 0.24, SpikeProb: 0.10, SpikeMax: 3.0,
+			BytesMedian: 34 << 10, InputRate: 4.5, GPUShare: 0.55, CPUIPC: 0.92,
+			ComplexityWander: 0.8,
+		}
+	case ZAD:
+		return workload.Params{
+			Name: string(b), RenderMedian: ms(8.6), CopyMedian: ms(1.2),
+			EncodeMedian: ms(8.0), DecodeMedian: ms(3.8),
+			Jitter: 0.30, SpikeProb: 0.14, SpikeMax: 3.5,
+			BytesMedian: 30 << 10, InputRate: 2.2, GPUShare: 0.40, CPUIPC: 0.55,
+			ComplexityWander: 1.0,
+		}
+	case RE:
+		return workload.Params{
+			Name: string(b), RenderMedian: ms(3.5), CopyMedian: ms(1.0),
+			EncodeMedian: ms(3.7), DecodeMedian: ms(3.2),
+			Jitter: 0.22, SpikeProb: 0.08, SpikeMax: 2.8,
+			BytesMedian: 38 << 10, InputRate: 5.0, GPUShare: 0.60, CPUIPC: 0.88,
+			ComplexityWander: 0.7,
+		}
+	case D2:
+		return workload.Params{
+			Name: string(b), RenderMedian: ms(5.4), CopyMedian: ms(1.1),
+			EncodeMedian: ms(6.4), DecodeMedian: ms(3.6),
+			Jitter: 0.26, SpikeProb: 0.12, SpikeMax: 3.2,
+			BytesMedian: 32 << 10, InputRate: 3.8, GPUShare: 0.50, CPUIPC: 0.70,
+			ComplexityWander: 0.9,
+		}
+	case IM:
+		// Calibrated against Fig. 3/4: render ~190FPS, encode ~93FPS
+		// unregulated; 80-90% of frames under 16.6ms with a heavy tail.
+		return workload.Params{
+			Name: string(b), RenderMedian: ms(4.2), CopyMedian: ms(1.2),
+			EncodeMedian: ms(6.7), DecodeMedian: ms(3.7),
+			Jitter: 0.28, SpikeProb: 0.13, SpikeMax: 3.6,
+			BytesMedian: 36 << 10, InputRate: 3.0, GPUShare: 0.62, CPUIPC: 0.62,
+			ComplexityWander: 0.9,
+		}
+	case ITP:
+		// Largest FPS gap in Table 2: simple scenes render extremely fast
+		// while large medical-visualization frames encode slowly.
+		return workload.Params{
+			Name: string(b), RenderMedian: ms(3.4), CopyMedian: ms(1.3),
+			EncodeMedian: ms(8.1), DecodeMedian: ms(3.9),
+			Jitter: 0.24, SpikeProb: 0.10, SpikeMax: 3.0,
+			BytesMedian: 42 << 10, InputRate: 2.0, GPUShare: 0.72, CPUIPC: 0.74,
+			ComplexityWander: 0.6,
+		}
+	}
+	panic(fmt.Sprintf("pictor: unknown benchmark %q", b))
+}
+
+// Platform identifies a deployment target.
+type Platform string
+
+// The two §6.1 platforms.
+const (
+	PrivateCloud Platform = "Priv" // i7-7820x + GTX 1080Ti, 1 Gbps LAN, ~2ms RTT
+	GoogleGCE    Platform = "GCE"  // n1-highcpu-16 + Tesla P4, public Internet, ~25ms RTT
+)
+
+// Resolution identifies a streaming resolution.
+type Resolution string
+
+// The two §6.1 resolutions.
+const (
+	R720p  Resolution = "720p"  // 1280x720
+	R1080p Resolution = "1080p" // 1920x1080
+)
+
+// PixelFactor returns the pixel count relative to 720p.
+func (r Resolution) PixelFactor() float64 {
+	if r == R1080p {
+		return 2.25
+	}
+	return 1
+}
+
+// TargetFPS returns the paper's fixed-FPS QoS goal for the resolution:
+// 60 FPS at 720p, 30 FPS at 1080p (§6.1).
+func (r Resolution) TargetFPS() float64 {
+	if r == R1080p {
+		return 30
+	}
+	return 60
+}
+
+// Scale returns the workload scaling for a platform/resolution pair.
+func Scale(p Platform, r Resolution) workload.Scale {
+	s := workload.Scale{GPU: 1, CPU: 1, Client: 1, Pixels: r.PixelFactor()}
+	if p == GoogleGCE {
+		s.GPU = 0.90 // headless Tesla P4: no scanout, slightly faster raw rendering
+		s.CPU = 0.80 // 16-core Xeon: more encode threads
+	}
+	return s
+}
+
+// Network returns the network model parameters for a platform (see package
+// netsim). The GCE path reproduces the public-Internet behaviour that makes
+// NoReg collapse: moderate usable bandwidth with deep buffers.
+func Network(p Platform) netsim.Params {
+	if p == GoogleGCE {
+		return netsim.Params{
+			Name:        "gce",
+			RTT:         25 * time.Millisecond,
+			Jitter:      0.20,
+			Bandwidth:   21e6 / 8, // ~21 Mbps usable on the WAN path
+			BufferBytes: 8 << 20,  // deep provider buffers (bufferbloat)
+		}
+	}
+	return netsim.Params{
+		Name:        "private",
+		RTT:         2 * time.Millisecond,
+		Jitter:      0.08,
+		Bandwidth:   1e9 / 8 * 0.6, // 1 Gbps LAN, 60% usable for the stream
+		BufferBytes: 4 << 20,
+	}
+}
+
+// PlatformGroup names one of the evaluation groups used by Table 2 and
+// Figures 9-11.
+type PlatformGroup struct {
+	Platform   Platform
+	Resolution Resolution
+}
+
+// String formats the group the way the paper labels it ("Priv720p").
+func (g PlatformGroup) String() string {
+	return string(g.Platform) + string(g.Resolution)
+}
+
+// Groups lists the four platform/resolution groups of Fig. 9.
+var Groups = []PlatformGroup{
+	{PrivateCloud, R720p},
+	{GoogleGCE, R720p},
+	{PrivateCloud, R1080p},
+	{GoogleGCE, R1080p},
+}

@@ -1,0 +1,119 @@
+package pictor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllBenchmarksHaveParams(t *testing.T) {
+	for _, b := range Benchmarks {
+		p := b.Params()
+		if p.Name != string(b) {
+			t.Errorf("%s: Name = %q", b, p.Name)
+		}
+		if p.RenderMedian <= 0 || p.EncodeMedian <= 0 || p.CopyMedian <= 0 || p.DecodeMedian <= 0 {
+			t.Errorf("%s: non-positive median", b)
+		}
+		if p.BytesMedian < 10<<10 {
+			t.Errorf("%s: implausible frame bytes %d", b, p.BytesMedian)
+		}
+		if p.InputRate < 2 || p.InputRate > 5 {
+			t.Errorf("%s: input rate %.1f outside the paper's 2-5/s", b, p.InputRate)
+		}
+		if p.GPUShare <= 0 || p.GPUShare > 1 || p.CPUIPC <= 0 {
+			t.Errorf("%s: bad GPUShare/CPUIPC", b)
+		}
+		if b.Description() == "Unknown" {
+			t.Errorf("%s: missing description", b)
+		}
+	}
+}
+
+func TestUnknownBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown benchmark")
+		}
+	}()
+	Benchmark("nope").Params()
+}
+
+func TestITPHasLargestRenderEncodeRatio(t *testing.T) {
+	// IMHOTEP is the largest-FPS-gap benchmark in Table 2: fast renders,
+	// slow encodes.
+	itp := ITP.Params()
+	ratioITP := float64(itp.EncodeMedian) / float64(itp.RenderMedian)
+	for _, b := range Benchmarks {
+		if b == ITP {
+			continue
+		}
+		p := b.Params()
+		if r := float64(p.EncodeMedian) / float64(p.RenderMedian); r >= ratioITP {
+			t.Fatalf("%s encode/render ratio %.2f >= ITP's %.2f", b, r, ratioITP)
+		}
+	}
+}
+
+func TestResolution(t *testing.T) {
+	if R720p.PixelFactor() != 1 || R1080p.PixelFactor() != 2.25 {
+		t.Fatal("pixel factors wrong")
+	}
+	if R720p.TargetFPS() != 60 || R1080p.TargetFPS() != 30 {
+		t.Fatal("QoS targets wrong (§6.1: 60FPS at 720p, 30FPS at 1080p)")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Scale(PrivateCloud, R720p)
+	if s.GPU != 1 || s.CPU != 1 || s.Pixels != 1 {
+		t.Fatalf("private 720p should be the reference scale: %+v", s)
+	}
+	g := Scale(GoogleGCE, R1080p)
+	if g.Pixels != 2.25 {
+		t.Fatalf("GCE 1080p pixels = %v", g.Pixels)
+	}
+	if g.CPU == 1 && g.GPU == 1 {
+		t.Fatal("GCE must differ from the private-cloud hardware")
+	}
+}
+
+func TestNetwork(t *testing.T) {
+	priv, gce := Network(PrivateCloud), Network(GoogleGCE)
+	if priv.RTT != 2*time.Millisecond {
+		t.Fatalf("private RTT = %v", priv.RTT)
+	}
+	if gce.RTT != 25*time.Millisecond {
+		t.Fatalf("GCE RTT = %v (§6.1: ~25ms)", gce.RTT)
+	}
+	if gce.Bandwidth >= priv.Bandwidth {
+		t.Fatal("GCE path must be narrower than the 1Gbps LAN")
+	}
+	if gce.BufferBytes <= priv.BufferBytes {
+		t.Fatal("GCE path should have the deeper (bufferbloated) buffers")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	if len(Groups) != 4 {
+		t.Fatalf("want 4 platform groups, got %d", len(Groups))
+	}
+	if Groups[0].String() != "Priv720p" || Groups[3].String() != "GCE1080p" {
+		t.Fatalf("group labels wrong: %v, %v", Groups[0], Groups[3])
+	}
+}
+
+func TestGCEBandwidthSupportsODRButNotNoReg(t *testing.T) {
+	// The congestion design point: a 60FPS regulated 720p stream fits the
+	// GCE path with headroom, while unregulated encoding (~90+ FPS of
+	// ~36KB frames) oversubscribes it.
+	gce := Network(GoogleGCE)
+	frame := float64(IM.Params().BytesMedian)
+	odr := 60 * frame
+	noreg := 92 * frame
+	if odr >= gce.Bandwidth*0.85 {
+		t.Fatalf("ODR60 load %.1f Mbps does not fit the GCE path", odr*8/1e6)
+	}
+	if noreg <= gce.Bandwidth*1.05 {
+		t.Fatalf("NoReg load %.1f Mbps does not oversubscribe the GCE path", noreg*8/1e6)
+	}
+}

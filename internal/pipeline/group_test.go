@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/pictor"
+)
+
+func groupSessions(k int, pol PolicyFactory, dur time.Duration) []Config {
+	var out []Config
+	for i := 0; i < k; i++ {
+		cfg := stdConfig(pictor.IM, pictor.PrivateCloud, pictor.R720p, pol, int64(100+i*17))
+		cfg.Duration = dur
+		out = append(out, cfg)
+	}
+	return out
+}
+
+func TestRunGroupEmptyIsSafe(t *testing.T) {
+	r := RunGroup(GroupConfig{})
+	if len(r.Per) != 0 || r.ServerPowerWatts != 0 {
+		t.Fatalf("empty group returned %+v", r)
+	}
+}
+
+func TestRunGroupSingleMatchesShape(t *testing.T) {
+	gr := RunGroup(GroupConfig{
+		Sessions:    groupSessions(1, odr(60), 15*time.Second),
+		GPUCapacity: 1,
+		CPUCores:    4,
+	})
+	if len(gr.Per) != 1 {
+		t.Fatalf("sessions = %d", len(gr.Per))
+	}
+	r := gr.Per[0]
+	if r.ClientFPS < 58 || r.ClientFPS > 66 {
+		t.Fatalf("single-session ODR60 in group = %.1f FPS", r.ClientFPS)
+	}
+	if gr.ServerPowerWatts <= 0 {
+		t.Fatal("no server power accounted")
+	}
+	if gr.GPULoad <= 0.1 || gr.GPULoad > 1 {
+		t.Fatalf("GPU load = %.2f, want ~0.33", gr.GPULoad)
+	}
+}
+
+func TestRunGroupGPUTimeSharing(t *testing.T) {
+	// Five 60FPS sessions demand ~1.65 GPUs; on one GPU each session's
+	// delivered FPS must drop to roughly its fair share, and the delivered
+	// raw GPU work must not exceed capacity.
+	gr := RunGroup(GroupConfig{
+		Sessions:    groupSessions(5, odr(60), 15*time.Second),
+		GPUCapacity: 1,
+		CPUCores:    8,
+	})
+	if gr.GPULoad > 1.05 {
+		t.Fatalf("delivered GPU work %.2f exceeds capacity", gr.GPULoad)
+	}
+	for i, r := range gr.Per {
+		if r.ClientFPS > 50 {
+			t.Fatalf("session %d got %.1f FPS: time-sharing not enforced", i, r.ClientFPS)
+		}
+		if r.ClientFPS < 25 {
+			t.Fatalf("session %d starved at %.1f FPS: sharing not fair", i, r.ClientFPS)
+		}
+	}
+}
+
+func TestRunGroupFitsWithinCapacity(t *testing.T) {
+	// Two 60FPS sessions need ~0.66 GPU: both must meet the target.
+	gr := RunGroup(GroupConfig{
+		Sessions:    groupSessions(2, odr(60), 15*time.Second),
+		GPUCapacity: 1,
+		CPUCores:    4,
+	})
+	for i, r := range gr.Per {
+		if r.ClientFPS < 58 {
+			t.Fatalf("session %d = %.1f FPS despite fitting capacity", i, r.ClientFPS)
+		}
+	}
+}
+
+func TestRunGroupNoRegAbsorbedByCoLocation(t *testing.T) {
+	// With three co-located NoReg sessions the GPU is fully consumed, so
+	// each session's rendering is throttled by its neighbors — but each
+	// still pays its own latency premium versus ODR at the same occupancy.
+	nr := RunGroup(GroupConfig{
+		Sessions:    groupSessions(3, noReg, 15*time.Second),
+		GPUCapacity: 1,
+		CPUCores:    4,
+	})
+	od := RunGroup(GroupConfig{
+		Sessions:    groupSessions(3, odr(60), 15*time.Second),
+		GPUCapacity: 1,
+		CPUCores:    4,
+	})
+	var nrLat, odLat float64
+	for i := range nr.Per {
+		nrLat += nr.Per[i].MtP.Mean() / 3
+		odLat += od.Per[i].MtP.Mean() / 3
+	}
+	if odLat >= nrLat {
+		t.Fatalf("ODR latency %.1f >= NoReg %.1f at equal occupancy", odLat, nrLat)
+	}
+	// NoReg's per-session render rate must be throttled near its share.
+	for i, r := range nr.Per {
+		if r.RenderFPS > 95 {
+			t.Fatalf("NoReg session %d renders at %.1f FPS on a 1/3 GPU share", i, r.RenderFPS)
+		}
+	}
+}
+
+func TestRunGroupPartialLoadPowerSavings(t *testing.T) {
+	nr := RunGroup(GroupConfig{
+		Sessions:    groupSessions(1, noReg, 15*time.Second),
+		GPUCapacity: 1,
+		CPUCores:    4,
+	})
+	od := RunGroup(GroupConfig{
+		Sessions:    groupSessions(1, odr(60), 15*time.Second),
+		GPUCapacity: 1,
+		CPUCores:    4,
+	})
+	if od.ServerPowerWatts >= nr.ServerPowerWatts*0.85 {
+		t.Fatalf("ODR server power %.1fW not well below NoReg %.1fW at partial load",
+			od.ServerPowerWatts, nr.ServerPowerWatts)
+	}
+}
+
+func TestVRRDisplayPacing(t *testing.T) {
+	// With a 48-144Hz VRR panel, inter-display gaps are floored at ~6.9ms
+	// and tearing is impossible (VRR flag set).
+	cfg := stdConfig(pictor.IM, pictor.PrivateCloud, pictor.R720p, odr(0), 4)
+	cfg.Duration = 15 * time.Second
+	cfg.VRRMinHz, cfg.VRRMaxHz = 48, 144
+	r := Run(cfg)
+	if !r.VRR {
+		t.Fatal("VRR flag not set")
+	}
+	minGapMs := 1000.0/144 - 0.01
+	if r.InterDisplay.Min() < minGapMs {
+		t.Fatalf("inter-display min %.2fms below the 144Hz floor %.2fms", r.InterDisplay.Min(), minGapMs)
+	}
+	// Pacing to the panel window must not meaningfully change client FPS
+	// (ODRMax at ~95 FPS is inside 48-144).
+	if r.ClientFPS < 80 {
+		t.Fatalf("VRR pacing destroyed throughput: %.1f FPS", r.ClientFPS)
+	}
+}
+
+func TestVRRReducesDisplayJitter(t *testing.T) {
+	base := stdConfig(pictor.IM, pictor.PrivateCloud, pictor.R720p, odr(0), 4)
+	base.Duration = 15 * time.Second
+	fixed := Run(base)
+	vrr := base
+	vrr.VRRMinHz, vrr.VRRMaxHz = 48, 144
+	paced := Run(vrr)
+	if paced.InterDisplay.CoV() > fixed.InterDisplay.CoV()+0.02 {
+		t.Fatalf("VRR CoV %.3f worse than fixed %.3f", paced.InterDisplay.CoV(), fixed.InterDisplay.CoV())
+	}
+}
+
+func TestVRRMinHzFieldAccepted(t *testing.T) {
+	// VRRMinHz is panel metadata (LFC floor); setting it alone must not
+	// enable pacing.
+	cfg := stdConfig(pictor.IM, pictor.PrivateCloud, pictor.R720p, odr(0), 4)
+	cfg.Duration = 5 * time.Second
+	cfg.VRRMinHz = 48 // no MaxHz: VRR off
+	r := Run(cfg)
+	if r.VRR {
+		t.Fatal("VRR flag set without VRRMaxHz")
+	}
+}

@@ -1,0 +1,62 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/pictor"
+	"odr/internal/workload"
+)
+
+// TestTraceDrivenRun drives the pipeline from a recorded trace instead of
+// the stochastic model and checks the replay is deterministic and behaves
+// like the recording's rates.
+func TestTraceDrivenRun(t *testing.T) {
+	// Record a synthetic trace: constant 5ms renders and 10ms encodes at
+	// ~36KB/frame — an encode-bound 100FPS pipeline.
+	ms := func(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+	var rows []workload.Costs
+	for i := 0; i < 500; i++ {
+		rows = append(rows, workload.Costs{
+			Render: ms(5), Copy: ms(1), Encode: ms(10), Decode: ms(3),
+			Bytes: 36 << 10, Complexity: 1,
+		})
+	}
+	src, err := workload.NewTraceSampler(rows, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stdConfig(pictor.IM, pictor.PrivateCloud, pictor.R720p, odr(0), 1)
+	cfg.Duration = 20 * time.Second
+	cfg.Source = src
+	cfg.DisableContention = true
+	r := Run(cfg)
+	// Deterministic trace: ODRMax must settle at the encode-bound rate of
+	// 1000/11ms ≈ 91 FPS.
+	if r.ClientFPS < 85 || r.ClientFPS > 95 {
+		t.Fatalf("trace-driven ODRMax = %.1f FPS, want ~91", r.ClientFPS)
+	}
+	// Render times in the trace are constant: the measured distribution
+	// must be degenerate.
+	if spread := r.RenderTimes.Max() - r.RenderTimes.Min(); spread > 0.01 {
+		t.Fatalf("render-time spread %.3fms from a constant trace", spread)
+	}
+}
+
+func TestTraceDrivenDeterminism(t *testing.T) {
+	mk := func() Config {
+		src, err := workload.NewTraceSampler(workload.Record(
+			workload.NewSampler(pictor.IM.Params(), workload.RefScale, 3), 400), 3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := stdConfig(pictor.IM, pictor.PrivateCloud, pictor.R720p, odr(60), 1)
+		cfg.Duration = 10 * time.Second
+		cfg.Source = src
+		return cfg
+	}
+	a, b := Run(mk()), Run(mk())
+	if a.ClientFPS != b.ClientFPS || a.MtP.Mean() != b.MtP.Mean() {
+		t.Fatal("trace-driven runs diverged with identical traces")
+	}
+}

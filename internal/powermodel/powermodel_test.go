@@ -1,0 +1,113 @@
+package powermodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdlePower(t *testing.T) {
+	m := New(Config{})
+	w := m.Watts(Usage{})
+	if w != DefaultConfig().IdleWatts {
+		t.Fatalf("idle = %.1fW, want %.1f", w, DefaultConfig().IdleWatts)
+	}
+}
+
+func TestMonotoneInUtilization(t *testing.T) {
+	m := New(Config{})
+	low := m.Watts(Usage{CPUUtil: 0.2, GPUUtil: 0.2, GPUIntensity: 0.6, TrafficGBs: 0.5})
+	high := m.Watts(Usage{CPUUtil: 0.9, GPUUtil: 0.9, GPUIntensity: 0.6, TrafficGBs: 2})
+	if high <= low {
+		t.Fatalf("power not monotone: %.1f <= %.1f", high, low)
+	}
+}
+
+func TestGPUActivityFloor(t *testing.T) {
+	// A GPU doing any rendering clocks up: power at 5% util should be well
+	// above a linear extrapolation.
+	m := New(Config{})
+	base := m.Watts(Usage{GPUIntensity: 0.7})
+	at5 := m.Watts(Usage{GPUUtil: 0.05, GPUIntensity: 0.7})
+	at100 := m.Watts(Usage{GPUUtil: 1.0, GPUIntensity: 0.7})
+	if at5-base < (at100-base)*0.2 {
+		t.Fatalf("no activity floor: 5%% util adds %.1fW of %.1fW swing", at5-base, at100-base)
+	}
+	idleGPU := m.Watts(Usage{GPUUtil: 0.01, GPUIntensity: 0.7})
+	if idleGPU != base {
+		t.Fatalf("sub-2%% GPU util should not engage the floor: %.1f != %.1f", idleGPU, base)
+	}
+}
+
+func TestGPUIntensityCubicSpread(t *testing.T) {
+	// IMHOTEP (0.72) must swing far more GPU watts than 0 A.D. (0.40) —
+	// that is what makes its 264W -> 145W drop possible (§6.5).
+	m := New(Config{})
+	itp := m.Watts(Usage{GPUUtil: 1, GPUIntensity: 0.72})
+	zad := m.Watts(Usage{GPUUtil: 1, GPUIntensity: 0.40})
+	idle := m.Watts(Usage{})
+	if (itp-idle)/(zad-idle) < 3 {
+		t.Fatalf("intensity spread too small: ITP %.1fW vs 0AD %.1fW over idle", itp-idle, zad-idle)
+	}
+}
+
+func TestCalibrationAnchorITP(t *testing.T) {
+	// IMHOTEP unregulated: GPU and CPU both saturated -> ~264W.
+	m := New(Config{})
+	w := m.Watts(Usage{CPUUtil: 1, GPUUtil: 1, GPUIntensity: 0.72, TrafficGBs: 2.5})
+	if w < 240 || w > 290 {
+		t.Fatalf("ITP NoReg power = %.1fW, want ~264", w)
+	}
+}
+
+func TestAccumulateAndAverage(t *testing.T) {
+	m := New(Config{})
+	m.Accumulate(Usage{CPUUtil: 1}, 10)
+	m.Accumulate(Usage{}, 10)
+	avg := m.AverageWatts()
+	wantAvg := (m.Watts(Usage{CPUUtil: 1}) + m.Watts(Usage{})) / 2
+	if avg != wantAvg {
+		t.Fatalf("AverageWatts = %.2f, want %.2f", avg, wantAvg)
+	}
+	if m.EnergyJoules() != wantAvg*20 {
+		t.Fatalf("EnergyJoules = %.1f", m.EnergyJoules())
+	}
+}
+
+func TestAccumulateIgnoresNonPositiveSpans(t *testing.T) {
+	m := New(Config{})
+	m.Accumulate(Usage{CPUUtil: 1}, 0)
+	m.Accumulate(Usage{CPUUtil: 1}, -5)
+	if m.AverageWatts() != 0 || m.EnergyJoules() != 0 {
+		t.Fatal("non-positive spans must be ignored")
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	m := New(Config{})
+	over := m.Watts(Usage{CPUUtil: 5, GPUUtil: 7, GPUIntensity: 3, TrafficGBs: 100})
+	atMax := m.Watts(Usage{CPUUtil: 1, GPUUtil: 1, GPUIntensity: 1, TrafficGBs: 2.5})
+	if over != atMax {
+		t.Fatalf("out-of-range usage not clamped: %.1f != %.1f", over, atMax)
+	}
+}
+
+// Property: power is bounded between idle and the physical maximum.
+func TestPowerBoundsProperty(t *testing.T) {
+	m := New(Config{})
+	maxW := m.Watts(Usage{CPUUtil: 1, GPUUtil: 1, GPUIntensity: 1, TrafficGBs: 100})
+	f := func(cpu, gpu, intensity, traffic float64) bool {
+		u := Usage{CPUUtil: abs(cpu), GPUUtil: abs(gpu), GPUIntensity: abs(intensity), TrafficGBs: abs(traffic)}
+		w := m.Watts(u)
+		return w >= DefaultConfig().IdleWatts-1e-9 && w <= maxW+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

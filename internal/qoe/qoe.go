@@ -1,0 +1,238 @@
+// Package qoe models the paper's 30-participant user study (§6.7) so that
+// Figures 14 and 15 can be regenerated. It is explicitly a *model*, standing
+// in for human subjects: each simulated participant has randomized
+// sensitivities and judges a configuration from the objective stream
+// qualities the simulator measures — delivered FPS (mean and tail), motion-
+// to-photon latency, stutter (inter-frame-time instability) and tearing
+// exposure (unsynchronized display updates).
+//
+// The functional forms follow the cloud-gaming QoE literature the paper
+// cites [14, 88]: latency tolerances around 100 ms for action games, strong
+// rating sensitivity to sub-30 FPS delivery, and stutter mattering more than
+// raw average FPS.
+package qoe
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Observation is the objective input to the panel, produced by the
+// simulator (or taken from the paper's NonCloud reference).
+type Observation struct {
+	MeanFPS      float64 // delivered (displayed) FPS
+	TailFPS      float64 // 1 %ile of 200 ms-windowed FPS
+	MeanLatency  float64 // mean MtP latency, ms
+	TailLatency  float64 // 99 %ile MtP latency, ms
+	StutterIndex float64 // 0..1: instability of inter-display times
+	DisplayRate  float64 // frames/s actually hitting the display
+	RefreshHz    float64 // client display refresh
+	VSynced      bool    // true if the client displays on vblank (RVS)
+}
+
+// TearingExposure estimates how often a visible tear occurs: zero when
+// displays are vblank-synchronized; otherwise it grows with updates racing
+// the scanout (display rate above refresh) and with arrival burstiness.
+func (o Observation) TearingExposure() float64 {
+	if o.VSynced {
+		return 0.02 // cable/compositor artifacts only
+	}
+	refresh := o.RefreshHz
+	if refresh <= 0 {
+		refresh = 60
+	}
+	over := 0.0
+	if o.DisplayRate > refresh {
+		over = (o.DisplayRate - refresh) / refresh
+	}
+	e := 0.15*o.StutterIndex + 0.8*over
+	return math.Min(1, e)
+}
+
+// Verdict is a participant's answer to "did you experience X?".
+type Verdict int
+
+// The three §6.7 answers.
+const (
+	Yes Verdict = iota
+	Maybe
+	No
+)
+
+// Counts tallies Yes/Maybe/No answers.
+type Counts struct{ Yes, Maybe, No int }
+
+// StudyResult aggregates one configuration's panel outcome, mirroring
+// Fig. 14 (MeanRating) and Fig. 15 (the three Counts).
+type StudyResult struct {
+	MeanRating float64
+	Lags       Counts
+	Stutters   Counts
+	Tearing    Counts
+}
+
+// participant holds one simulated user's sensitivities.
+type participant struct {
+	latTolerance float64 // ms at which lag becomes noticeable
+	fpsDemand    float64 // FPS below which the user is bothered
+	stutterSense float64 // multiplier on stutter annoyance
+	tearSense    float64 // multiplier on tearing annoyance
+	ratingOffset float64 // personal anchor shift
+}
+
+// Panel is a reproducible set of simulated participants.
+type Panel struct {
+	members []participant
+	rng     *rand.Rand
+}
+
+// NewPanel creates n participants with randomized sensitivities drawn from
+// seed.
+func NewPanel(n int, seed int64) *Panel {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Panel{rng: rng}
+	for i := 0; i < n; i++ {
+		p.members = append(p.members, participant{
+			latTolerance: 80 + rng.Float64()*80, // 80-160 ms
+			fpsDemand:    25 + rng.Float64()*35, // 25-60 FPS
+			stutterSense: 0.6 + rng.Float64()*0.8,
+			tearSense:    0.5 + rng.Float64()*1.0,
+			ratingOffset: rng.NormFloat64() * 0.5,
+		})
+	}
+	return p
+}
+
+// Size returns the number of participants.
+func (p *Panel) Size() int { return len(p.members) }
+
+// rate computes one participant's 1-10 rating for an observation.
+func (m participant) rate(o Observation, tear float64) float64 {
+	r := 8.6 + m.ratingOffset
+	// Latency annoyance: grows once mean latency passes the personal
+	// tolerance; tail latency counts at a discount.
+	if o.MeanLatency > m.latTolerance*0.5 {
+		r -= 1.3 * math.Log1p((o.MeanLatency-m.latTolerance*0.5)/m.latTolerance)
+	}
+	if o.TailLatency > 2*m.latTolerance {
+		r -= 0.5 * math.Log1p(o.TailLatency/(2*m.latTolerance))
+	}
+	// FPS: penalty ramps below the personal demand, steeply below 30.
+	if o.MeanFPS < m.fpsDemand {
+		r -= (m.fpsDemand - o.MeanFPS) * 0.03
+	}
+	if o.MeanFPS < 30 {
+		r -= (30 - o.MeanFPS) * 0.06
+	}
+	if o.TailFPS < m.fpsDemand*0.5 {
+		r -= (m.fpsDemand*0.5 - o.TailFPS) * 0.03
+	}
+	// Stutter and tearing.
+	r -= 1.8 * m.stutterSense * o.StutterIndex
+	r -= 1.6 * m.tearSense * tear
+	if r < 1 {
+		r = 1
+	}
+	if r > 10 {
+		r = 10
+	}
+	return r
+}
+
+// verdict converts an annoyance probability into Yes/Maybe/No with
+// participant noise.
+func (p *Panel) verdict(prob float64) Verdict {
+	u := p.rng.Float64()
+	switch {
+	case u < prob:
+		return Yes
+	case u < prob+0.18: // uncertainty band
+		return Maybe
+	default:
+		return No
+	}
+}
+
+func addVerdict(c *Counts, v Verdict) {
+	switch v {
+	case Yes:
+		c.Yes++
+	case Maybe:
+		c.Maybe++
+	case No:
+		c.No++
+	}
+}
+
+// Evaluate runs the panel over one configuration's observation.
+func (p *Panel) Evaluate(o Observation) StudyResult {
+	obs := make([]Observation, len(p.members))
+	for i := range obs {
+		obs[i] = o
+	}
+	return p.EvaluateAssigned(obs)
+}
+
+// EvaluateAssigned runs the panel with a per-participant observation —
+// §6.7's protocol, where each participant plays a randomly-picked benchmark
+// under the configuration being rated. len(obs) must equal Size().
+func (p *Panel) EvaluateAssigned(obs []Observation) StudyResult {
+	var res StudyResult
+	var sum float64
+	for i, m := range p.members {
+		o := obs[i%len(obs)]
+		tear := o.TearingExposure()
+		sum += m.rate(o, tear)
+
+		lagProb := logistic((o.MeanLatency - m.latTolerance*1.3) / 45)
+		// Very high tail latency makes lag reports near-certain.
+		if o.TailLatency > 4*m.latTolerance {
+			lagProb = math.Max(lagProb, 0.9)
+		}
+		addVerdict(&res.Lags, p.verdict(lagProb))
+
+		stutterProb := math.Min(0.97, o.StutterIndex*1.2*m.stutterSense)
+		if o.TailFPS < 15 {
+			stutterProb = math.Max(stutterProb, 0.7)
+		}
+		addVerdict(&res.Stutters, p.verdict(stutterProb))
+
+		tearProb := math.Min(0.95, tear*1.2*m.tearSense)
+		addVerdict(&res.Tearing, p.verdict(tearProb))
+	}
+	res.MeanRating = sum / float64(len(p.members))
+	return res
+}
+
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// NonCloud returns the reference observation for local (non-cloud)
+// execution: high FPS, ~20 ms input-to-photon latency, minimal stutter, a
+// vsynced display.
+func NonCloud() Observation {
+	return Observation{
+		MeanFPS:      60,
+		TailFPS:      55,
+		MeanLatency:  22,
+		TailLatency:  40,
+		StutterIndex: 0.05,
+		DisplayRate:  60,
+		RefreshHz:    60,
+		VSynced:      true,
+	}
+}
+
+// StutterIndexFrom derives the 0..1 stutter index from inter-display-time
+// statistics: the coefficient of variation, saturating at 1, plus a term for
+// long hitches (p99 over 3× the median).
+func StutterIndexFrom(meanMs, stddevMs, medianMs, p99Ms float64) float64 {
+	if meanMs <= 0 {
+		return 1
+	}
+	cov := stddevMs / meanMs
+	idx := 0.45 * math.Min(1.6, cov)
+	if medianMs > 0 && p99Ms > 4*medianMs {
+		idx += 0.25
+	}
+	return math.Min(1, idx)
+}

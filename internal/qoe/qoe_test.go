@@ -1,0 +1,147 @@
+package qoe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func goodStream() Observation {
+	return Observation{
+		MeanFPS: 60, TailFPS: 55, MeanLatency: 40, TailLatency: 70,
+		StutterIndex: 0.1, DisplayRate: 60, RefreshHz: 60,
+	}
+}
+
+func TestPanelDeterministic(t *testing.T) {
+	a := NewPanel(30, 7).Evaluate(goodStream())
+	b := NewPanel(30, 7).Evaluate(goodStream())
+	if a != b {
+		t.Fatalf("same-seed panels diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestPanelSize(t *testing.T) {
+	if NewPanel(30, 1).Size() != 30 {
+		t.Fatal("wrong panel size")
+	}
+}
+
+func TestCountsSumToPanelSize(t *testing.T) {
+	p := NewPanel(30, 3)
+	r := p.Evaluate(goodStream())
+	for _, c := range []Counts{r.Lags, r.Stutters, r.Tearing} {
+		if c.Yes+c.Maybe+c.No != 30 {
+			t.Fatalf("counts do not sum to 30: %+v", c)
+		}
+	}
+}
+
+func TestRatingOrdering(t *testing.T) {
+	p := NewPanel(30, 5)
+	good := p.Evaluate(NonCloud())
+	laggy := p.Evaluate(Observation{
+		MeanFPS: 55, TailFPS: 40, MeanLatency: 400, TailLatency: 900,
+		StutterIndex: 0.2, DisplayRate: 55, RefreshHz: 60,
+	})
+	choppy := p.Evaluate(Observation{
+		MeanFPS: 18, TailFPS: 5, MeanLatency: 60, TailLatency: 120,
+		StutterIndex: 0.8, DisplayRate: 18, RefreshHz: 60,
+	})
+	if good.MeanRating <= laggy.MeanRating {
+		t.Fatalf("laggy stream rated %.1f >= good %.1f", laggy.MeanRating, good.MeanRating)
+	}
+	if good.MeanRating <= choppy.MeanRating {
+		t.Fatalf("choppy stream rated %.1f >= good %.1f", choppy.MeanRating, good.MeanRating)
+	}
+}
+
+func TestLagVerdictsTrackLatency(t *testing.T) {
+	p := NewPanel(30, 9)
+	low := p.Evaluate(goodStream())
+	high := goodStream()
+	high.MeanLatency, high.TailLatency = 600, 1500
+	worst := p.Evaluate(high)
+	if worst.Lags.Yes <= low.Lags.Yes {
+		t.Fatalf("600ms latency produced %d lag-yes vs %d at 40ms", worst.Lags.Yes, low.Lags.Yes)
+	}
+	if worst.Lags.Yes < 25 {
+		t.Fatalf("seconds-scale latency should be near-universally noticed, got %d/30", worst.Lags.Yes)
+	}
+}
+
+func TestTearingRequiresUnsyncedDisplay(t *testing.T) {
+	o := goodStream()
+	o.VSynced = true
+	if e := o.TearingExposure(); e > 0.05 {
+		t.Fatalf("vsynced exposure = %.2f", e)
+	}
+	o.VSynced = false
+	o.DisplayRate, o.RefreshHz = 120, 60
+	if e := o.TearingExposure(); e < 0.5 {
+		t.Fatalf("2x-overdriven display exposure = %.2f, want high", e)
+	}
+}
+
+func TestTearingDefaultsRefresh(t *testing.T) {
+	o := goodStream()
+	o.RefreshHz = 0
+	o.DisplayRate = 90
+	if e := o.TearingExposure(); e <= 0 {
+		t.Fatalf("exposure = %v, want > 0 with implied 60Hz refresh", e)
+	}
+}
+
+func TestNonCloudIsExcellent(t *testing.T) {
+	r := NewPanel(30, 77).Evaluate(NonCloud())
+	if r.MeanRating < 7.5 {
+		t.Fatalf("NonCloud rating = %.1f, want ~8", r.MeanRating)
+	}
+	if r.Lags.No < 15 || r.Tearing.No < 15 {
+		t.Fatalf("NonCloud verdicts too negative: %+v", r)
+	}
+}
+
+func TestStutterIndexFrom(t *testing.T) {
+	if idx := StutterIndexFrom(16.6, 1, 16.5, 20); idx > 0.15 {
+		t.Fatalf("steady cadence stutter = %.2f, want near 0", idx)
+	}
+	if idx := StutterIndexFrom(16.6, 25, 10, 120); idx < 0.5 {
+		t.Fatalf("wild cadence stutter = %.2f, want high", idx)
+	}
+	if idx := StutterIndexFrom(0, 0, 0, 0); idx != 1 {
+		t.Fatalf("degenerate input = %.2f, want 1", idx)
+	}
+}
+
+// Property: ratings stay in [1,10] and counts sum correctly for arbitrary
+// observations.
+func TestPanelBoundsProperty(t *testing.T) {
+	p := NewPanel(30, 123)
+	f := func(fps, lat, stutter float64) bool {
+		o := Observation{
+			MeanFPS:      clamp(fps, 0, 300),
+			TailFPS:      clamp(fps/2, 0, 300),
+			MeanLatency:  clamp(lat, 0, 20000),
+			TailLatency:  clamp(lat*2, 0, 40000),
+			StutterIndex: clamp(stutter, 0, 1),
+			DisplayRate:  clamp(fps, 0, 300),
+			RefreshHz:    60,
+		}
+		r := p.Evaluate(o)
+		return r.MeanRating >= 1 && r.MeanRating <= 10 &&
+			r.Lags.Yes+r.Lags.Maybe+r.Lags.No == 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v != v || v < lo { // NaN -> lo
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,108 @@
+// Package realrt adapts real wall-clock time and goroutine synchronization
+// to the core.Domain/core.Waiter runtime abstraction, so the ODR components
+// in package core run unmodified inside the real-time streaming stack.
+package realrt
+
+import (
+	"sync"
+	"time"
+
+	"odr/internal/core"
+)
+
+// Domain is a core.Domain for real goroutines. All components of one
+// pipeline share the domain's mutex; conds are channel-based broadcast
+// conditions that support timeouts.
+type Domain struct {
+	mu    sync.Mutex
+	start time.Time
+}
+
+// NewDomain returns a domain whose Now() is measured from time.Now().
+func NewDomain() *Domain { return &Domain{start: time.Now()} }
+
+// NewDomainAt returns a domain whose Now() is measured from start; useful
+// for aligning several domains (server and client) to one epoch.
+func NewDomainAt(start time.Time) *Domain { return &Domain{start: start} }
+
+// Now implements core.Domain.
+func (d *Domain) Now() time.Duration { return time.Since(d.start) }
+
+// Locker implements core.Domain.
+func (d *Domain) Locker() sync.Locker { return &d.mu }
+
+// NewCond implements core.Domain.
+func (d *Domain) NewCond() core.Cond {
+	return &cond{dom: d, ch: make(chan struct{})}
+}
+
+// cond is a broadcast condition with timeout support, built on the
+// closed-channel broadcast idiom. Broadcast must be called while holding the
+// domain lock (as documented on core.Cond); Wait/WaitTimeout take a snapshot
+// of the generation channel under the lock before releasing it, so wakeups
+// are never lost.
+type cond struct {
+	dom *Domain
+	ch  chan struct{}
+}
+
+// Broadcast wakes all current waiters. Caller must hold the domain lock.
+func (c *cond) Broadcast() {
+	close(c.ch)
+	c.ch = make(chan struct{})
+}
+
+// Waiter is a core.Waiter for real goroutines. It is stateless and can be
+// shared, but by convention each goroutine creates its own.
+type Waiter struct {
+	dom *Domain
+}
+
+// NewWaiter returns a waiter bound to dom.
+func NewWaiter(dom *Domain) *Waiter { return &Waiter{dom: dom} }
+
+// Sleep implements core.Waiter.
+func (w *Waiter) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Wait implements core.Waiter. The caller must hold the domain lock.
+func (w *Waiter) Wait(c core.Cond) {
+	cc := c.(*cond)
+	snapshot := cc.ch
+	w.dom.mu.Unlock()
+	<-snapshot
+	w.dom.mu.Lock()
+}
+
+// WaitTimeout implements core.Waiter. The caller must hold the domain lock.
+func (w *Waiter) WaitTimeout(c core.Cond, d time.Duration) bool {
+	cc := c.(*cond)
+	snapshot := cc.ch
+	w.dom.mu.Unlock()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	var signaled bool
+	select {
+	case <-snapshot:
+		signaled = true
+	case <-timer.C:
+		// Even if the timer fired, a broadcast may have raced in; prefer
+		// reporting the signal so predicates are re-checked promptly.
+		select {
+		case <-snapshot:
+			signaled = true
+		default:
+		}
+	}
+	w.dom.mu.Lock()
+	return signaled
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Domain = (*Domain)(nil)
+	_ core.Waiter = (*Waiter)(nil)
+)

@@ -1,0 +1,124 @@
+package realrt
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNowAdvances(t *testing.T) {
+	dom := NewDomain()
+	a := dom.Now()
+	time.Sleep(10 * time.Millisecond)
+	if b := dom.Now(); b <= a {
+		t.Fatalf("Now did not advance: %v then %v", a, b)
+	}
+}
+
+func TestNewDomainAt(t *testing.T) {
+	start := time.Now().Add(-time.Hour)
+	dom := NewDomainAt(start)
+	if dom.Now() < time.Hour {
+		t.Fatalf("Now = %v, want >= 1h", dom.Now())
+	}
+}
+
+func TestWaitBroadcast(t *testing.T) {
+	dom := NewDomain()
+	c := dom.NewCond()
+	w := NewWaiter(dom)
+	done := make(chan struct{})
+	go func() {
+		dom.Locker().Lock()
+		w.Wait(c)
+		dom.Locker().Unlock()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	dom.Locker().Lock()
+	c.Broadcast()
+	dom.Locker().Unlock()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait not woken by Broadcast")
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	dom := NewDomain()
+	c := dom.NewCond()
+	w := NewWaiter(dom)
+	dom.Locker().Lock()
+	start := time.Now()
+	got := w.WaitTimeout(c, 20*time.Millisecond)
+	dom.Locker().Unlock()
+	if got {
+		t.Fatal("WaitTimeout reported a signal that never came")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("WaitTimeout returned too early")
+	}
+}
+
+func TestWaitTimeoutSignaled(t *testing.T) {
+	dom := NewDomain()
+	c := dom.NewCond()
+	w := NewWaiter(dom)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		dom.Locker().Lock()
+		c.Broadcast()
+		dom.Locker().Unlock()
+	}()
+	dom.Locker().Lock()
+	got := w.WaitTimeout(c, 5*time.Second)
+	dom.Locker().Unlock()
+	if !got {
+		t.Fatal("WaitTimeout missed the broadcast")
+	}
+}
+
+func TestNoLostWakeups(t *testing.T) {
+	// Hammer one cond with many waiters and broadcasters; every waiter
+	// whose predicate is satisfied must eventually return.
+	dom := NewDomain()
+	c := dom.NewCond()
+	var ready int
+	var wg sync.WaitGroup
+	const n = 32
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			w := NewWaiter(dom)
+			dom.Locker().Lock()
+			for ready == 0 {
+				w.Wait(c)
+			}
+			dom.Locker().Unlock()
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	dom.Locker().Lock()
+	ready = 1
+	c.Broadcast()
+	dom.Locker().Unlock()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("some waiters never woke (lost wakeup)")
+	}
+}
+
+func TestSleepNonPositive(t *testing.T) {
+	w := NewWaiter(NewDomain())
+	start := time.Now()
+	w.Sleep(-time.Second)
+	w.Sleep(0)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("non-positive Sleep slept")
+	}
+}

@@ -1,0 +1,190 @@
+package regulator
+
+import (
+	"fmt"
+	"time"
+
+	"odr/internal/core"
+	"odr/internal/frame"
+)
+
+// ODROptions selects the ODR variant.
+type ODROptions struct {
+	// TargetFPS is the QoS goal; 0 means maximize FPS (ODRMax), in which
+	// case the pacer never delays and multi-buffer backpressure alone
+	// synchronizes the pipeline to its bottleneck rate.
+	TargetFPS float64
+	// DisablePriority turns PriorityFrame off (the Table 2 "ODRMax-noPri"
+	// configuration).
+	DisablePriority bool
+	// DelayOnly clamps the pacer's budget at zero — the ablation that
+	// keeps ODR's buffers but degrades Algorithm 1 to interval-based
+	// delay-only behaviour.
+	DelayOnly bool
+	// DisableMulBuf2 replaces Mul-Buf2 with the push policies' tail-drop
+	// send buffer — the ablation isolating the backpressure mechanism that
+	// prevents network-queue congestion.
+	DisableMulBuf2 bool
+}
+
+// ODR is OnDemand Rendering (§5): Mul-Buf1 between application and proxy,
+// Mul-Buf2 between proxy and network, the Algorithm 1 pacer around the
+// encode step, and PriorityFrame for input-triggered frames.
+type ODR struct {
+	ctx   *Ctx
+	opts  ODROptions
+	label string
+
+	buf1  *core.MultiBuffer
+	buf2  *core.MultiBuffer
+	sb    *sendBuf // only with DisableMulBuf2
+	pacer *core.Pacer
+}
+
+// NewODR returns an ODR policy with the given options.
+func NewODR(ctx *Ctx, opts ODROptions) *ODR {
+	o := &ODR{
+		ctx:   ctx,
+		opts:  opts,
+		buf1:  core.NewMultiBuffer(ctx.Dom),
+		buf2:  core.NewMultiBuffer(ctx.Dom),
+		pacer: core.NewPacer(opts.TargetFPS),
+	}
+	if opts.DelayOnly {
+		o.pacer.SetDelayOnly(true)
+	}
+	if opts.DisableMulBuf2 {
+		o.sb = newSendBuf(ctx)
+	}
+	if opts.TargetFPS > 0 {
+		o.label = fmt.Sprintf("ODR%d", int(opts.TargetFPS))
+	} else {
+		o.label = "ODRMax"
+	}
+	if opts.DisablePriority {
+		o.label += "-noPri"
+	}
+	if opts.DelayOnly {
+		o.label += "-delayOnly"
+	}
+	if opts.DisableMulBuf2 {
+		o.label += "-noBuf2"
+	}
+	// PriorityFrame part 1: an input arrival must cancel the renderer's
+	// buffer-swapping wait, so input broadcasts wake Mul-Buf1 waiters.
+	if !opts.DisablePriority {
+		ctx.Inputs.Subscribe(o.buf1.Changed())
+	}
+	return o
+}
+
+// Name implements Policy.
+func (o *ODR) Name() string { return o.label }
+
+// RenderGate implements Policy: the renderer's only delay is waiting for a
+// free back buffer in Mul-Buf1; with PriorityFrame enabled a pending input
+// cancels that wait and marks the next frame as a priority frame.
+func (o *ODR) RenderGate(w core.Waiter) bool {
+	if o.opts.DisablePriority {
+		o.buf1.WaitBackFree(w, nil)
+		return false
+	}
+	free := o.buf1.WaitBackFree(w, o.ctx.Inputs.PendingLocked)
+	return !free
+}
+
+// SubmitRendered implements Policy: priority frames replace obsolete
+// un-encoded frames; refresh frames use the ordinary blocking Put.
+func (o *ODR) SubmitRendered(w core.Waiter, f *frame.Frame) {
+	if f.Priority && !o.opts.DisablePriority {
+		for _, d := range o.buf1.PutPriority(f) {
+			o.ctx.drop(d)
+		}
+		return
+	}
+	o.buf1.Put(w, f)
+}
+
+// AcquireForEncode implements Policy.
+func (o *ODR) AcquireForEncode(w core.Waiter) *frame.Frame {
+	return o.buf1.Acquire(w)
+}
+
+// SubmitEncoded implements Policy: store to Mul-Buf2 (waiting for its swap —
+// the backpressure that keeps the network queue at depth ≤ 2), apply the
+// Algorithm 1 pacing, then swap Mul-Buf1. Priority frames skip the pacing
+// sleep entirely ("encoding and network transmission without any delay").
+func (o *ODR) SubmitEncoded(w core.Waiter, f *frame.Frame, encodeStart time.Duration) {
+	if o.opts.DisableMulBuf2 {
+		o.sb.push(f)
+	} else if f.Priority && !o.opts.DisablePriority {
+		for _, d := range o.buf2.PutPriority(f) {
+			o.ctx.drop(d)
+		}
+	} else {
+		o.buf2.Put(w, f)
+	}
+	if f.Priority && !o.opts.DisablePriority {
+		o.pacer.SkipFrame()
+	} else if d := o.pacer.PaceAfter(encodeStart, o.ctx.Dom.Now()); d > 0 {
+		w.Sleep(d)
+	}
+	o.buf1.Release()
+}
+
+// AcquireForSend implements Policy.
+func (o *ODR) AcquireForSend(w core.Waiter) *frame.Frame {
+	if o.opts.DisableMulBuf2 {
+		return o.sb.pop(w)
+	}
+	return o.buf2.Acquire(w)
+}
+
+// DoneSend implements Policy: releasing Mul-Buf2 only after transmission
+// completes extends the backpressure across the network's serialization
+// time.
+func (o *ODR) DoneSend(*frame.Frame) {
+	if !o.opts.DisableMulBuf2 {
+		o.buf2.Release()
+	}
+}
+
+// DisplayTime implements Policy: immediate display.
+func (o *ODR) DisplayTime(_ *frame.Frame, decodeEnd time.Duration) (time.Duration, bool) {
+	return decodeEnd, true
+}
+
+// OnWindow implements Policy.
+func (o *ODR) OnWindow(renderFPS, clientFPS float64) {}
+
+// SendBacklog implements Policy: Mul-Buf2 holds at most one pending frame.
+func (o *ODR) SendBacklog() int {
+	if o.opts.DisableMulBuf2 {
+		return o.sb.depthBytes()
+	}
+	return 0
+}
+
+// Pacer exposes the regulator state for tests and diagnostics.
+func (o *ODR) Pacer() *core.Pacer { return o.pacer }
+
+// BufferDrops returns the obsolete frames dropped by PriorityFrame.
+func (o *ODR) BufferDrops() int64 { return o.buf1.Drops() + o.buf2.Drops() }
+
+// Close implements Policy.
+func (o *ODR) Close() {
+	o.buf1.Close()
+	o.buf2.Close()
+	if o.sb != nil {
+		o.sb.close()
+	}
+}
+
+// MaxBacklogBytes implements MaxBacklogger: with Mul-Buf2 the backlog is at
+// most one frame; the ablation's send buffer reports its high-water mark.
+func (o *ODR) MaxBacklogBytes() int {
+	if o.opts.DisableMulBuf2 {
+		return o.sb.maxBytes()
+	}
+	return 0
+}

@@ -1,0 +1,220 @@
+// Package regulator implements the FPS-regulation policies evaluated in the
+// paper, for use inside the discrete-event pipeline simulator:
+//
+//   - NoReg: no regulation (§4.1) — rendering free-runs, excess frames drop.
+//   - Interval: interval-based software regulation (§2, §4.1), in fixed-FPS
+//     (Int30/Int60) and adaptive maximize-FPS (IntMax) flavours.
+//   - RVS: Remote VSync (§2, §4.1) — vblank-slack feedback from the client
+//     delays rendering, scaled by the cc low-pass filter.
+//   - ODR: OnDemand Rendering (§5) — multi-buffering, the accelerate-or-delay
+//     pacer of Algorithm 1, and PriorityFrame; with switches for the
+//     ODRMax-noPri and ablation variants.
+//
+// A Policy supplies the hook points of the pipeline's stages. The stages
+// call them in this order:
+//
+//	renderer: RenderGate -> (render) -> SubmitRendered
+//	proxy:    AcquireForEncode -> (copy+encode) -> SubmitEncoded
+//	network:  AcquireForSend -> (transmit) -> DoneSend
+//	client:   (decode) -> DisplayTime
+package regulator
+
+import (
+	"time"
+
+	"odr/internal/core"
+	"odr/internal/frame"
+	"odr/internal/netsim"
+	"odr/internal/sim"
+	"odr/internal/simrt"
+)
+
+// Ctx gives policies access to the simulation environment and the shared
+// input box (the pipeline owns both).
+type Ctx struct {
+	Env    *sim.Env
+	Dom    *simrt.Domain
+	Link   *netsim.Link         // used by RVS for the feedback path delay
+	Inputs *core.InputBox       // server-side pending user inputs
+	Buffer int                  // send-buffer capacity in bytes (push policies)
+	OnDrop func(f *frame.Frame) // invoked whenever a frame is discarded
+}
+
+func (c *Ctx) drop(f *frame.Frame) {
+	if c.OnDrop != nil {
+		c.OnDrop(f)
+	}
+}
+
+// Policy is one FPS-regulation strategy.
+type Policy interface {
+	// Name returns the configuration label ("NoReg", "ODR60", ...).
+	Name() string
+
+	// RenderGate blocks the renderer until it may render the next frame.
+	// It reports whether the frame should be treated as a priority
+	// (input-triggered) frame.
+	RenderGate(w core.Waiter) (priority bool)
+
+	// SubmitRendered hands a rendered frame toward the proxy. It may block
+	// (ODR's Mul-Buf1) or drop an older frame (NoReg's latest-wins slot).
+	SubmitRendered(w core.Waiter, f *frame.Frame)
+
+	// AcquireForEncode blocks the proxy until a frame is ready; nil means
+	// the pipeline is shutting down.
+	AcquireForEncode(w core.Waiter) *frame.Frame
+
+	// SubmitEncoded hands an encoded frame toward the network and applies
+	// any post-encode pacing (ODR's Algorithm 1 sleep). encodeStart is
+	// when the proxy began working on the frame.
+	SubmitEncoded(w core.Waiter, f *frame.Frame, encodeStart time.Duration)
+
+	// AcquireForSend blocks the network until a frame is ready to
+	// transmit; nil means shutdown.
+	AcquireForSend(w core.Waiter) *frame.Frame
+
+	// DoneSend tells the policy the transmission completed (ODR releases
+	// Mul-Buf2 here so its backpressure covers transmission time).
+	DoneSend(f *frame.Frame)
+
+	// DisplayTime maps a frame's decode-completion time to its display
+	// time (RVS displays on the next vblank; others display immediately).
+	// The second result is false if the client discards the frame (RVS
+	// drops frames that lost their vblank slot).
+	DisplayTime(f *frame.Frame, decodeEnd time.Duration) (time.Duration, bool)
+
+	// OnWindow feeds windowed cloud-render and client FPS observations to
+	// adaptive policies (IntMax).
+	OnWindow(renderFPS, clientFPS float64)
+
+	// SendBacklog reports the bytes queued ahead of the network stage.
+	// A deep backlog means the transport is congested: the network model
+	// charges extra serialization time for retransmissions and contention
+	// (ODR's Mul-Buf2 keeps this at, at most, one frame).
+	SendBacklog() int
+
+	// Close releases all blocked stages.
+	Close()
+}
+
+// mailbox is the latest-wins single-frame slot used by the push policies
+// (NoReg, Interval, RVS) between renderer and proxy: a newer frame
+// overwrites an un-encoded older one, which is exactly how excessive
+// rendering turns into dropped frames and wasted work.
+type mailbox struct {
+	ctx    *Ctx
+	cond   core.Cond
+	f      *frame.Frame
+	closed bool
+}
+
+func newMailbox(ctx *Ctx) *mailbox {
+	return &mailbox{ctx: ctx, cond: ctx.Dom.NewCond()}
+}
+
+func (m *mailbox) putLatest(f *frame.Frame) {
+	mu := m.ctx.Dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	if m.closed {
+		return
+	}
+	if m.f != nil {
+		m.ctx.drop(m.f)
+	}
+	m.f = f
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) take(w core.Waiter) *frame.Frame {
+	mu := m.ctx.Dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	for m.f == nil && !m.closed {
+		w.Wait(m.cond)
+	}
+	f := m.f
+	m.f = nil
+	return f
+}
+
+func (m *mailbox) close() {
+	mu := m.ctx.Dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// sendBuf is the byte-capacity tail-drop send buffer used by the push
+// policies between proxy and network: the socket/bottleneck queue whose
+// depth is the source of NoReg's congestion latency.
+type sendBuf struct {
+	ctx    *Ctx
+	cond   core.Cond
+	q      *netsim.ByteQueue[*frame.Frame]
+	closed bool
+}
+
+func newSendBuf(ctx *Ctx) *sendBuf {
+	capBytes := ctx.Buffer
+	return &sendBuf{
+		ctx:  ctx,
+		cond: ctx.Dom.NewCond(),
+		q:    netsim.NewByteQueue[*frame.Frame](capBytes),
+	}
+}
+
+func (s *sendBuf) push(f *frame.Frame) {
+	mu := s.ctx.Dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	if s.closed {
+		return
+	}
+	if !s.q.Push(f, f.Bytes) {
+		s.ctx.drop(f)
+		return
+	}
+	s.cond.Broadcast()
+}
+
+func (s *sendBuf) pop(w core.Waiter) *frame.Frame {
+	mu := s.ctx.Dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	for s.q.Len() == 0 && !s.closed {
+		w.Wait(s.cond)
+	}
+	f, _ := s.q.Pop()
+	return f
+}
+
+func (s *sendBuf) close() {
+	mu := s.ctx.Dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+func (s *sendBuf) depthBytes() int {
+	mu := s.ctx.Dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	return s.q.Bytes()
+}
+
+func (s *sendBuf) maxBytes() int {
+	mu := s.ctx.Dom.Locker()
+	mu.Lock()
+	defer mu.Unlock()
+	return s.q.MaxBytes()
+}
+
+// MaxBacklogger is implemented by policies that buffer encoded frames ahead
+// of the network; the pipeline reports the high-water mark as a congestion
+// diagnostic.
+type MaxBacklogger interface {
+	MaxBacklogBytes() int
+}

@@ -1,0 +1,435 @@
+package regulator
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/core"
+	"odr/internal/frame"
+	"odr/internal/netsim"
+	"odr/internal/sim"
+	"odr/internal/simrt"
+)
+
+const ms = time.Millisecond
+
+type fixture struct {
+	env     *sim.Env
+	ctx     *Ctx
+	dropped []*frame.Frame
+}
+
+func newFixture(netParams netsim.Params) *fixture {
+	env := sim.NewEnv()
+	dom := simrt.NewDomain(env)
+	f := &fixture{env: env}
+	f.ctx = &Ctx{
+		Env:    env,
+		Dom:    dom,
+		Link:   netsim.NewLink(netParams, 1),
+		Inputs: core.NewInputBox(dom),
+		Buffer: 1 << 20,
+		OnDrop: func(fr *frame.Frame) { f.dropped = append(f.dropped, fr) },
+	}
+	return f
+}
+
+func defaultNet() netsim.Params {
+	return netsim.Params{RTT: 2 * ms, Jitter: 0.05, Bandwidth: 100e6 / 8, BufferBytes: 1 << 20}
+}
+
+func TestMailboxLatestWins(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewNoReg(f.ctx)
+	var got *frame.Frame
+	f.env.Spawn("producer", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		p.SubmitRendered(w, &frame.Frame{Seq: 1})
+		p.SubmitRendered(w, &frame.Frame{Seq: 2})
+		p.SubmitRendered(w, &frame.Frame{Seq: 3})
+	})
+	f.env.Spawn("consumer", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		pr.Sleep(ms)
+		got = p.AcquireForEncode(w)
+	})
+	f.env.RunAll()
+	f.env.Shutdown()
+	if got == nil || got.Seq != 3 {
+		t.Fatalf("got %+v, want latest frame (Seq 3)", got)
+	}
+	if len(f.dropped) != 2 {
+		t.Fatalf("dropped %d frames, want 2", len(f.dropped))
+	}
+}
+
+func TestNoRegNeverGates(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewNoReg(f.ctx)
+	var gateTime time.Duration
+	f.env.Spawn("renderer", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		for i := 0; i < 100; i++ {
+			p.RenderGate(w)
+		}
+		gateTime = pr.Now()
+	})
+	f.env.RunAll()
+	f.env.Shutdown()
+	if gateTime != 0 {
+		t.Fatalf("NoReg gates consumed %v of virtual time", gateTime)
+	}
+}
+
+func TestIntervalGateAlignsToGrid(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewInterval(f.ctx, 100) // 10ms grid
+	var starts []time.Duration
+	f.env.Spawn("renderer", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		for i := 0; i < 5; i++ {
+			p.RenderGate(w)
+			starts = append(starts, pr.Now())
+			pr.Sleep(3 * ms) // render faster than the interval
+		}
+	})
+	f.env.RunAll()
+	f.env.Shutdown()
+	for i, s := range starts {
+		if s%(10*ms) != 0 {
+			t.Fatalf("render %d started off-grid at %v", i, s)
+		}
+	}
+}
+
+func TestIntervalOverrunSkipsGridSlots(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewInterval(f.ctx, 100)
+	var starts []time.Duration
+	f.env.Spawn("renderer", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		p.RenderGate(w)
+		starts = append(starts, pr.Now())
+		pr.Sleep(25 * ms) // overruns 2.5 intervals
+		p.RenderGate(w)
+		starts = append(starts, pr.Now())
+	})
+	f.env.RunAll()
+	f.env.Shutdown()
+	// The first render starts on the first grid slot (10ms). Its 25ms
+	// render runs to 35ms, so the 20ms and 30ms slots are lost forever
+	// (the §4.1 pathology) and the next start is 40ms.
+	if starts[0] != 10*ms {
+		t.Fatalf("first start = %v, want 10ms", starts[0])
+	}
+	if starts[1] != 40*ms {
+		t.Fatalf("post-overrun start = %v, want 40ms", starts[1])
+	}
+}
+
+func TestIntMaxRatchetsDownNeverUp(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewInterval(f.ctx, 0)
+	if !p.adaptive {
+		t.Fatal("IntMax should be adaptive")
+	}
+	p.OnWindow(100, 50) // gap of 50: slow down toward 50
+	first := p.CurrentIntervalMs()
+	if first < 19 || first > 22 {
+		t.Fatalf("interval after first violation = %.1fms, want ~20.7", first)
+	}
+	p.OnWindow(52, 50) // gap below threshold: no change
+	if p.CurrentIntervalMs() != first {
+		t.Fatal("small gap should not adjust")
+	}
+	p.OnWindow(100, 80) // another violation: must not speed up
+	if p.CurrentIntervalMs() < first {
+		t.Fatal("IntMax sped up — it must only ratchet down")
+	}
+	for i := 0; i < 1000; i++ {
+		p.OnWindow(100, 20)
+	}
+	if p.TargetFPS() < 10-1e-9 {
+		t.Fatalf("ratchet went below the 10FPS floor: %.1f", p.TargetFPS())
+	}
+}
+
+func TestIntervalProxyPollAddsLatency(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewInterval(f.ctx, 100) // 10ms grid
+	var acquired time.Duration
+	f.env.Spawn("producer", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		pr.Sleep(12 * ms)
+		p.SubmitRendered(w, &frame.Frame{Seq: 1})
+	})
+	f.env.Spawn("proxy", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		p.AcquireForEncode(w)
+		acquired = pr.Now()
+	})
+	f.env.RunAll()
+	f.env.Shutdown()
+	// Frame ready at 12ms; the proxy grabs it at the next poll tick, 20ms.
+	if acquired != 20*ms {
+		t.Fatalf("acquired at %v, want 20ms (next poll tick)", acquired)
+	}
+}
+
+func TestRVSDisplayOnVblankAndDrop(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewRVS(f.ctx, 60, 0.25)
+	fr1 := &frame.Frame{Seq: 1}
+	disp1, ok1 := p.DisplayTime(fr1, 20*ms)
+	if !ok1 {
+		t.Fatal("first frame dropped")
+	}
+	period := time.Second / 60
+	if disp1 != 2*period { // next vblank after 20ms is 33.3ms
+		t.Fatalf("display at %v, want %v", disp1, 2*period)
+	}
+	// A frame decoding within the same vblank window is dropped.
+	if _, ok := p.DisplayTime(&frame.Frame{Seq: 2}, 21*ms); ok {
+		t.Fatal("same-vblank frame should be dropped")
+	}
+	if len(f.dropped) != 1 {
+		t.Fatalf("dropped = %d, want 1", len(f.dropped))
+	}
+	// The next vblank is free again.
+	if _, ok := p.DisplayTime(&frame.Frame{Seq: 3}, 35*ms); !ok {
+		t.Fatal("next-vblank frame should display")
+	}
+}
+
+func TestRVSFeedbackDelaysRender(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewRVS(f.ctx, 60, 1.0)
+	// Consume the priming tokens and stall the gate, then deliver display
+	// feedback and check the gate resumes with the cc-scaled delay.
+	var gateDone time.Duration
+	f.env.Spawn("renderer", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		// One more gate than the priming-token depth, so the last gate
+		// must wait for real feedback.
+		for i := 0; i < 5; i++ {
+			p.RenderGate(w)
+		}
+		gateDone = pr.Now()
+	})
+	f.env.Spawn("client", func(pr *sim.Proc) {
+		pr.Sleep(5 * ms)
+		p.DisplayTime(&frame.Frame{Seq: 1}, pr.Now())
+	})
+	f.env.RunAll()
+	f.env.Shutdown()
+	if p.FeedbackSent() != 1 {
+		t.Fatalf("feedback sent = %d", p.FeedbackSent())
+	}
+	if p.CurrentDelay() <= 0 {
+		t.Fatal("feedback did not set a render delay")
+	}
+	if gateDone <= 5*ms {
+		t.Fatalf("gate finished at %v: 4th render should wait for feedback", gateDone)
+	}
+}
+
+func TestODRLabels(t *testing.T) {
+	f := newFixture(defaultNet())
+	cases := []struct {
+		opts ODROptions
+		want string
+	}{
+		{ODROptions{}, "ODRMax"},
+		{ODROptions{TargetFPS: 60}, "ODR60"},
+		{ODROptions{TargetFPS: 30}, "ODR30"},
+		{ODROptions{DisablePriority: true}, "ODRMax-noPri"},
+		{ODROptions{TargetFPS: 60, DelayOnly: true}, "ODR60-delayOnly"},
+		{ODROptions{DisableMulBuf2: true}, "ODRMax-noBuf2"},
+	}
+	for _, c := range cases {
+		if got := NewODR(f.ctx, c.opts).Name(); got != c.want {
+			t.Errorf("label = %q, want %q", got, c.want)
+		}
+	}
+	f.env.Shutdown()
+}
+
+func TestOtherLabels(t *testing.T) {
+	f := newFixture(defaultNet())
+	if NewNoReg(f.ctx).Name() != "NoReg" {
+		t.Fatal("NoReg label")
+	}
+	if NewInterval(f.ctx, 60).Name() != "Int60" {
+		t.Fatal("Int60 label")
+	}
+	if NewInterval(f.ctx, 0).Name() != "IntMax" {
+		t.Fatal("IntMax label")
+	}
+	if NewRVS(f.ctx, 60, 0).Name() != "RVS60" {
+		t.Fatal("RVS60 label")
+	}
+	if NewRVS(f.ctx, 240, 0).Name() != "RVSMax" {
+		t.Fatal("RVSMax label")
+	}
+	f.env.Shutdown()
+}
+
+func TestODRPriorityFrameJumpsQueue(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewODR(f.ctx, ODROptions{TargetFPS: 60})
+	var order []uint64
+	f.env.Spawn("renderer", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		p.SubmitRendered(w, &frame.Frame{Seq: 1})
+		pr.Sleep(2 * ms) // let the proxy start encoding frame 1
+		p.SubmitRendered(w, &frame.Frame{Seq: 2})
+		// An input-triggered frame arrives: it must replace Seq 2 (queued,
+		// un-encoded) while frame 1, already being encoded, survives.
+		p.SubmitRendered(w, &frame.Frame{Seq: 3, Priority: true})
+	})
+	f.env.Spawn("proxy", func(pr *sim.Proc) {
+		w := simrt.NewWaiter(pr)
+		pr.Sleep(ms)
+		for i := 0; i < 2; i++ {
+			fr := p.AcquireForEncode(w)
+			if fr == nil {
+				return
+			}
+			order = append(order, fr.Seq)
+			pr.Sleep(2 * ms)
+			p.SubmitEncoded(w, fr, pr.Now()-2*ms)
+		}
+	})
+	f.env.Run(200 * ms)
+	f.env.Shutdown()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("encode order = %v, want [1 3] (priority frame replaced 2)", order)
+	}
+	// Frame 2 is dropped un-encoded from Mul-Buf1; frame 1, encoded but
+	// never transmitted (no network stage in this fixture), is dropped from
+	// Mul-Buf2 when the priority frame replaces it there too.
+	var seqs []uint64
+	for _, d := range f.dropped {
+		seqs = append(seqs, d.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 2 || seqs[1] != 1 {
+		t.Fatalf("dropped = %v, want [2 1]", seqs)
+	}
+}
+
+func TestODRSendBacklogZeroWithMulBuf2(t *testing.T) {
+	f := newFixture(defaultNet())
+	p := NewODR(f.ctx, ODROptions{})
+	if p.SendBacklog() != 0 {
+		t.Fatal("Mul-Buf2 backlog must be 0")
+	}
+	f.env.Shutdown()
+}
+
+func TestSendBufTailDropsAndCounts(t *testing.T) {
+	f := newFixture(netsim.Params{RTT: 2 * ms, Bandwidth: 1e6, BufferBytes: 100 << 10})
+	f.ctx.Buffer = 100 << 10
+	p := NewNoReg(f.ctx)
+	var w core.Waiter
+	f.env.Spawn("proxy", func(pr *sim.Proc) {
+		w = simrt.NewWaiter(pr)
+		for i := 0; i < 5; i++ {
+			p.SubmitEncoded(w, &frame.Frame{Seq: uint64(i), Bytes: 30 << 10}, 0)
+		}
+	})
+	f.env.RunAll()
+	f.env.Shutdown()
+	// 100KB buffer fits 3 x 30KB; 2 dropped.
+	if len(f.dropped) != 2 {
+		t.Fatalf("dropped %d, want 2", len(f.dropped))
+	}
+	if p.QueuedBytes() != 90<<10 {
+		t.Fatalf("QueuedBytes = %d", p.QueuedBytes())
+	}
+}
+
+func TestPoliciesCloseCleanly(t *testing.T) {
+	f := newFixture(defaultNet())
+	policies := []Policy{
+		NewNoReg(f.ctx),
+		NewInterval(f.ctx, 60),
+		NewRVS(f.ctx, 60, 0),
+		NewODR(f.ctx, ODROptions{TargetFPS: 60}),
+	}
+	var unblocked int
+	for _, p := range policies {
+		p := p
+		f.env.Spawn("enc", func(pr *sim.Proc) {
+			w := simrt.NewWaiter(pr)
+			if p.AcquireForEncode(w) == nil {
+				unblocked++
+			}
+		})
+		f.env.Spawn("net", func(pr *sim.Proc) {
+			w := simrt.NewWaiter(pr)
+			if p.AcquireForSend(w) == nil {
+				unblocked++
+			}
+		})
+	}
+	f.env.After(10*ms, func() {
+		for _, p := range policies {
+			p.Close()
+		}
+	})
+	f.env.RunAll()
+	f.env.Shutdown()
+	if unblocked != len(policies)*2 {
+		t.Fatalf("unblocked %d of %d stage waits", unblocked, len(policies)*2)
+	}
+}
+
+func TestODRAutoStepsDownAndRecovers(t *testing.T) {
+	f := newFixture(defaultNet())
+	a := NewODRAuto(f.ctx, 60, 20)
+	if a.Name() != "ODRAuto60" {
+		t.Fatalf("label = %q", a.Name())
+	}
+	if a.Target() != 60 {
+		t.Fatalf("initial target = %v", a.Target())
+	}
+	// Three windows well below target: step down.
+	for i := 0; i < 3; i++ {
+		a.OnWindow(60, 40)
+	}
+	if a.Target() >= 60 {
+		t.Fatalf("target did not step down: %v", a.Target())
+	}
+	down := a.Target()
+	// Ten windows at target: step back up.
+	for i := 0; i < 10; i++ {
+		a.OnWindow(down, down)
+	}
+	if a.Target() <= down {
+		t.Fatalf("target did not recover: %v", a.Target())
+	}
+	// Sustained collapse bottoms out at the floor.
+	for i := 0; i < 200; i++ {
+		a.OnWindow(60, 5)
+	}
+	if a.Target() < 20-1e-9 {
+		t.Fatalf("target fell below the floor: %v", a.Target())
+	}
+	// The pacer must track the controller.
+	if got := float64(time.Second) / float64(a.Pacer().Interval()); got != a.Target() {
+		t.Fatalf("pacer at %.1f FPS, controller at %.1f", got, a.Target())
+	}
+	f.env.Shutdown()
+}
+
+func TestODRAutoIgnoresEmptyWindows(t *testing.T) {
+	f := newFixture(defaultNet())
+	a := NewODRAuto(f.ctx, 60, 0)
+	for i := 0; i < 10; i++ {
+		a.OnWindow(0, 0)
+	}
+	if a.Target() != 60 {
+		t.Fatalf("empty windows moved the target to %v", a.Target())
+	}
+	f.env.Shutdown()
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw calendar throughput: schedule+fire
+// of kernel callbacks.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEnv()
+	fired := 0
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i), func() { fired++ })
+	}
+	b.ResetTimer()
+	e.RunAll()
+	if fired != b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
+
+// BenchmarkProcessSwitch measures the cost of one process suspend/resume
+// round trip (the goroutine ping-pong at the heart of the kernel).
+func BenchmarkProcessSwitch(b *testing.B) {
+	e := NewEnv()
+	e.Spawn("spinner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.RunAll()
+	e.Shutdown()
+}
+
+// BenchmarkQueueHandoff measures producer/consumer handoff through a
+// bounded queue — the pattern every pipeline stage pair uses.
+func BenchmarkQueueHandoff(b *testing.B) {
+	e := NewEnv()
+	q := NewQueue[int](e, 2)
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+	})
+	received := 0
+	e.Spawn("consumer", func(p *Proc) {
+		for received < b.N {
+			q.Get(p)
+			received++
+		}
+	})
+	b.ResetTimer()
+	e.RunAll()
+	e.Shutdown()
+	if received != b.N {
+		b.Fatalf("received %d of %d", received, b.N)
+	}
+}
+
+// BenchmarkSignalBroadcast measures waking a set of waiters.
+func BenchmarkSignalBroadcast(b *testing.B) {
+	e := NewEnv()
+	s := NewSignal(e)
+	const waiters = 8
+	for w := 0; w < waiters; w++ {
+		e.Spawn("waiter", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Wait(s)
+			}
+		})
+	}
+	e.Spawn("caster", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+			s.Broadcast()
+		}
+	})
+	b.ResetTimer()
+	e.RunAll()
+	e.Shutdown()
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestKernelRandomScheduleProperty drives a randomized mesh of processes,
+// signals and queues and checks the global kernel invariants: time never
+// goes backwards, every run is deterministic for its seed, and the kernel
+// neither deadlocks nor leaks processes after Shutdown.
+func TestKernelRandomScheduleProperty(t *testing.T) {
+	run := func(seed int64) (events int, final Time) {
+		// NOTE: a t.Fatalf inside a process goroutine would runtime.Goexit
+		// without completing the kernel handshake and deadlock the test, so
+		// invariant violations are recorded and reported afterwards.
+		var violation string
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEnv()
+		nSignals := 2 + rng.Intn(3)
+		signals := make([]*Signal, nSignals)
+		for i := range signals {
+			signals[i] = NewSignal(e)
+		}
+		nQueues := 1 + rng.Intn(3)
+		queues := make([]*Queue[int], nQueues)
+		for i := range queues {
+			queues[i] = NewQueue[int](e, rng.Intn(4)) // some unbounded
+		}
+		var count int
+		var lastNow Time
+		check := func(p *Proc) {
+			if p.Now() < lastNow && violation == "" {
+				violation = fmt.Sprintf("time went backwards: %v after %v", p.Now(), lastNow)
+			}
+			lastNow = p.Now()
+			count++
+		}
+		nProcs := 3 + rng.Intn(6)
+		for i := 0; i < nProcs; i++ {
+			// Each process gets its own deterministic op stream.
+			prng := rand.New(rand.NewSource(seed*31 + int64(i)))
+			e.Spawn("p", func(p *Proc) {
+				for op := 0; op < 40; op++ {
+					check(p)
+					switch prng.Intn(6) {
+					case 0:
+						p.Sleep(time.Duration(prng.Intn(5000)) * time.Microsecond)
+					case 1:
+						p.WaitTimeout(signals[prng.Intn(nSignals)], time.Duration(1+prng.Intn(3000))*time.Microsecond)
+					case 2:
+						signals[prng.Intn(nSignals)].Broadcast()
+					case 3:
+						queues[prng.Intn(nQueues)].PutDrop(op)
+					case 4:
+						queues[prng.Intn(nQueues)].TryGet()
+					case 5:
+						q := queues[prng.Intn(nQueues)]
+						// Bounded wait so the mesh cannot deadlock the test.
+						if v, ok := q.TryGet(); ok {
+							_ = v
+						} else {
+							p.WaitTimeout(signals[prng.Intn(nSignals)], time.Millisecond)
+						}
+					}
+				}
+			})
+		}
+		end := e.Run(2 * time.Second)
+		e.Shutdown()
+		if violation != "" {
+			t.Fatal(violation)
+		}
+		if live := e.Live(); live != 0 {
+			t.Fatalf("Shutdown leaked %d processes", live)
+		}
+		return count, end
+	}
+	f := func(seed int64) bool {
+		c1, t1 := run(seed)
+		c2, t2 := run(seed)
+		return c1 == c2 && t1 == t2 && c1 > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownAfterWaitTimeoutStaleEvents is the regression test for the
+// Shutdown deadlock: canceled timeout arms and already-unwound processes
+// must not be re-woken from the calendar.
+func TestShutdownAfterWaitTimeoutStaleEvents(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	// Waiter whose signal arm wins, leaving a canceled timeout in the heap.
+	e.Spawn("signaled", func(p *Proc) {
+		p.WaitTimeout(s, time.Hour)
+		p.Sleep(time.Hour) // then parks with a live event
+	})
+	e.Spawn("caster", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		s.Broadcast()
+	})
+	done := make(chan struct{})
+	go func() {
+		e.Run(10 * time.Millisecond)
+		e.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown deadlocked on stale calendar events")
+	}
+	if e.Live() != 0 {
+		t.Fatalf("leaked %d processes", e.Live())
+	}
+}
+
+// TestSameTimestampBroadcastAndTimeout is the regression test for the stray
+// resume bug: a Broadcast and a WaitTimeout expiry at the same virtual
+// instant, with the broadcaster's event ordered first, must not leave a
+// stray resume that spuriously wakes (or deadlocks on) the process later.
+func TestSameTimestampBroadcastAndTimeout(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	var sleptUntil Time
+	// Order matters: the broadcaster spawns first so its t=1ms resume has a
+	// smaller sequence number than the waiter's timeout event.
+	e.Spawn("broadcaster", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		s.Broadcast()
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		p.WaitTimeout(s, time.Millisecond)
+		// The stray broadcast-resume used to interrupt this sleep (or, if
+		// the process had finished, deadlock the kernel).
+		p.Sleep(time.Hour)
+		sleptUntil = p.Now()
+	})
+	done := make(chan struct{})
+	go func() {
+		e.RunAll()
+		e.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("kernel deadlocked on a stray resume event")
+	}
+	if want := time.Millisecond + time.Hour; sleptUntil != want {
+		t.Fatalf("sleep was cut short at %v (spurious wake), want %v", sleptUntil, want)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+// Queue is a bounded FIFO connecting simulation processes. Put blocks while
+// the queue is full; Get blocks while it is empty. A capacity of 0 means
+// unbounded. Queue also tracks high-water mark and drop counts for the
+// non-blocking TryPut/PutDrop variants, which model tail-drop network buffers.
+type Queue[T any] struct {
+	env      *Env
+	items    []T
+	capacity int
+	notEmpty *Signal
+	notFull  *Signal
+
+	// Stats.
+	puts     int64
+	gets     int64
+	drops    int64
+	maxDepth int
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](e *Env, capacity int) *Queue[T] {
+	return &Queue[T]{
+		env:      e,
+		capacity: capacity,
+		notEmpty: NewSignal(e),
+		notFull:  NewSignal(e),
+	}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Puts returns the number of successfully enqueued items.
+func (q *Queue[T]) Puts() int64 { return q.puts }
+
+// Gets returns the number of dequeued items.
+func (q *Queue[T]) Gets() int64 { return q.gets }
+
+// Drops returns the number of items rejected by PutDrop.
+func (q *Queue[T]) Drops() int64 { return q.drops }
+
+// MaxDepth returns the high-water mark of the queue length.
+func (q *Queue[T]) MaxDepth() int { return q.maxDepth }
+
+func (q *Queue[T]) full() bool {
+	return q.capacity > 0 && len(q.items) >= q.capacity
+}
+
+func (q *Queue[T]) push(v T) {
+	q.items = append(q.items, v)
+	q.puts++
+	if len(q.items) > q.maxDepth {
+		q.maxDepth = len(q.items)
+	}
+	q.notEmpty.Broadcast()
+}
+
+// Put enqueues v, blocking the process while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.full() {
+		p.Wait(q.notFull)
+	}
+	q.push(v)
+}
+
+// TryPut enqueues v if there is room and reports whether it did.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.full() {
+		return false
+	}
+	q.push(v)
+	return true
+}
+
+// PutDrop enqueues v if there is room; otherwise it drops v and increments
+// the drop counter. It reports whether v was enqueued. This models tail-drop
+// buffering (e.g. a network socket buffer).
+func (q *Queue[T]) PutDrop(v T) bool {
+	if q.TryPut(v) {
+		return true
+	}
+	q.drops++
+	return false
+}
+
+// Get dequeues the oldest item, blocking the process while the queue is
+// empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		p.Wait(q.notEmpty)
+	}
+	return q.pop()
+}
+
+// TryGet dequeues the oldest item if one is buffered.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.pop(), true
+}
+
+func (q *Queue[T]) pop() T {
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.gets++
+	q.notFull.Broadcast()
+	return v
+}
+
+// Drain removes and returns all buffered items without blocking.
+func (q *Queue[T]) Drain() []T {
+	out := q.items
+	q.items = nil
+	q.gets += int64(len(out))
+	if len(out) > 0 {
+		q.notFull.Broadcast()
+	}
+	return out
+}
+
+// Filter removes every buffered item for which keep returns false and
+// returns the removed items (oldest first). Used by PriorityFrame to drop
+// obsolete frames that are queued but not yet sent.
+func (q *Queue[T]) Filter(keep func(T) bool) []T {
+	var kept []T
+	var removed []T
+	for _, v := range q.items {
+		if keep(v) {
+			kept = append(kept, v)
+		} else {
+			removed = append(removed, v)
+		}
+	}
+	q.items = kept
+	if len(removed) > 0 {
+		q.notFull.Broadcast()
+	}
+	return removed
+}

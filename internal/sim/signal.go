@@ -1,0 +1,84 @@
+package sim
+
+// Signal is a broadcast condition variable for simulation processes.
+// Processes wait on it with Proc.Wait / Proc.WaitTimeout; any code running in
+// kernel context (a process or an After callback) wakes all waiters with
+// Broadcast. Because the kernel is single-threaded there are no lost-wakeup
+// hazards, but as with any condition variable, waiters must re-check their
+// predicate in a loop.
+type Signal struct {
+	env     *Env
+	waiters []*signalWaiter
+}
+
+type signalWaiter struct {
+	proc     *Proc
+	canceled bool // set when the wait was satisfied some other way (timeout)
+	signaled bool // set by Broadcast before resuming
+	// done, when non-nil, is shared with the waiter's other wake-up arm
+	// (the timeout event): whichever arm resumes the process first sets it,
+	// canceling the other arm's already-scheduled event. Without this, a
+	// Broadcast and a timeout landing on the same timestamp would leave a
+	// stray resume in the calendar that later wakes the process spuriously
+	// (or wakes a finished process, deadlocking the kernel).
+	done *bool
+}
+
+// NewSignal returns a Signal bound to e.
+func NewSignal(e *Env) *Signal { return &Signal{env: e} }
+
+// Broadcast wakes every process currently waiting on s. Waiters resume at the
+// current virtual time, in the order they started waiting, after the caller
+// next parks.
+func (s *Signal) Broadcast() {
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		if w.canceled || (w.done != nil && *w.done) {
+			continue
+		}
+		w.signaled = true
+		s.env.schedule(s.env.now, &event{proc: w.proc, canceled: w.done})
+	}
+}
+
+// Waiters reports how many processes are currently waiting on s.
+func (s *Signal) Waiters() int {
+	n := 0
+	for _, w := range s.waiters {
+		if !w.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Wait blocks the process until the next Broadcast on s.
+func (p *Proc) Wait(s *Signal) {
+	w := &signalWaiter{proc: p}
+	s.waiters = append(s.waiters, w)
+	p.park()
+}
+
+// WaitTimeout blocks the process until the next Broadcast on s or until d has
+// elapsed, whichever comes first. It reports whether the signal fired (true)
+// or the timeout expired (false). A Broadcast and a timeout scheduled for the
+// same instant resolve in calendar order.
+func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
+	if d <= 0 {
+		// Degenerate wait: check nothing, time out immediately, but still
+		// yield so that the caller observes consistent scheduling.
+		p.Sleep(0)
+		return false
+	}
+	done := false
+	w := &signalWaiter{proc: p, done: &done}
+	s.waiters = append(s.waiters, w)
+	p.env.schedule(p.env.now+d, &event{proc: p, canceled: &done})
+	p.park()
+	// Whichever arm woke us, cancel the other arm's pending event (both
+	// share the done flag) and detach from the signal.
+	done = true
+	w.canceled = true
+	return w.signaled
+}

@@ -1,0 +1,248 @@
+// Package sim provides a deterministic, process-based discrete-event
+// simulation kernel.
+//
+// A simulation is driven by an Env, which owns a virtual clock and an event
+// calendar. Simulation logic is written as ordinary Go functions ("processes")
+// spawned with Env.Spawn. Processes run as goroutines, but the kernel
+// cooperatively schedules them so that exactly one process executes at a time
+// and all interleavings are a deterministic function of the event calendar.
+// Processes advance virtual time by sleeping (Proc.Sleep) and synchronize with
+// each other through Signals (condition variables) and Queues (bounded FIFOs).
+//
+// The kernel is the substrate for the cloud-3D pipeline simulator: every
+// pipeline stage (renderer, server proxy, network, client) is a process, and
+// the paper's multi-buffers are built on Signals.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is virtual time, expressed as a duration since the start of the
+// simulation. Using time.Duration keeps arithmetic and formatting familiar.
+type Time = time.Duration
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// event is an entry in the calendar. Exactly one of proc / fn is set.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	proc *Proc  // process to resume
+	fn   func() // callback to invoke in kernel context
+	// canceled events stay in the heap but are skipped when popped.
+	canceled *bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus an event calendar.
+// An Env is not safe for concurrent use; all interaction must happen either
+// before Run, from within processes, or after Run returns.
+type Env struct {
+	now     Time
+	seq     uint64
+	events  eventQueue
+	yield   chan struct{} // a running process hands control back here
+	stopped bool          // set during Shutdown; parked procs panic-unwind
+	live    int           // number of spawned, not-yet-finished processes
+	parked  map[*Proc]struct{}
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enqueues ev at time at (>= now).
+func (e *Env) schedule(at Time, ev *event) {
+	if at < e.now {
+		at = e.now
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// After schedules fn to run in kernel context after delay d. It may be called
+// before Run or from within a process.
+func (e *Env) After(d Time, fn func()) {
+	e.schedule(e.now+d, &event{fn: fn})
+}
+
+// At schedules fn to run in kernel context at absolute virtual time t.
+func (e *Env) At(t Time, fn func()) {
+	e.schedule(t, &event{fn: fn})
+}
+
+// Proc is a simulation process. All methods must be called from within the
+// process's own function.
+type Proc struct {
+	env     *Env
+	name    string
+	wake    chan struct{}
+	started bool // the kernel has resumed this process at least once
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment this process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// errStopped unwinds process goroutines during Env.Shutdown.
+type stoppedError struct{}
+
+func (stoppedError) Error() string { return "sim: environment shut down" }
+
+// Spawn creates a process and schedules it to start at the current virtual
+// time. fn runs cooperatively: it executes until it blocks in Sleep/Wait or
+// returns.
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stoppedError); !ok {
+					panic(r)
+				}
+			}
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		<-p.wake // wait for the kernel to start us
+		if e.stopped {
+			panic(stoppedError{})
+		}
+		fn(p)
+	}()
+	e.schedule(e.now, &event{proc: p})
+	return p
+}
+
+// resumeProc hands control to p and waits for it to park or finish.
+func (e *Env) resumeProc(p *Proc) {
+	delete(e.parked, p)
+	p.started = true
+	p.wake <- struct{}{}
+	<-e.yield
+}
+
+// park transfers control back to the kernel until the process is resumed.
+func (p *Proc) park() {
+	e := p.env
+	e.parked[p] = struct{}{}
+	e.yield <- struct{}{}
+	<-p.wake
+	if e.stopped {
+		panic(stoppedError{})
+	}
+}
+
+// Sleep suspends the process for virtual duration d (d <= 0 yields: the
+// process is rescheduled at the current time, running after other events
+// already scheduled for this instant).
+func (p *Proc) Sleep(d Time) {
+	p.env.schedule(p.env.now+d, &event{proc: p})
+	p.park()
+}
+
+// Run executes events until the calendar is exhausted or the clock reaches
+// until, whichever comes first. It returns the virtual time at which it
+// stopped. Run may be called repeatedly to continue a simulation.
+func (e *Env) Run(until Time) Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled != nil && *ev.canceled {
+			continue
+		}
+		if ev.at > until {
+			// Put it back for a later Run call.
+			heap.Push(&e.events, ev)
+			e.now = until
+			return e.now
+		}
+		e.now = ev.at
+		switch {
+		case ev.proc != nil:
+			e.resumeProc(ev.proc)
+		case ev.fn != nil:
+			ev.fn()
+		}
+	}
+	if until != MaxTime && e.now < until {
+		// The calendar drained before the horizon: idle time passes.
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll executes events until the calendar is exhausted.
+func (e *Env) RunAll() Time { return e.Run(MaxTime) }
+
+// Shutdown unwinds every parked process goroutine. It must be called after
+// Run returns (never from within a process). The environment is unusable
+// afterwards. Calling Shutdown is optional but keeps long test runs from
+// accumulating parked goroutines.
+func (e *Env) Shutdown() {
+	e.stopped = true
+	for p := range e.parked {
+		delete(e.parked, p)
+		p.started = true
+		p.wake <- struct{}{}
+		<-e.yield
+	}
+	// Processes scheduled in the calendar but never started also hold
+	// goroutines waiting on wake. Stale events for processes that already
+	// ran (canceled timeout arms, events for procs just unwound above)
+	// must be skipped — their goroutines are gone.
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.proc != nil && !ev.proc.started {
+			ev.proc.started = true
+			ev.proc.wake <- struct{}{}
+			<-e.yield
+		}
+	}
+}
+
+// Live reports the number of spawned processes that have not finished.
+func (e *Env) Live() int { return e.live }
+
+// String implements fmt.Stringer for debugging.
+func (e *Env) String() string {
+	return fmt.Sprintf("sim.Env{now: %v, pending: %d, live: %d}", e.now, len(e.events), e.live)
+}

@@ -1,0 +1,454 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestEnvStartsAtZero(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestAfterRunsInOrder(t *testing.T) {
+	e := NewEnv()
+	var got []int
+	e.After(3*ms, func() { got = append(got, 3) })
+	e.After(1*ms, func() { got = append(got, 1) })
+	e.After(2*ms, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*ms {
+		t.Fatalf("Now() = %v, want 3ms", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEnv()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*ms, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	e := NewEnv()
+	fired := false
+	e.After(10*ms, func() { fired = true })
+	end := e.Run(4 * ms)
+	if end != 4*ms || fired {
+		t.Fatalf("Run(4ms) = %v, fired=%v; want 4ms, false", end, fired)
+	}
+	// Continue: the event must still fire.
+	e.Run(20 * ms)
+	if !fired || e.Now() != 20*ms {
+		t.Fatalf("after second Run: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := NewEnv()
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(7 * ms)
+		wake = p.Now()
+	})
+	e.RunAll()
+	if wake != 7*ms {
+		t.Fatalf("woke at %v, want 7ms", wake)
+	}
+}
+
+func TestProcSleepZeroYields(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.RunAll()
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSignalBroadcastWakesAllWaiters(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("waiter", func(p *Proc) {
+			p.Wait(s)
+			woken++
+		})
+	}
+	e.Spawn("caster", func(p *Proc) {
+		p.Sleep(10 * ms)
+		if s.Waiters() != 5 {
+			t.Errorf("Waiters() = %d, want 5", s.Waiters())
+		}
+		s.Broadcast()
+	})
+	e.RunAll()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+	if e.Now() != 10*ms {
+		t.Fatalf("Now() = %v, want 10ms", e.Now())
+	}
+}
+
+func TestSignalNoStaleWakeup(t *testing.T) {
+	// A Broadcast before anyone waits must not wake later waiters.
+	e := NewEnv()
+	s := NewSignal(e)
+	s.Broadcast()
+	timedOut := false
+	e.Spawn("late", func(p *Proc) {
+		if !p.WaitTimeout(s, 5*ms) {
+			timedOut = true
+		}
+	})
+	e.RunAll()
+	if !timedOut {
+		t.Fatal("late waiter was woken by a stale broadcast")
+	}
+}
+
+func TestWaitTimeoutSignalArrivesFirst(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	var signaled bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		signaled = p.WaitTimeout(s, 10*ms)
+		at = p.Now()
+	})
+	e.After(3*ms, func() { s.Broadcast() })
+	e.RunAll()
+	if !signaled || at != 3*ms {
+		t.Fatalf("signaled=%v at=%v, want true at 3ms", signaled, at)
+	}
+	// The canceled timeout event must not disturb later simulation.
+	if e.Now() != 10*ms && e.Now() != 3*ms {
+		t.Fatalf("unexpected end time %v", e.Now())
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	var signaled bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		signaled = p.WaitTimeout(s, 10*ms)
+		at = p.Now()
+	})
+	// Broadcast after the timeout: must not re-wake the waiter.
+	e.After(20*ms, func() { s.Broadcast() })
+	e.RunAll()
+	if signaled || at != 10*ms {
+		t.Fatalf("signaled=%v at=%v, want false at 10ms", signaled, at)
+	}
+}
+
+func TestWaitTimeoutZeroDuration(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	ok := true
+	e.Spawn("waiter", func(p *Proc) {
+		ok = p.WaitTimeout(s, 0)
+	})
+	e.RunAll()
+	if ok {
+		t.Fatal("WaitTimeout(0) should time out immediately")
+	}
+}
+
+func TestLateBroadcastAfterTimeoutDoesNotCorruptOtherWaiters(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	results := map[string]bool{}
+	e.Spawn("short", func(p *Proc) {
+		results["short"] = p.WaitTimeout(s, 1*ms)
+	})
+	e.Spawn("long", func(p *Proc) {
+		results["long"] = p.WaitTimeout(s, 100*ms)
+	})
+	e.After(5*ms, func() { s.Broadcast() })
+	e.RunAll()
+	if results["short"] {
+		t.Fatal("short waiter should have timed out")
+	}
+	if !results["long"] {
+		t.Fatal("long waiter should have been signaled at 5ms")
+	}
+}
+
+func TestQueuePutGetFIFO(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, 0)
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(p, i)
+			p.Sleep(1 * ms)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.RunAll()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got %v, want FIFO 0..4", got)
+		}
+	}
+	if q.Puts() != 5 || q.Gets() != 5 {
+		t.Fatalf("puts=%d gets=%d, want 5/5", q.Puts(), q.Gets())
+	}
+}
+
+func TestQueueBlocksWhenFull(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, 2)
+	var thirdPutAt Time
+	e.Spawn("producer", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Put(p, 3) // blocks until the consumer takes one
+		thirdPutAt = p.Now()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Sleep(10 * ms)
+		q.Get(p)
+	})
+	e.RunAll()
+	if thirdPutAt != 10*ms {
+		t.Fatalf("third Put completed at %v, want 10ms", thirdPutAt)
+	}
+}
+
+func TestQueueGetBlocksWhenEmpty(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[string](e, 0)
+	var gotAt Time
+	var got string
+	e.Spawn("consumer", func(p *Proc) {
+		got = q.Get(p)
+		gotAt = p.Now()
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(4 * ms)
+		q.Put(p, "x")
+	})
+	e.RunAll()
+	if got != "x" || gotAt != 4*ms {
+		t.Fatalf("got %q at %v, want \"x\" at 4ms", got, gotAt)
+	}
+}
+
+func TestQueuePutDropCountsDrops(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, 1)
+	if !q.PutDrop(1) {
+		t.Fatal("first PutDrop should succeed")
+	}
+	if q.PutDrop(2) {
+		t.Fatal("second PutDrop should drop")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("Drops() = %d, want 1", q.Drops())
+	}
+	if v, ok := q.TryGet(); !ok || v != 1 {
+		t.Fatalf("TryGet = %v,%v", v, ok)
+	}
+}
+
+func TestQueueFilterRemovesAndUnblocks(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, 3)
+	q.PutDrop(1)
+	q.PutDrop(2)
+	q.PutDrop(3)
+	var putAt Time
+	e.Spawn("producer", func(p *Proc) {
+		q.Put(p, 4) // blocked: queue full
+		putAt = p.Now()
+	})
+	e.Spawn("filter", func(p *Proc) {
+		p.Sleep(2 * ms)
+		removed := q.Filter(func(v int) bool { return v == 2 })
+		if len(removed) != 2 || removed[0] != 1 || removed[1] != 3 {
+			t.Errorf("removed = %v, want [1 3]", removed)
+		}
+	})
+	e.RunAll()
+	if putAt != 2*ms {
+		t.Fatalf("blocked Put completed at %v, want 2ms", putAt)
+	}
+	if q.Len() != 2 { // 2 and 4
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, 0)
+	q.PutDrop(1)
+	q.PutDrop(2)
+	out := q.Drain()
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("Drain = %v", out)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after Drain = %d", q.Len())
+	}
+}
+
+func TestQueueMaxDepth(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, 0)
+	for i := 0; i < 7; i++ {
+		q.PutDrop(i)
+	}
+	q.TryGet()
+	q.PutDrop(99)
+	if q.MaxDepth() != 7 {
+		t.Fatalf("MaxDepth = %d, want 7", q.MaxDepth())
+	}
+}
+
+func TestShutdownUnwindsParkedProcs(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	e.Spawn("foreverWait", func(p *Proc) { p.Wait(s) })
+	e.Spawn("foreverSleep", func(p *Proc) { p.Sleep(time.Hour) })
+	e.Run(10 * ms)
+	if e.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", e.Live())
+	}
+	e.Shutdown()
+	if e.Live() != 0 {
+		t.Fatalf("Live after Shutdown = %d, want 0", e.Live())
+	}
+}
+
+func TestShutdownBeforeProcStarts(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("neverStarted", func(p *Proc) { t.Error("process body must not run") })
+	e.Shutdown()
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", e.Live())
+	}
+}
+
+func TestTwoStagePipelineTiming(t *testing.T) {
+	// A producer that takes 10ms per item and a consumer that takes 15ms
+	// per item, connected by a capacity-1 queue, must converge to the
+	// consumer's rate (backpressure).
+	e := NewEnv()
+	q := NewQueue[int](e, 1)
+	consumed := 0
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; ; i++ {
+			p.Sleep(10 * ms)
+			q.Put(p, i)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for {
+			q.Get(p)
+			p.Sleep(15 * ms)
+			consumed++
+		}
+	})
+	e.Run(1500 * ms)
+	e.Shutdown()
+	// Steady state: one item per 15ms => ~100 items in 1.5s.
+	if consumed < 95 || consumed > 100 {
+		t.Fatalf("consumed = %d, want ~99", consumed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEnv()
+		s := NewSignal(e)
+		q := NewQueue[Time](e, 2)
+		var log []Time
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Sleep(3 * ms)
+				q.Put(p, p.Now())
+				s.Broadcast()
+			}
+		})
+		e.Spawn("b", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				v := q.Get(p)
+				log = append(log, v, p.Now())
+				p.WaitTimeout(s, 2*ms)
+			}
+		})
+		e.RunAll()
+		e.Shutdown()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAtSchedulesAbsolute(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.At(25*ms, func() { at = e.Now() })
+	e.RunAll()
+	if at != 25*ms {
+		t.Fatalf("At fired at %v, want 25ms", at)
+	}
+}
+
+func TestAtInPastClampsToNow(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.After(10*ms, func() {
+		e.At(2*ms, func() { at = e.Now() }) // in the past: runs now
+	})
+	e.RunAll()
+	if at != 10*ms {
+		t.Fatalf("past At fired at %v, want clamped to 10ms", at)
+	}
+}

@@ -1,0 +1,63 @@
+// Package simrt adapts the discrete-event simulation kernel (package sim) to
+// the core.Domain/core.Waiter runtime abstraction, so the ODR components in
+// package core run unmodified on virtual time.
+package simrt
+
+import (
+	"sync"
+	"time"
+
+	"odr/internal/core"
+	"odr/internal/sim"
+)
+
+// Domain is a core.Domain backed by a simulation environment. The kernel is
+// single-threaded, so the domain lock is a no-op.
+type Domain struct {
+	env *sim.Env
+}
+
+// NewDomain wraps env as a core.Domain.
+func NewDomain(env *sim.Env) *Domain { return &Domain{env: env} }
+
+// Now implements core.Domain.
+func (d *Domain) Now() time.Duration { return d.env.Now() }
+
+// NewCond implements core.Domain; conds are simulation signals.
+func (d *Domain) NewCond() core.Cond { return simCond{sig: sim.NewSignal(d.env)} }
+
+// Locker implements core.Domain with a no-op lock.
+func (d *Domain) Locker() sync.Locker { return core.NopLocker{} }
+
+// Env returns the wrapped environment.
+func (d *Domain) Env() *sim.Env { return d.env }
+
+type simCond struct{ sig *sim.Signal }
+
+func (c simCond) Broadcast() { c.sig.Broadcast() }
+
+// Waiter is a core.Waiter bound to one simulation process. Each pipeline
+// stage creates its own Waiter at the top of its process function.
+type Waiter struct {
+	proc *sim.Proc
+}
+
+// NewWaiter wraps p as a core.Waiter.
+func NewWaiter(p *sim.Proc) *Waiter { return &Waiter{proc: p} }
+
+// Sleep implements core.Waiter.
+func (w *Waiter) Sleep(d time.Duration) { w.proc.Sleep(d) }
+
+// Wait implements core.Waiter.
+func (w *Waiter) Wait(c core.Cond) { w.proc.Wait(c.(simCond).sig) }
+
+// WaitTimeout implements core.Waiter.
+func (w *Waiter) WaitTimeout(c core.Cond, d time.Duration) bool {
+	return w.proc.WaitTimeout(c.(simCond).sig, d)
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Domain = (*Domain)(nil)
+	_ core.Waiter = (*Waiter)(nil)
+)

@@ -1,0 +1,180 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odr/internal/codec"
+	"odr/internal/metrics"
+)
+
+// Client decodes and displays a stream, sends user inputs, and measures the
+// client-side QoS: decode FPS and motion-to-photon latency (both ends of the
+// measurement are on the client clock, so no clock synchronization is
+// needed — the input timestamp travels to the server and comes back embedded
+// in the responding frame).
+type Client struct {
+	conn interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+		Close() error
+	}
+	dec *codec.Decoder
+
+	start time.Time
+
+	nextInput uint64
+	writeMu   sync.Mutex
+
+	mu           sync.Mutex
+	frames       int64
+	bytes        int64
+	latencies    metrics.Dist
+	interDisplay metrics.Dist
+	lastDisplay  time.Duration
+	lastBright   float64
+	resyncs      int64
+	firstFrame   time.Duration
+	lastFrame    time.Duration
+	onFrame      func(seq uint64, pix []byte)
+
+	stopped atomic.Bool
+}
+
+// NewClient wraps a connection to a stream server.
+func NewClient(conn interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}) *Client {
+	return &Client{conn: conn, dec: codec.NewDecoder(), start: time.Now()}
+}
+
+// OnFrame installs a callback invoked (on the receive goroutine) with each
+// decoded frame. The pixel slice is only valid during the call.
+func (c *Client) OnFrame(fn func(seq uint64, pix []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onFrame = fn
+}
+
+// now returns the client-clock offset.
+func (c *Client) now() time.Duration { return time.Since(c.start) }
+
+// sendKeyReq asks the server for a keyframe (decoder resync).
+func (c *Client) sendKeyReq() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeMsg(c.conn, msgKeyReq, nil)
+}
+
+// SendInput sends one user input (step 1 of Fig. 2) and returns its id.
+func (c *Client) SendInput() (uint64, error) {
+	id := atomic.AddUint64(&c.nextInput, 1)
+	payload := inputMsg(id, int64(c.now()))
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return id, writeMsg(c.conn, msgInput, payload)
+}
+
+// Run receives, decodes and accounts frames until the stream ends. A nil
+// return means orderly shutdown.
+func (c *Client) Run() error {
+	var buf []byte
+	for {
+		typ, payload, err := readMsg(c.conn, buf)
+		if err != nil {
+			if c.stopped.Load() || isClosedErr(err) {
+				return nil
+			}
+			return err
+		}
+		buf = payload[:cap(payload)]
+		switch typ {
+		case msgFrame:
+			seq, inputID, inputNanos, _, bs, err := parseFrameMsg(payload)
+			if err != nil {
+				return err
+			}
+			pix, err := c.dec.Decode(bs)
+			if errors.Is(err, codec.ErrNoKeyframe) {
+				// Joined mid-stream (or lost sync): ask for a keyframe and
+				// skip frames until it arrives.
+				c.mu.Lock()
+				c.resyncs++
+				c.mu.Unlock()
+				if kerr := c.sendKeyReq(); kerr != nil {
+					return kerr
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			display := c.now()
+			c.mu.Lock()
+			c.frames++
+			c.bytes += int64(len(bs))
+			if c.firstFrame == 0 {
+				c.firstFrame = display
+			}
+			c.lastFrame = display
+			if c.lastDisplay > 0 {
+				c.interDisplay.Add(float64(display-c.lastDisplay) / float64(time.Millisecond))
+			}
+			c.lastDisplay = display
+			if inputID != 0 {
+				c.latencies.Add(float64(display-time.Duration(inputNanos)) / float64(time.Millisecond))
+			}
+			c.lastBright = Brightness(pix)
+			fn := c.onFrame
+			c.mu.Unlock()
+			if fn != nil {
+				fn(seq, pix)
+			}
+		case msgBye:
+			return nil
+		}
+	}
+}
+
+// Stop closes the connection, ending Run.
+func (c *Client) Stop() {
+	c.stopped.Store(true)
+	c.conn.Close()
+}
+
+// Report summarizes the client-side measurements.
+type Report struct {
+	Frames         int64
+	Bytes          int64
+	FPS            float64 // frames over the active span
+	MeanLatency    float64 // ms, motion-to-photon
+	P99Latency     float64 // ms
+	LatencySamples int
+	MeanInterMs    float64
+	Brightness     float64 // last frame's luminance
+	Resyncs        int64   // keyframe requests issued (mid-stream joins)
+}
+
+// Report returns the current measurements.
+func (c *Client) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{
+		Frames:         c.frames,
+		Bytes:          c.bytes,
+		MeanLatency:    c.latencies.Mean(),
+		P99Latency:     c.latencies.Percentile(99),
+		LatencySamples: c.latencies.N(),
+		MeanInterMs:    c.interDisplay.Mean(),
+		Brightness:     c.lastBright,
+		Resyncs:        c.resyncs,
+	}
+	if span := c.lastFrame - c.firstFrame; span > 0 && c.frames > 1 {
+		r.FPS = float64(c.frames-1) / span.Seconds()
+	}
+	return r
+}

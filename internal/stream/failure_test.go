@@ -1,0 +1,258 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"odr/internal/codec"
+)
+
+// TestClientResyncsMidStreamJoin verifies the keyframe-recovery protocol: a
+// client that joins after the stream started (first frame it sees is a
+// delta) requests a keyframe and recovers instead of failing.
+func TestClientResyncsMidStreamJoin(t *testing.T) {
+	sc, cc := net.Pipe()
+	defer sc.Close()
+
+	// Hand-rolled "server": pre-encode three frames (key, delta, delta),
+	// send only the deltas first, then answer the key request with a fresh
+	// keyframe.
+	srv := NewServer(sc, ServerConfig{Width: 16, Height: 9}) // for its encoder/game only
+	game := srv.game
+	enc := srv.enc
+	pix := make([]byte, game.FrameBytes())
+	encodeNext := func() []byte {
+		game.Render(pix)
+		bs, err := enc.Encode(pix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bs
+	}
+	_ = encodeNext() // keyframe the client never sees
+	delta1 := encodeNext()
+	delta2 := encodeNext()
+
+	cli := NewClient(cc)
+	cliDone := make(chan error, 1)
+	go func() { cliDone <- cli.Run() }()
+
+	// A real server reads inputs concurrently with writing frames; the mock
+	// must too, or the synchronous pipe deadlocks.
+	keyReqs := make(chan byte, 16)
+	go func() {
+		for {
+			typ, _, err := readMsg(sc, nil)
+			if err != nil {
+				close(keyReqs)
+				return
+			}
+			keyReqs <- typ
+		}
+	}()
+	serverDone := make(chan error, 1)
+	go func() {
+		// Send the two deltas the client cannot decode.
+		for seq, bs := range map[uint64][]byte{2: delta1, 3: delta2} {
+			if err := writeMsg(sc, msgFrame, frameMsg(seq, 0, 0, 0, bs)); err != nil {
+				serverDone <- err
+				return
+			}
+		}
+		// Expect a keyframe request.
+		typ, ok := <-keyReqs
+		if !ok || typ != msgKeyReq {
+			serverDone <- errors.New("expected msgKeyReq")
+			return
+		}
+		enc.ForceKeyframe()
+		key := encodeNext()
+		if err := writeMsg(sc, msgFrame, frameMsg(4, 0, 0, 0, key)); err != nil {
+			serverDone <- err
+			return
+		}
+		serverDone <- writeMsg(sc, msgBye, nil)
+	}()
+
+	select {
+	case err := <-serverDone:
+		if err != nil {
+			t.Fatalf("mock server: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mock server stuck")
+	}
+	select {
+	case err := <-cliDone:
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client stuck")
+	}
+	rep := cli.Report()
+	if rep.Resyncs == 0 {
+		t.Fatal("client never requested a resync")
+	}
+	if rep.Frames != 1 {
+		t.Fatalf("client decoded %d frames, want exactly the keyframe", rep.Frames)
+	}
+}
+
+// TestServerHandlesKeyReq verifies the live server responds to a keyframe
+// request with a keyframe on the wire.
+func TestServerHandlesKeyReq(t *testing.T) {
+	srv, cli, cleanup := startPair(t, ServerConfig{
+		Width: 32, Height: 18, Policy: ODRRegulation, TargetFPS: 60,
+		Codec: codec.Options{QuantShift: 2, KeyInterval: 1 << 20},
+	})
+	defer cleanup()
+	waitFrames(t, cli, 10, 10*time.Second)
+	if err := cli.sendKeyReq(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats().Snapshot().KeyReqs > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never observed the keyframe request")
+}
+
+// flakyConn fails writes after a byte budget, simulating a mid-stream
+// network fault.
+type flakyConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+}
+
+func (f *flakyConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.budget <= 0 {
+		return 0, errors.New("injected network fault")
+	}
+	f.budget -= len(p)
+	return f.Conn.Write(p)
+}
+
+// TestServerSurvivesWriteFault: a mid-stream write fault must terminate
+// Run with the injected error (not a hang, not a panic).
+func TestServerSurvivesWriteFault(t *testing.T) {
+	sc, cc := net.Pipe()
+	srv := NewServer(&flakyConn{Conn: sc, budget: 256 << 10}, ServerConfig{
+		Width: 64, Height: 36, Policy: ODRRegulation, TargetFPS: 240,
+	})
+	cli := NewClient(cc)
+	go func() { _ = cli.Run() }()
+	defer cli.Stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Run() }()
+	select {
+	case err := <-errCh:
+		if err == nil || err.Error() == "" {
+			t.Fatalf("expected the injected fault, got %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server hung on write fault")
+	}
+}
+
+// TestServerRejectsGarbageMessage: unknown message types terminate the
+// session cleanly.
+func TestServerRejectsGarbageMessage(t *testing.T) {
+	sc, cc := net.Pipe()
+	srv := NewServer(sc, ServerConfig{Width: 16, Height: 9, Policy: ODRRegulation, TargetFPS: 60})
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Run() }()
+	// Drain frames so the server isn't blocked writing.
+	go func() { _, _ = io.Copy(io.Discard, cc) }()
+	if err := writeMsg(cc, 0xEE, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("expected protocol error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server hung on garbage message")
+	}
+}
+
+// TestClientRejectsCorruptFrame: a corrupt bitstream terminates the client
+// with an error rather than a panic.
+func TestClientRejectsCorruptFrame(t *testing.T) {
+	sc, cc := net.Pipe()
+	defer sc.Close()
+	cli := NewClient(cc)
+	done := make(chan error, 1)
+	go func() { done <- cli.Run() }()
+	junk := make([]byte, frameHeaderLen+16)
+	junk[frameHeaderLen] = 0xFF // bad codec magic
+	if err := writeMsg(sc, msgFrame, frameMsg(1, 0, 0, 0, junk[frameHeaderLen:])); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected decode error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client hung on corrupt frame")
+	}
+}
+
+// TestClientRejectsOversizedMessage: the length prefix is bounded.
+func TestClientRejectsOversizedMessage(t *testing.T) {
+	sc, cc := net.Pipe()
+	defer sc.Close()
+	cli := NewClient(cc)
+	done := make(chan error, 1)
+	go func() { done <- cli.Run() }()
+	var hdr [5]byte
+	hdr[0] = msgFrame
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(maxPayload+1))
+	if _, err := sc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected size-limit error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client hung on oversized message")
+	}
+}
+
+// TestProtoRoundTrip covers the wire encoding helpers directly.
+func TestProtoRoundTrip(t *testing.T) {
+	payload := frameMsg(7, 3, 1234, 5678, []byte{1, 2, 3})
+	seq, in, inNanos, rNanos, bs, err := parseFrameMsg(payload)
+	if err != nil || seq != 7 || in != 3 || inNanos != 1234 || rNanos != 5678 || len(bs) != 3 {
+		t.Fatalf("frame round trip: %v %v %v %v %v %v", seq, in, inNanos, rNanos, bs, err)
+	}
+	if _, _, _, _, _, err := parseFrameMsg(payload[:10]); err == nil {
+		t.Fatal("short frame message accepted")
+	}
+	ip := inputMsg(9, 42)
+	id, nanos, err := parseInputMsg(ip)
+	if err != nil || id != 9 || nanos != 42 {
+		t.Fatalf("input round trip: %v %v %v", id, nanos, err)
+	}
+	if _, _, err := parseInputMsg(ip[:8]); err == nil {
+		t.Fatal("short input message accepted")
+	}
+	if err := writeMsg(io.Discard, msgFrame, make([]byte, maxPayload+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}

@@ -1,0 +1,384 @@
+package stream
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odr/internal/codec"
+	"odr/internal/core"
+	"odr/internal/frame"
+	"odr/internal/realrt"
+)
+
+// Hub streams one game to many clients — the "render once, view many" shape
+// of spectating and co-streaming. The shared game renders on demand under a
+// single ODR pacer (inputs from any client cancel its delay, PriorityFrame
+// style); every attached client gets its own encoder, its own Mul-Buf
+// latest-wins slot and its own pacer, so a slow or slower-paced client never
+// stalls the game or its peers — its obsolete frames are simply dropped
+// before encoding, which is exactly ODR's on-demand principle applied per
+// viewer.
+type Hub struct {
+	cfg  HubConfig
+	dom  *realrt.Domain
+	game *Game
+	box  *core.InputBox
+	pace *core.Pacer
+
+	mu       sync.Mutex
+	sessions map[uint32]*hubSession
+	nextID   uint32
+
+	rendered int64
+	inputs   int64
+
+	stopOnce sync.Once
+	stopping chan struct{}
+	renderWG sync.WaitGroup
+}
+
+// HubConfig configures a Hub.
+type HubConfig struct {
+	// Width and Height are the stream resolution (defaults 320×180).
+	Width, Height int
+	// TargetFPS paces the shared renderer (default 60).
+	TargetFPS float64
+	// Codec configures each client's encoder.
+	Codec codec.Options
+	// RenderCost optionally emulates a heavier GPU.
+	RenderCost func() time.Duration
+}
+
+func (c *HubConfig) applyDefaults() {
+	if c.Width == 0 {
+		c.Width = 320
+	}
+	if c.Height == 0 {
+		c.Height = 180
+	}
+	if c.TargetFPS == 0 {
+		c.TargetFPS = 60
+	}
+}
+
+// hubSession is one attached client.
+type hubSession struct {
+	id        uint32
+	hub       *Hub
+	conn      net.Conn
+	buf       *core.MultiBuffer
+	enc       *codec.Encoder
+	pace      *core.Pacer
+	downscale int // 1 = full resolution; n = 1/n width and height
+	w, h      int // this session's output dimensions
+
+	sent    int64
+	dropped int64
+
+	// carried holds the input stamps of frames this session dropped
+	// (latest-wins) before sending; the next frame it does send answers
+	// them, so the issuing client still gets its MtP sample.
+	carriedMu sync.Mutex
+	carried   []frame.InputStamp
+
+	closeOnce sync.Once
+}
+
+// NewHub returns a hub ready to Run.
+func NewHub(cfg HubConfig) *Hub {
+	cfg.applyDefaults()
+	dom := realrt.NewDomain()
+	h := &Hub{
+		cfg:      cfg,
+		dom:      dom,
+		game:     NewGame(cfg.Width, cfg.Height),
+		box:      core.NewInputBox(dom),
+		pace:     core.NewPacer(cfg.TargetFPS),
+		sessions: make(map[uint32]*hubSession),
+		stopping: make(chan struct{}),
+	}
+	h.game.ExtraCost = cfg.RenderCost
+	return h
+}
+
+// Clients returns the number of attached clients.
+func (h *Hub) Clients() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sessions)
+}
+
+// Rendered returns the number of frames the shared game has rendered.
+func (h *Hub) Rendered() int64 { return atomic.LoadInt64(&h.rendered) }
+
+// Run renders the shared game until Stop; it drives all attached sessions.
+func (h *Hub) Run() {
+	h.renderWG.Add(1)
+	defer h.renderWG.Done()
+	w := realrt.NewWaiter(h.dom)
+	var seq uint64
+	for {
+		select {
+		case <-h.stopping:
+			return
+		default:
+		}
+		start := h.dom.Now()
+		stamps := h.box.ConsumePending()
+		for range stamps {
+			h.game.OnInput()
+		}
+		pix := make([]byte, h.game.FrameBytes())
+		h.game.Render(pix)
+		seq++
+		f := &frame.Frame{Seq: seq, Pixels: pix, RenderStart: start, RenderEnd: h.dom.Now()}
+		core.Tag(f, stamps)
+		atomic.AddInt64(&h.rendered, 1)
+
+		// Broadcast: latest-wins per client; a slow client's un-encoded
+		// frame is obsolete the moment a newer one exists.
+		h.mu.Lock()
+		for _, s := range h.sessions {
+			dropped := s.buf.PutPriority(f)
+			if len(dropped) > 0 {
+				atomic.AddInt64(&s.dropped, int64(len(dropped)))
+				s.carriedMu.Lock()
+				for _, d := range dropped {
+					s.carried = append(s.carried, d.Inputs...)
+				}
+				s.carriedMu.Unlock()
+			}
+		}
+		h.mu.Unlock()
+
+		// ODR pacing with PriorityFrame: an input arrival cancels the
+		// render delay.
+		if f.Priority {
+			h.pace.SkipFrame()
+			continue
+		}
+		if d := h.pace.PaceAfter(start, h.dom.Now()); d > 0 {
+			h.box.DelayInterruptible(w, d)
+		}
+	}
+}
+
+// Stop shuts down the hub and detaches every client.
+func (h *Hub) Stop() {
+	h.stopOnce.Do(func() {
+		close(h.stopping)
+		// Wake the renderer if it is inside DelayInterruptible.
+		h.box.OnInput(0, 0)
+		h.mu.Lock()
+		sessions := make([]*hubSession, 0, len(h.sessions))
+		for _, s := range h.sessions {
+			sessions = append(sessions, s)
+		}
+		h.mu.Unlock()
+		for _, s := range sessions {
+			s.close()
+		}
+		h.renderWG.Wait()
+	})
+}
+
+// SessionStats reports one attached client's counters.
+type SessionStats struct {
+	Sent    int64
+	Dropped int64
+}
+
+// AttachOptions configures one viewer session.
+type AttachOptions struct {
+	// ClientFPS paces this viewer (0 = the hub's full rate).
+	ClientFPS float64
+	// Downscale divides the stream resolution for this viewer (0 or 1 =
+	// full resolution; 2 = quarter-area thumbnail, and so on). The hub
+	// renders once at full resolution; the session box-filters before
+	// encoding, so thumbnails cost a fraction of the encode work and
+	// bandwidth.
+	Downscale int
+	// Detach is invoked with the session's counters when it ends.
+	Detach func(SessionStats)
+}
+
+// Attach adds a client connection to the hub with its own encoder and
+// pacing target (0 = the hub's rate). It returns immediately; the session
+// runs until the connection fails or the hub stops. detach is invoked when
+// the session ends.
+func (h *Hub) Attach(conn net.Conn, clientFPS float64, detach func(SessionStats)) {
+	h.AttachWithOptions(conn, AttachOptions{ClientFPS: clientFPS, Detach: detach})
+}
+
+// AttachWithOptions is Attach with per-viewer resolution control.
+func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
+	div := opts.Downscale
+	if div < 1 {
+		div = 1
+	}
+	w := h.cfg.Width / div
+	hh := h.cfg.Height / div
+	if w < 1 {
+		w = 1
+	}
+	if hh < 1 {
+		hh = 1
+	}
+	detach := opts.Detach
+	h.mu.Lock()
+	h.nextID++
+	s := &hubSession{
+		id:        h.nextID,
+		hub:       h,
+		conn:      conn,
+		buf:       core.NewMultiBuffer(h.dom),
+		enc:       codec.NewEncoder(w, hh, h.cfg.Codec),
+		pace:      core.NewPacer(opts.ClientFPS),
+		downscale: div,
+		w:         w,
+		h:         hh,
+	}
+	h.sessions[s.id] = s
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s.encodeAndSendLoop() }()
+	go func() { defer wg.Done(); s.inputLoop() }()
+	go func() {
+		wg.Wait()
+		h.mu.Lock()
+		delete(h.sessions, s.id)
+		h.mu.Unlock()
+		if detach != nil {
+			detach(SessionStats{Sent: atomic.LoadInt64(&s.sent), Dropped: atomic.LoadInt64(&s.dropped)})
+		}
+	}()
+}
+
+// close tears the session down.
+func (s *hubSession) close() {
+	s.closeOnce.Do(func() {
+		s.buf.Close()
+		s.conn.Close()
+	})
+}
+
+// encodeAndSendLoop encodes the latest shared frame for this client and
+// transmits it, applying the client's own pacing.
+func (s *hubSession) encodeAndSendLoop() {
+	defer s.close()
+	w := realrt.NewWaiter(s.hub.dom)
+	scratch := make([]byte, s.w*s.h*4)
+	for {
+		f := s.buf.Acquire(w)
+		if f == nil {
+			return
+		}
+		start := s.hub.dom.Now()
+		if s.downscale > 1 {
+			downsample(f.Pixels, s.hub.cfg.Width, scratch, s.w, s.h, s.downscale)
+		} else {
+			copy(scratch, f.Pixels)
+		}
+		bs, err := s.enc.Encode(scratch)
+		if err != nil {
+			s.buf.Release()
+			return
+		}
+		// Only the stamp belonging to this session is echoed: MtP is
+		// measured on the issuing client's clock. Stamps carried from
+		// dropped older frames are answered by this frame too.
+		s.carriedMu.Lock()
+		stamps := append(s.carried, f.Inputs...)
+		s.carried = nil
+		s.carriedMu.Unlock()
+		var inputID uint64
+		var inputNanos int64
+		for _, st := range stamps {
+			if sessionOf(st.ID) == s.id {
+				inputID = uint64(st.ID)
+				inputNanos = int64(st.Issued)
+				break
+			}
+		}
+		payload := frameMsg(f.Seq, inputID, inputNanos, int64(f.RenderEnd), bs)
+		err = writeMsg(s.conn, msgFrame, payload)
+		s.buf.Release()
+		if err != nil {
+			return
+		}
+		atomic.AddInt64(&s.sent, 1)
+		if !f.Priority {
+			if d := s.pace.PaceAfter(start, s.hub.dom.Now()); d > 0 {
+				w.Sleep(d)
+			}
+		}
+	}
+}
+
+// inputLoop forwards this client's inputs into the shared game.
+func (s *hubSession) inputLoop() {
+	defer s.close()
+	var buf []byte
+	for {
+		typ, payload, err := readMsg(s.conn, buf)
+		if err != nil {
+			return
+		}
+		buf = payload[:cap(payload)]
+		switch typ {
+		case msgInput:
+			id, nanos, err := parseInputMsg(payload)
+			if err != nil {
+				return
+			}
+			atomic.AddInt64(&s.hub.inputs, 1)
+			s.hub.box.OnInput(packInput(s.id, id), time.Duration(nanos))
+		case msgKeyReq:
+			// Each session owns its encoder; force its next frame to key.
+			s.enc.ForceKeyframe()
+		case msgBye:
+			return
+		}
+	}
+}
+
+// packInput embeds the session id in the high bits of a client-local input
+// id so the responding frame is attributed to the right client.
+func packInput(session uint32, local uint64) frame.InputID {
+	return frame.InputID(uint64(session)<<40 | (local & (1<<40 - 1)))
+}
+
+// sessionOf extracts the session id from a packed input id.
+func sessionOf(id frame.InputID) uint32 {
+	return uint32(uint64(id) >> 40)
+}
+
+// downsample box-filters src (srcW wide RGBA) into dst (dstW×dstH RGBA) with
+// the given integer divisor.
+func downsample(src []byte, srcW int, dst []byte, dstW, dstH, div int) {
+	area := div * div
+	for y := 0; y < dstH; y++ {
+		for x := 0; x < dstW; x++ {
+			var r, g, b, a int
+			for dy := 0; dy < div; dy++ {
+				row := ((y*div + dy) * srcW) * 4
+				for dx := 0; dx < div; dx++ {
+					i := row + (x*div+dx)*4
+					r += int(src[i])
+					g += int(src[i+1])
+					b += int(src[i+2])
+					a += int(src[i+3])
+				}
+			}
+			o := (y*dstW + x) * 4
+			dst[o] = byte(r / area)
+			dst[o+1] = byte(g / area)
+			dst[o+2] = byte(b / area)
+			dst[o+3] = byte(a / area)
+		}
+	}
+}

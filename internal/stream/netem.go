@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ThrottleConfig shapes a connection like a wide-area path: limited
+// bandwidth, added propagation delay, and bounded in-flight buffering. It
+// lets the real-time stack reproduce the simulator's public-cloud
+// conditions on a loopback connection — including the NoReg congestion
+// collapse, for real.
+type ThrottleConfig struct {
+	// Bandwidth is the shaped rate in bytes/second (0 = unlimited).
+	Bandwidth float64
+	// Delay is the added one-way propagation delay.
+	Delay time.Duration
+	// BufferChunks bounds the number of in-flight write chunks between
+	// the bottleneck and delivery (default 256). When full, writers block
+	// — the TCP-buffer backpressure of a real path.
+	BufferChunks int
+}
+
+// chunk is one paced write awaiting propagation.
+type chunk struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// throttledConn shapes the write direction of the underlying conn:
+// serialization at Bandwidth happens synchronously in Write (that is the
+// bottleneck and its backpressure), then the bytes propagate for Delay in
+// the background before being forwarded. Reads pass through — shape each
+// direction by wrapping the writing endpoint.
+type throttledConn struct {
+	net.Conn
+	cfg ThrottleConfig
+
+	mu     sync.Mutex
+	sendAt time.Time // when the bottleneck frees up
+
+	forward  chan chunk
+	done     chan struct{}
+	closeOne sync.Once
+	writeErr error
+	errMu    sync.Mutex
+}
+
+// Throttle wraps conn so writes experience the configured bandwidth, delay
+// and buffering.
+func Throttle(conn net.Conn, cfg ThrottleConfig) net.Conn {
+	if cfg.BufferChunks <= 0 {
+		cfg.BufferChunks = 256
+	}
+	t := &throttledConn{
+		Conn:    conn,
+		cfg:     cfg,
+		forward: make(chan chunk, cfg.BufferChunks),
+		done:    make(chan struct{}),
+	}
+	go t.forwarder()
+	return t
+}
+
+// forwarder delivers paced chunks after their propagation delay.
+func (t *throttledConn) forwarder() {
+	for {
+		select {
+		case c := <-t.forward:
+			if wait := time.Until(c.deliverAt); wait > 0 {
+				time.Sleep(wait)
+			}
+			if _, err := t.Conn.Write(c.data); err != nil {
+				t.errMu.Lock()
+				if t.writeErr == nil {
+					t.writeErr = err
+				}
+				t.errMu.Unlock()
+			}
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Write implements net.Conn with pacing and delayed forwarding.
+func (t *throttledConn) Write(p []byte) (int, error) {
+	t.errMu.Lock()
+	err := t.writeErr
+	t.errMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	// Serialize at the bottleneck: each write occupies the link for
+	// len/bandwidth; the writer waits its turn, which is exactly the
+	// backpressure a saturated path exerts.
+	if t.cfg.Bandwidth > 0 {
+		tx := time.Duration(float64(len(p)) / t.cfg.Bandwidth * float64(time.Second))
+		t.mu.Lock()
+		now := time.Now()
+		if t.sendAt.Before(now) {
+			t.sendAt = now
+		}
+		t.sendAt = t.sendAt.Add(tx)
+		release := t.sendAt
+		t.mu.Unlock()
+		if wait := time.Until(release); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	select {
+	case t.forward <- chunk{data: data, deliverAt: time.Now().Add(t.cfg.Delay)}:
+		return len(p), nil
+	case <-t.done:
+		return 0, net.ErrClosed
+	}
+}
+
+// Close stops the forwarder and closes the underlying conn.
+func (t *throttledConn) Close() error {
+	t.closeOne.Do(func() { close(t.done) })
+	return t.Conn.Close()
+}

@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func tcpPair(t *testing.T) (server net.Conn, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case sc := <-accepted:
+		return sc, cc
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+		return nil, nil
+	}
+}
+
+func TestThrottleBandwidth(t *testing.T) {
+	sc, cc := tcpPair(t)
+	defer sc.Close()
+	defer cc.Close()
+	shaped := Throttle(sc, ThrottleConfig{Bandwidth: 1 << 20}) // 1 MiB/s
+	defer shaped.Close()
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := cc.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	const total = 512 << 10 // 0.5 MiB -> ~0.5s at 1MiB/s
+	start := time.Now()
+	payload := make([]byte, 32<<10)
+	for sent := 0; sent < total; sent += len(payload) {
+		if _, err := shaped.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 350*time.Millisecond || elapsed > 900*time.Millisecond {
+		t.Fatalf("0.5MiB at 1MiB/s took %v, want ~0.5s", elapsed)
+	}
+}
+
+func TestThrottleDelay(t *testing.T) {
+	sc, cc := tcpPair(t)
+	defer sc.Close()
+	defer cc.Close()
+	shaped := Throttle(sc, ThrottleConfig{Delay: 80 * time.Millisecond})
+	defer shaped.Close()
+	start := time.Now()
+	if _, err := shaped.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := cc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 70*time.Millisecond {
+		t.Fatalf("delivery after %v, want >= ~80ms", elapsed)
+	}
+}
+
+// TestRealStackCongestionCollapse reproduces the paper's headline GCE
+// result on the REAL stack: over a bandwidth-limited path, NoReg's
+// motion-to-photon latency collapses into hundreds of milliseconds of
+// queueing while ODR, at the same bandwidth, stays interactive.
+func TestRealStackCongestionCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time congestion test")
+	}
+	run := func(policy PolicyKind) (mtp float64, drops int64) {
+		sc, cc := tcpPair(t)
+		// ~2 MB/s path; 64x36 frames quantized hard still exceed it under
+		// unregulated encoding.
+		shaped := Throttle(sc, ThrottleConfig{Bandwidth: 2 << 20, Delay: 10 * time.Millisecond})
+		srv := NewServer(shaped, ServerConfig{
+			Width: 96, Height: 54, Policy: policy, TargetFPS: 30,
+			QueueFrames: 64,
+		})
+		cli := NewClient(cc)
+		srvDone := make(chan error, 1)
+		cliDone := make(chan error, 1)
+		go func() { srvDone <- srv.Run() }()
+		go func() { cliDone <- cli.Run() }()
+		// Let the queue build, then measure input latency.
+		time.Sleep(700 * time.Millisecond)
+		for i := 0; i < 8; i++ {
+			if _, err := cli.SendInput(); err != nil {
+				break
+			}
+			time.Sleep(150 * time.Millisecond)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) && cli.Report().LatencySamples < 4 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		rep := cli.Report()
+		st := srv.Stats().Snapshot()
+		cli.Stop()
+		srv.Stop()
+		shaped.Close()
+		<-srvDone
+		<-cliDone
+		if rep.LatencySamples < 4 {
+			t.Fatalf("%v: only %d latency samples", policy, rep.LatencySamples)
+		}
+		return rep.MeanLatency, st.Dropped
+	}
+	noregMtP, noregDrops := run(NoRegulation)
+	odrMtP, _ := run(ODRRegulation)
+	t.Logf("real congestion: NoReg MtP %.0fms (drops %d) vs ODR MtP %.0fms", noregMtP, noregDrops, odrMtP)
+	if noregMtP < odrMtP*2 {
+		t.Fatalf("NoReg MtP %.0fms not well above ODR %.0fms on the saturated path", noregMtP, odrMtP)
+	}
+}
+
+// TestAdaptiveQualityCoarsensUnderPressure: on a saturated path the server
+// must raise its quantization shift (coarser, smaller frames); on a clear
+// path it must stay at the configured base.
+func TestAdaptiveQualityCoarsensUnderPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time adaptation test")
+	}
+	run := func(bandwidth float64) uint {
+		sc, cc := tcpPair(t)
+		conn := net.Conn(sc)
+		if bandwidth > 0 {
+			conn = Throttle(sc, ThrottleConfig{Bandwidth: bandwidth})
+		}
+		srv := NewServer(conn, ServerConfig{
+			Width: 96, Height: 54, Policy: ODRRegulation, TargetFPS: 60,
+			AdaptiveQuality: true,
+		})
+		cli := NewClient(cc)
+		go func() { _ = srv.Run() }()
+		go func() { _ = cli.Run() }()
+		time.Sleep(2 * time.Second)
+		q := srv.CurrentQuantShift()
+		cli.Stop()
+		srv.Stop()
+		conn.Close()
+		cc.Close()
+		return q
+	}
+	clear := run(0)
+	squeezed := run(256 << 10) // 256 KB/s: far below the stream's needs
+	t.Logf("quant shift: clear path %d, squeezed path %d", clear, squeezed)
+	if clear != 0 {
+		t.Fatalf("clear path coarsened to shift %d", clear)
+	}
+	if squeezed < 2 {
+		t.Fatalf("squeezed path stayed at shift %d, want coarsened", squeezed)
+	}
+}

@@ -1,0 +1,111 @@
+// Package stream is the real-time implementation of the cloud-3D pipeline:
+// a server proxy that renders a synthetic 3D application, encodes frames
+// with the real codec and streams them over a net.Conn, and a client that
+// decodes, displays and measures QoS — with the regulation policy (NoReg,
+// Interval, or ODR) plugged in. The ODR components (MultiBuffer, Pacer,
+// InputBox) are the same package core objects the simulator uses, running on
+// the real-time runtime (package realrt).
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types on the wire.
+const (
+	msgFrame  byte = 1 // server -> client: encoded frame
+	msgInput  byte = 2 // client -> server: user input event
+	msgBye    byte = 3 // either direction: orderly shutdown
+	msgKeyReq byte = 4 // client -> server: request a keyframe (decoder resync)
+)
+
+// maxPayload bounds a message payload (64 MiB) to fail fast on corruption.
+const maxPayload = 64 << 20
+
+// frameHeaderLen is seq(8) + inputID(8) + inputNanos(8) + renderNanos(8).
+const frameHeaderLen = 32
+
+var errPayloadTooLarge = errors.New("stream: payload exceeds limit")
+
+// writeMsg writes one length-prefixed message: type(1) len(4) payload.
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxPayload {
+		return errPayloadTooLarge
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		// A zero-length Write on a synchronous net.Pipe blocks until a
+		// matching zero-length Read that never happens; skip it.
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsg reads one message. buf is reused when large enough.
+func readMsg(r io.Reader, buf []byte) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("stream: message of %d bytes exceeds limit", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// frameMsg encodes a frame message payload: header + bitstream.
+func frameMsg(seq, inputID uint64, inputNanos, renderNanos int64, bitstream []byte) []byte {
+	out := make([]byte, frameHeaderLen+len(bitstream))
+	binary.LittleEndian.PutUint64(out[0:], seq)
+	binary.LittleEndian.PutUint64(out[8:], inputID)
+	binary.LittleEndian.PutUint64(out[16:], uint64(inputNanos))
+	binary.LittleEndian.PutUint64(out[24:], uint64(renderNanos))
+	copy(out[frameHeaderLen:], bitstream)
+	return out
+}
+
+// parseFrameMsg splits a frame message payload.
+func parseFrameMsg(p []byte) (seq, inputID uint64, inputNanos, renderNanos int64, bitstream []byte, err error) {
+	if len(p) < frameHeaderLen {
+		return 0, 0, 0, 0, nil, errors.New("stream: short frame message")
+	}
+	seq = binary.LittleEndian.Uint64(p[0:])
+	inputID = binary.LittleEndian.Uint64(p[8:])
+	inputNanos = int64(binary.LittleEndian.Uint64(p[16:]))
+	renderNanos = int64(binary.LittleEndian.Uint64(p[24:]))
+	return seq, inputID, inputNanos, renderNanos, p[frameHeaderLen:], nil
+}
+
+// inputMsg encodes an input message payload: id(8) + clientNanos(8).
+func inputMsg(id uint64, nanos int64) []byte {
+	var out [16]byte
+	binary.LittleEndian.PutUint64(out[0:], id)
+	binary.LittleEndian.PutUint64(out[8:], uint64(nanos))
+	return out[:]
+}
+
+// parseInputMsg splits an input message payload.
+func parseInputMsg(p []byte) (id uint64, nanos int64, err error) {
+	if len(p) < 16 {
+		return 0, 0, errors.New("stream: short input message")
+	}
+	return binary.LittleEndian.Uint64(p[0:]), int64(binary.LittleEndian.Uint64(p[8:])), nil
+}

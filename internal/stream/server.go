@@ -1,0 +1,491 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odr/internal/codec"
+	"odr/internal/core"
+	"odr/internal/frame"
+	"odr/internal/realrt"
+)
+
+// PolicyKind selects the server's FPS regulation strategy.
+type PolicyKind int
+
+// The regulation strategies of the real-time stack.
+const (
+	// NoRegulation renders as fast as possible; the newest frame wins and
+	// encoded frames queue (deeply) toward the network.
+	NoRegulation PolicyKind = iota
+	// IntervalRegulation starts each render on a fixed interval grid.
+	IntervalRegulation
+	// ODRRegulation is OnDemand Rendering: Mul-Buf1/Mul-Buf2 backpressure,
+	// the Algorithm 1 pacer, and PriorityFrame.
+	ODRRegulation
+)
+
+// String implements fmt.Stringer.
+func (k PolicyKind) String() string {
+	switch k {
+	case NoRegulation:
+		return "NoReg"
+	case IntervalRegulation:
+		return "Interval"
+	case ODRRegulation:
+		return "ODR"
+	}
+	return "Unknown"
+}
+
+// ServerConfig configures Serve.
+type ServerConfig struct {
+	// Width and Height are the stream resolution (defaults 320×180).
+	Width, Height int
+	// Policy selects the regulation strategy.
+	Policy PolicyKind
+	// TargetFPS is the QoS goal for Interval and ODR (0 = maximize).
+	TargetFPS float64
+	// Codec configures the encoder.
+	Codec codec.Options
+	// RenderCost, when set, is sampled per frame to emulate a heavier GPU
+	// (slept inside the render step).
+	RenderCost func() time.Duration
+	// QueueFrames is the send-queue depth for the push policies
+	// (default 256, emulating deep socket buffers).
+	QueueFrames int
+	// AdaptiveQuality lets the server coarsen quantization when the
+	// connection backpressures (sender blocked on writes) and restore it
+	// when the path has headroom — bitrate adaptation in the spirit of the
+	// §2-cited encoding-adaptation work, orthogonal to FPS regulation.
+	AdaptiveQuality bool
+}
+
+func (c *ServerConfig) applyDefaults() {
+	if c.Width == 0 {
+		c.Width = 320
+	}
+	if c.Height == 0 {
+		c.Height = 180
+	}
+	if c.QueueFrames == 0 {
+		c.QueueFrames = 256
+	}
+}
+
+// ServerStats counts server-side events; all fields are atomics.
+type ServerStats struct {
+	Rendered int64
+	Encoded  int64
+	Sent     int64
+	Dropped  int64
+	Priority int64
+	Inputs   int64
+	KeyReqs  int64
+}
+
+// snapshotInt64 reads one counter.
+func load(v *int64) int64 { return atomic.LoadInt64(v) }
+
+// Snapshot returns a copy of the counters.
+func (s *ServerStats) Snapshot() ServerStats {
+	return ServerStats{
+		Rendered: load(&s.Rendered),
+		Encoded:  load(&s.Encoded),
+		Sent:     load(&s.Sent),
+		Dropped:  load(&s.Dropped),
+		Priority: load(&s.Priority),
+		Inputs:   load(&s.Inputs),
+		KeyReqs:  load(&s.KeyReqs),
+	}
+}
+
+// Server streams the synthetic game to one client connection.
+type Server struct {
+	cfg   ServerConfig
+	conn  net.Conn
+	dom   *realrt.Domain
+	game  *Game
+	box   *core.InputBox
+	buf1  *core.MultiBuffer
+	buf2  *core.MultiBuffer // ODR only
+	sendq chan *frame.Frame // push policies only
+	pacer *core.Pacer
+	enc   *codec.Encoder
+
+	stats ServerStats
+
+	stopOnce sync.Once
+	stopping chan struct{}
+	wg       sync.WaitGroup
+
+	// wantKey is set by a client keyframe request (decoder resync after
+	// joining mid-stream or recovering from loss) and consumed by the
+	// encode loop.
+	wantKey atomic.Bool
+
+	// sendBlockedNs accumulates time the sender spent blocked in writes;
+	// quantShift mirrors the encoder's current setting (adaptive quality).
+	sendBlockedNs int64
+	quantShift    int64
+
+	// carried holds input stamps whose frames were dropped before being
+	// sent; they attach to the next rendered frame so motion-to-photon
+	// accounting survives latest-wins drops (same mechanism as the
+	// simulator's pipeline).
+	carriedMu sync.Mutex
+	carried   []frame.InputStamp
+
+	// pool recycles raw frame buffers between render and encode.
+	pool sync.Pool
+}
+
+// NewServer prepares a server for conn; call Run to start streaming.
+func NewServer(conn net.Conn, cfg ServerConfig) *Server {
+	cfg.applyDefaults()
+	dom := realrt.NewDomain()
+	s := &Server{
+		cfg:      cfg,
+		conn:     conn,
+		dom:      dom,
+		game:     NewGame(cfg.Width, cfg.Height),
+		box:      core.NewInputBox(dom),
+		buf1:     core.NewMultiBuffer(dom),
+		pacer:    core.NewPacer(cfg.TargetFPS),
+		enc:      codec.NewEncoder(cfg.Width, cfg.Height, cfg.Codec),
+		stopping: make(chan struct{}),
+	}
+	s.game.ExtraCost = cfg.RenderCost
+	s.quantShift = int64(cfg.Codec.QuantShift)
+	size := s.game.FrameBytes()
+	s.pool.New = func() any { return make([]byte, size) }
+	if cfg.Policy == ODRRegulation {
+		s.buf2 = core.NewMultiBuffer(dom)
+		// PriorityFrame: input arrivals cancel the Mul-Buf1 wait.
+		s.box.Subscribe(s.buf1.Changed())
+	} else {
+		s.sendq = make(chan *frame.Frame, cfg.QueueFrames)
+	}
+	return s
+}
+
+// Stats returns the server's counters (atomically readable while running).
+func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// Game exposes the synthetic application (for tests).
+func (s *Server) Game() *Game { return s.game }
+
+// Run streams until the connection closes or Stop is called. It returns the
+// first connection error (io.EOF/closed-connection errors are normal
+// shutdown and reported as nil).
+func (s *Server) Run() error {
+	errCh := make(chan error, 4)
+	s.wg.Add(4)
+	go s.appLoop()
+	go s.encodeLoop(errCh)
+	go s.sendLoop(errCh)
+	go s.inputLoop(errCh)
+	err := <-errCh
+	s.Stop()
+	s.wg.Wait()
+	if err != nil && !isClosedErr(err) {
+		return err
+	}
+	return nil
+}
+
+// Stop shuts the server down and closes the connection.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopping)
+		s.buf1.Close()
+		if s.buf2 != nil {
+			s.buf2.Close()
+		}
+		s.conn.Close()
+	})
+}
+
+func (s *Server) stopped() bool {
+	select {
+	case <-s.stopping:
+		return true
+	default:
+		return false
+	}
+}
+
+// appLoop is the 3D application: gate (per policy), consume inputs, render,
+// submit.
+func (s *Server) appLoop() {
+	defer s.wg.Done()
+	w := realrt.NewWaiter(s.dom)
+	interval := time.Duration(0)
+	if s.cfg.Policy == IntervalRegulation && s.cfg.TargetFPS > 0 {
+		interval = time.Duration(float64(time.Second) / s.cfg.TargetFPS)
+	}
+	nextTick := s.dom.Now()
+	var seq uint64
+	for !s.stopped() {
+		// Gate.
+		switch s.cfg.Policy {
+		case ODRRegulation:
+			s.buf1.WaitBackFree(w, s.box.PendingLocked)
+		case IntervalRegulation:
+			if interval > 0 {
+				now := s.dom.Now()
+				if nextTick <= now {
+					nextTick += ((now-nextTick)/interval + 1) * interval
+				}
+				w.Sleep(nextTick - now)
+				nextTick += interval
+			}
+		}
+		if s.stopped() {
+			return
+		}
+		// Render.
+		stamps := s.box.ConsumePending()
+		for range stamps {
+			s.game.OnInput()
+		}
+		stamps = append(s.takeCarried(), stamps...)
+		pix := s.pool.Get().([]byte)
+		start := s.dom.Now()
+		s.game.Render(pix)
+		seq++
+		f := &frame.Frame{Seq: seq, Pixels: pix, RenderStart: start, RenderEnd: s.dom.Now()}
+		core.Tag(f, stamps)
+		if f.Priority {
+			atomic.AddInt64(&s.stats.Priority, 1)
+		}
+		atomic.AddInt64(&s.stats.Rendered, 1)
+		// Submit.
+		if s.cfg.Policy == ODRRegulation && !f.Priority {
+			s.buf1.Put(w, f)
+			continue
+		}
+		// Priority frames and the push policies' latest-wins slot both use
+		// PutPriority: replace anything not yet being encoded.
+		for _, d := range s.buf1.PutPriority(f) {
+			s.addCarried(d.Inputs)
+			s.recycle(d)
+			atomic.AddInt64(&s.stats.Dropped, 1)
+		}
+	}
+}
+
+// addCarried stores the input stamps of a dropped frame.
+func (s *Server) addCarried(stamps []frame.InputStamp) {
+	if len(stamps) == 0 {
+		return
+	}
+	s.carriedMu.Lock()
+	s.carried = append(s.carried, stamps...)
+	s.carriedMu.Unlock()
+}
+
+// takeCarried drains the carried stamps.
+func (s *Server) takeCarried() []frame.InputStamp {
+	s.carriedMu.Lock()
+	out := s.carried
+	s.carried = nil
+	s.carriedMu.Unlock()
+	return out
+}
+
+// recycle returns a frame's raw buffer to the pool.
+func (s *Server) recycle(f *frame.Frame) {
+	if f.Pixels != nil && len(f.Pixels) == s.game.FrameBytes() {
+		s.pool.Put(f.Pixels)
+		f.Pixels = nil
+	}
+}
+
+// adaptQuality adjusts the encoder's quantization from the sender's
+// observed write-blocking: a saturated path coarsens, a clear path refines
+// back toward the configured base. Called from the encode loop (the
+// encoder's owner) roughly twice a second.
+func (s *Server) adaptQuality(lastCheck *time.Time, blockedAt *int64) {
+	const window = 500 * time.Millisecond
+	if time.Since(*lastCheck) < window {
+		return
+	}
+	blocked := atomic.LoadInt64(&s.sendBlockedNs)
+	frac := float64(blocked-*blockedAt) / float64(window)
+	*blockedAt = blocked
+	*lastCheck = time.Now()
+	q := atomic.LoadInt64(&s.quantShift)
+	switch {
+	case frac > 0.5 && q < 6:
+		q++
+	case frac < 0.1 && q > int64(s.cfg.Codec.QuantShift):
+		q--
+	default:
+		return
+	}
+	atomic.StoreInt64(&s.quantShift, q)
+	s.enc.SetQuantShift(uint(q))
+}
+
+// CurrentQuantShift reports the encoder's quantization (adaptive quality).
+func (s *Server) CurrentQuantShift() uint {
+	return uint(atomic.LoadInt64(&s.quantShift))
+}
+
+// encodeLoop is the server proxy: copy + encode + (for ODR) pace.
+func (s *Server) encodeLoop(errCh chan<- error) {
+	defer s.wg.Done()
+	w := realrt.NewWaiter(s.dom)
+	scratch := make([]byte, s.game.FrameBytes())
+	lastCheck := time.Now()
+	var blockedAt int64
+	for {
+		f := s.buf1.Acquire(w)
+		if f == nil {
+			if s.sendq != nil {
+				close(s.sendq)
+			} else {
+				errCh <- nil
+			}
+			return
+		}
+		start := s.dom.Now()
+		if s.cfg.AdaptiveQuality {
+			s.adaptQuality(&lastCheck, &blockedAt)
+		}
+		if s.wantKey.Swap(false) {
+			s.enc.ForceKeyframe()
+		}
+		// Step 4: the framebuffer copy is a real copy.
+		copy(scratch, f.Pixels)
+		s.recycle(f)
+		f.CopyEnd = s.dom.Now()
+		// Step 5: encode.
+		bs, err := s.enc.Encode(scratch)
+		if err != nil {
+			errCh <- fmt.Errorf("stream: encode: %w", err)
+			return
+		}
+		f.EncodeStart = f.CopyEnd
+		f.EncodeEnd = s.dom.Now()
+		f.Bytes = len(bs)
+		f.Pixels = bs // carries the bitstream to the sender
+		atomic.AddInt64(&s.stats.Encoded, 1)
+
+		if s.cfg.Policy == ODRRegulation {
+			if f.Priority {
+				for _, d := range s.buf2.PutPriority(f) {
+					s.addCarried(d.Inputs)
+					atomic.AddInt64(&s.stats.Dropped, 1)
+				}
+				s.pacer.SkipFrame()
+			} else {
+				if !s.buf2.Put(w, f) {
+					errCh <- nil
+					return
+				}
+				if d := s.pacer.PaceAfter(start, s.dom.Now()); d > 0 {
+					w.Sleep(d)
+				}
+			}
+			s.buf1.Release()
+			continue
+		}
+		s.buf1.Release()
+		select {
+		case s.sendq <- f:
+		default:
+			s.addCarried(f.Inputs)
+			atomic.AddInt64(&s.stats.Dropped, 1) // tail-drop: queue full
+		}
+	}
+}
+
+// sendLoop transmits encoded frames.
+func (s *Server) sendLoop(errCh chan<- error) {
+	defer s.wg.Done()
+	w := realrt.NewWaiter(s.dom)
+	send := func(f *frame.Frame) error {
+		payload := frameMsg(f.Seq, uint64(f.Input), int64(f.InputTime), int64(f.RenderEnd), f.Pixels)
+		start := time.Now()
+		if err := writeMsg(s.conn, msgFrame, payload); err != nil {
+			return err
+		}
+		atomic.AddInt64(&s.sendBlockedNs, int64(time.Since(start)))
+		atomic.AddInt64(&s.stats.Sent, 1)
+		return nil
+	}
+	if s.cfg.Policy == ODRRegulation {
+		for {
+			f := s.buf2.Acquire(w)
+			if f == nil {
+				errCh <- nil
+				return
+			}
+			err := send(f)
+			s.buf2.Release()
+			if err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}
+	for f := range s.sendq {
+		if err := send(f); err != nil {
+			errCh <- err
+			return
+		}
+	}
+	errCh <- nil
+}
+
+// inputLoop receives user inputs (step 2 of Fig. 2: the proxy captures the
+// input and forwards it to the 3D application).
+func (s *Server) inputLoop(errCh chan<- error) {
+	defer s.wg.Done()
+	var buf []byte
+	for {
+		typ, payload, err := readMsg(s.conn, buf)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		buf = payload[:cap(payload)]
+		switch typ {
+		case msgInput:
+			id, nanos, err := parseInputMsg(payload)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			atomic.AddInt64(&s.stats.Inputs, 1)
+			s.box.OnInput(frame.InputID(id), time.Duration(nanos))
+		case msgKeyReq:
+			atomic.AddInt64(&s.stats.KeyReqs, 1)
+			s.wantKey.Store(true)
+		case msgBye:
+			errCh <- nil
+			return
+		default:
+			errCh <- fmt.Errorf("stream: unexpected message type %d", typ)
+			return
+		}
+	}
+}
+
+// isClosedErr reports whether err is an orderly-shutdown artifact.
+func isClosedErr(err error) bool {
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	s := err.Error()
+	return s == "EOF" || s == "io: read/write on closed pipe"
+}

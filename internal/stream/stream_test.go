@@ -1,0 +1,285 @@
+package stream
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startPair wires a server and client over an in-process pipe and runs both.
+func startPair(t *testing.T, cfg ServerConfig) (*Server, *Client, func()) {
+	t.Helper()
+	sc, cc := net.Pipe()
+	srv := NewServer(sc, cfg)
+	cli := NewClient(cc)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := srv.Run(); err != nil {
+			t.Errorf("server: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := cli.Run(); err != nil {
+			t.Errorf("client: %v", err)
+		}
+	}()
+	cleanup := func() {
+		cli.Stop()
+		srv.Stop()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("stream did not shut down")
+		}
+	}
+	return srv, cli, cleanup
+}
+
+func waitFrames(t *testing.T, c *Client, n int64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if c.Report().Frames >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("client received %d frames, want >= %d", c.Report().Frames, n)
+}
+
+func TestStreamODRDeliversFrames(t *testing.T) {
+	srv, cli, cleanup := startPair(t, ServerConfig{
+		Width: 64, Height: 36, Policy: ODRRegulation, TargetFPS: 120,
+	})
+	defer cleanup()
+	waitFrames(t, cli, 30, 10*time.Second)
+	st := srv.Stats().Snapshot()
+	if st.Rendered < 30 || st.Encoded < 30 || st.Sent < 30 {
+		t.Fatalf("server stats too low: %+v", st)
+	}
+	rep := cli.Report()
+	if rep.Bytes == 0 || rep.Brightness == 0 {
+		t.Fatalf("client did not decode real content: %+v", rep)
+	}
+}
+
+func TestStreamODRMeetsTargetFPS(t *testing.T) {
+	_, cli, cleanup := startPair(t, ServerConfig{
+		Width: 48, Height: 27, Policy: ODRRegulation, TargetFPS: 60,
+	})
+	defer cleanup()
+	// Collect ~1.5s of frames.
+	waitFrames(t, cli, 80, 15*time.Second)
+	rep := cli.Report()
+	if rep.FPS < 48 || rep.FPS > 75 {
+		t.Fatalf("ODR60 client FPS = %.1f, want ~60", rep.FPS)
+	}
+}
+
+func TestStreamODRBackpressureLimitsRendering(t *testing.T) {
+	// A slow client (tiny pipe + slow reads) must throttle an unregulated-
+	// speed ODR renderer via the multi-buffers, with no drops.
+	srv, cli, cleanup := startPair(t, ServerConfig{
+		Width: 64, Height: 36, Policy: ODRRegulation, TargetFPS: 0,
+	})
+	defer cleanup()
+	waitFrames(t, cli, 50, 15*time.Second)
+	st := srv.Stats().Snapshot()
+	// ODR renders on demand: rendered can exceed sent only by the frames
+	// buffered in the two multi-buffers (and any priority replacements).
+	if st.Rendered > st.Sent+4 {
+		t.Fatalf("ODR rendered %d but sent only %d: backpressure failed", st.Rendered, st.Sent)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("ODR dropped %d frames without inputs", st.Dropped)
+	}
+}
+
+func TestStreamNoRegRendersExcessively(t *testing.T) {
+	srv, cli, cleanup := startPair(t, ServerConfig{
+		Width: 64, Height: 36, Policy: NoRegulation, QueueFrames: 4,
+	})
+	defer cleanup()
+	waitFrames(t, cli, 30, 10*time.Second)
+	// Give the renderer time to outrun the pipe.
+	time.Sleep(300 * time.Millisecond)
+	st := srv.Stats().Snapshot()
+	if st.Rendered <= st.Sent {
+		t.Fatalf("NoReg rendered %d <= sent %d: expected excessive rendering", st.Rendered, st.Sent)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("NoReg should drop frames (excess rendering)")
+	}
+}
+
+func TestStreamInputLatencyAndPriority(t *testing.T) {
+	srv, cli, cleanup := startPair(t, ServerConfig{
+		Width: 48, Height: 27, Policy: ODRRegulation, TargetFPS: 30,
+	})
+	defer cleanup()
+	waitFrames(t, cli, 5, 10*time.Second)
+	for i := 0; i < 5; i++ {
+		if _, err := cli.SendInput(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && cli.Report().LatencySamples < 3 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep := cli.Report()
+	if rep.LatencySamples < 3 {
+		t.Fatalf("got %d latency samples, want >= 3", rep.LatencySamples)
+	}
+	if rep.MeanLatency <= 0 || rep.MeanLatency > 500 {
+		t.Fatalf("MtP latency %.1fms implausible", rep.MeanLatency)
+	}
+	if st := srv.Stats().Snapshot(); st.Priority == 0 {
+		t.Fatal("no priority frames produced")
+	}
+}
+
+func TestStreamInputVisibleInPixels(t *testing.T) {
+	// The frame responding to an input flashes brighter: verify causality
+	// end-to-end through render -> encode -> network -> decode.
+	srv, cli, cleanup := startPair(t, ServerConfig{
+		Width: 48, Height: 27, Policy: ODRRegulation, TargetFPS: 30,
+	})
+	defer cleanup()
+	waitFrames(t, cli, 5, 10*time.Second)
+	base := cli.Report().Brightness
+	if _, err := cli.SendInput(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var peak float64
+	for time.Now().Before(deadline) {
+		if b := cli.Report().Brightness; b > peak {
+			peak = b
+		}
+		if peak > base+20 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if peak <= base+10 {
+		t.Fatalf("input flash not visible: base %.1f, peak %.1f", base, peak)
+	}
+	_ = srv
+}
+
+func TestStreamOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		srv := NewServer(conn, ServerConfig{Width: 64, Height: 36, Policy: ODRRegulation, TargetFPS: 60})
+		srvErr <- srv.Run()
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn)
+	cliDone := make(chan error, 1)
+	go func() { cliDone <- cli.Run() }()
+	waitFrames(t, cli, 30, 15*time.Second)
+	if _, err := cli.SendInput(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	cli.Stop()
+	select {
+	case err := <-cliDone:
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not stop")
+	}
+	select {
+	case err := <-srvErr:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not stop")
+	}
+}
+
+func TestStreamIntervalRegulation(t *testing.T) {
+	_, cli, cleanup := startPair(t, ServerConfig{
+		Width: 48, Height: 27, Policy: IntervalRegulation, TargetFPS: 50,
+	})
+	defer cleanup()
+	waitFrames(t, cli, 60, 15*time.Second)
+	rep := cli.Report()
+	// Interval regulation caps at the target but can lose intervals.
+	if rep.FPS > 60 {
+		t.Fatalf("Interval-50 client FPS = %.1f, want <= ~50", rep.FPS)
+	}
+}
+
+func TestStreamOnFrameCallback(t *testing.T) {
+	_, cli, cleanup := startPair(t, ServerConfig{
+		Width: 32, Height: 18, Policy: ODRRegulation, TargetFPS: 60,
+	})
+	defer cleanup()
+	var mu sync.Mutex
+	var seqs []uint64
+	cli.OnFrame(func(seq uint64, pix []byte) {
+		mu.Lock()
+		seqs = append(seqs, seq)
+		mu.Unlock()
+	})
+	waitFrames(t, cli, 20, 10*time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) == 0 {
+		t.Fatal("OnFrame callback never invoked")
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("frame sequence not increasing: %v", seqs[max(0, i-2):i+1])
+		}
+	}
+}
+
+func TestGameRenderDeterministicShape(t *testing.T) {
+	g := NewGame(16, 9)
+	buf := make([]byte, g.FrameBytes())
+	g.Render(buf)
+	b1 := Brightness(buf)
+	g.Render(buf)
+	b2 := Brightness(buf)
+	if b1 == 0 || b2 == 0 {
+		t.Fatal("rendered frames are black")
+	}
+	g.OnInput()
+	g.Render(buf)
+	if b3 := Brightness(buf); b3 <= b2 {
+		t.Fatalf("input flash did not brighten frame: %.1f <= %.1f", b3, b2)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

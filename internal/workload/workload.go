@@ -1,0 +1,240 @@
+// Package workload models the frame-processing behaviour of interactive 3D
+// applications: per-frame render/copy/encode/decode costs, encoded frame
+// sizes, scene-complexity drift and user-input arrivals.
+//
+// It substitutes for the real Pictor benchmarks (SuperTuxKart, 0 A.D.,
+// Red Eclipse, DoTA2, InMind, IMHOTEP) that the paper runs on real GPUs.
+// The substitution is justified because FPS-regulation dynamics depend only
+// on the *timing* of the processing steps: their means, their heavy-tailed
+// variation (Fig. 4: 80-90 % of frames below 16.6 ms, 10-20 % spiking well
+// above) and their slow drift. The regulators never look at pixels.
+//
+// The model for each per-frame cost is
+//
+//	cost = base × complexity(t) × lognormal(σ) × spike,
+//
+// where complexity(t) is a mean-reverting random walk (scene load drifting
+// as the player moves between areas), the lognormal factor captures
+// frame-to-frame jitter, and spike is a heavy-tail multiplier applied with
+// small probability (the Fig. 4b excursions: sudden scene changes, shader
+// compilation, cloud performance variation [30, 79]).
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"odr/internal/frame"
+)
+
+// Params defines one benchmark's intrinsic timing behaviour at the reference
+// configuration (720p, private-cloud hardware). Platform and resolution
+// scaling are applied on top by the Sampler.
+type Params struct {
+	Name string
+
+	// Median per-frame costs at the reference configuration.
+	RenderMedian time.Duration // GPU render time (step 3)
+	CopyMedian   time.Duration // framebuffer copy to the proxy (step 4)
+	EncodeMedian time.Duration // video encode in the proxy (step 5)
+	DecodeMedian time.Duration // client decode (step 7)
+
+	// Jitter is the sigma of the lognormal frame-to-frame factor.
+	Jitter float64
+
+	// SpikeProb is the per-frame probability of a heavy-tail spike;
+	// SpikeMax bounds the spike multiplier (uniform in [1.5, SpikeMax]).
+	SpikeProb float64
+	SpikeMax  float64
+
+	// BytesMedian is the median encoded frame size at the reference
+	// resolution (video-stream frames; §6.6 reports 15-60 Mbps overall).
+	BytesMedian int
+
+	// InputRate is the mean user-input rate in inputs/second after
+	// position-polling combination (§5.3: 2-5 priority frames/second).
+	InputRate float64
+
+	// GPUShare is the fraction of the benchmark's power/activity footprint
+	// attributable to the GPU (used by the power model; VR benchmarks are
+	// GPU-heavy).
+	GPUShare float64
+
+	// CPUIPC is the benchmark's uncontended instructions-per-cycle on the
+	// reference CPU (feeds the DRAM contention model).
+	CPUIPC float64
+
+	// ComplexityWander controls how strongly scene complexity drifts
+	// (0 = constant scenes, 1 = strong area-to-area variation).
+	ComplexityWander float64
+}
+
+// Scale describes the platform/resolution scaling applied to the reference
+// parameters.
+type Scale struct {
+	GPU    float64 // render-time multiplier (e.g. Tesla P4 vs GTX 1080Ti)
+	CPU    float64 // copy/encode-time multiplier
+	Client float64 // decode-time multiplier
+	Pixels float64 // resolution factor relative to 720p (1080p = 2.25)
+}
+
+// RefScale is the identity scaling (720p on the private-cloud hardware).
+var RefScale = Scale{GPU: 1, CPU: 1, Client: 1, Pixels: 1}
+
+// Source supplies per-frame costs and input arrivals to a pipeline. The
+// stochastic Sampler is the default implementation; TraceSampler replays
+// recorded traces of real applications.
+type Source interface {
+	// NextFrame returns the next frame's processing costs.
+	NextFrame() Costs
+	// NextInputGap returns the time until the next user input.
+	NextInputGap() time.Duration
+	// NextInputID returns a fresh nonzero input id.
+	NextInputID() frame.InputID
+}
+
+// Costs carries one frame's sampled processing costs.
+type Costs struct {
+	Render     time.Duration
+	Copy       time.Duration
+	Encode     time.Duration
+	Decode     time.Duration
+	Bytes      int
+	Complexity float64
+}
+
+// Sampler draws per-frame costs and input arrivals for one benchmark run.
+// It is deterministic for a given (Params, Scale, seed).
+type Sampler struct {
+	p     Params
+	s     Scale
+	rng   *rand.Rand
+	cmplx float64 // current scene-complexity factor
+
+	// Derived multipliers.
+	renderBase time.Duration
+	copyBase   time.Duration
+	encodeBase time.Duration
+	decodeBase time.Duration
+	bytesBase  float64
+
+	nextInputID frame.InputID
+}
+
+// NewSampler returns a sampler for params under scale, seeded with seed.
+func NewSampler(p Params, s Scale, seed int64) *Sampler {
+	if s.GPU == 0 || s.CPU == 0 || s.Client == 0 || s.Pixels == 0 {
+		s = RefScale
+	}
+	sp := &Sampler{
+		p:     p,
+		s:     s,
+		rng:   rand.New(rand.NewSource(seed)),
+		cmplx: 1,
+	}
+	// Sub-linear GPU scaling with pixels (fill-rate bound only partially),
+	// near-linear encode-time scaling, and sub-linear bitstream scaling
+	// (inter-frame codecs spend well under 2x the bits on 2.25x the
+	// pixels): standard for video pipelines.
+	renderPix := math.Pow(s.Pixels, 0.6)
+	codecPix := math.Pow(s.Pixels, 0.95)
+	bytesPix := math.Pow(s.Pixels, 0.65)
+	sp.renderBase = time.Duration(float64(p.RenderMedian) * s.GPU * renderPix)
+	sp.copyBase = time.Duration(float64(p.CopyMedian) * s.CPU * s.Pixels)
+	sp.encodeBase = time.Duration(float64(p.EncodeMedian) * s.CPU * codecPix)
+	sp.decodeBase = time.Duration(float64(p.DecodeMedian) * s.Client * codecPix)
+	sp.bytesBase = float64(p.BytesMedian) * bytesPix
+	return sp
+}
+
+// Params returns the sampler's benchmark parameters.
+func (sp *Sampler) Params() Params { return sp.p }
+
+// lognorm returns a lognormal multiplier with median 1 and sigma sig.
+func (sp *Sampler) lognorm(sig float64) float64 {
+	return math.Exp(sp.rng.NormFloat64() * sig)
+}
+
+// spike returns the heavy-tail multiplier (usually 1).
+func (sp *Sampler) spike() float64 {
+	if sp.rng.Float64() < sp.p.SpikeProb {
+		return 1.5 + sp.rng.Float64()*(sp.p.SpikeMax-1.5)
+	}
+	return 1
+}
+
+// stepComplexity advances the mean-reverting scene-complexity walk.
+func (sp *Sampler) stepComplexity() {
+	w := sp.p.ComplexityWander
+	if w <= 0 {
+		return
+	}
+	// Ornstein-Uhlenbeck-style step towards 1 with bounded range.
+	sp.cmplx += 0.02*(1-sp.cmplx) + sp.rng.NormFloat64()*0.015*w
+	// Occasional scene change: jump to a new level.
+	if sp.rng.Float64() < 0.002*w {
+		sp.cmplx = 0.8 + sp.rng.Float64()*0.6
+	}
+	if sp.cmplx < 0.6 {
+		sp.cmplx = 0.6
+	}
+	if sp.cmplx > 1.6 {
+		sp.cmplx = 1.6
+	}
+}
+
+// NextFrame samples the costs of the next frame and advances the scene
+// state.
+func (sp *Sampler) NextFrame() Costs {
+	sp.stepComplexity()
+	c := sp.cmplx
+	render := time.Duration(float64(sp.renderBase) * c * sp.lognorm(sp.p.Jitter) * sp.spike())
+	cp := time.Duration(float64(sp.copyBase) * sp.lognorm(sp.p.Jitter*0.3))
+	encode := time.Duration(float64(sp.encodeBase) * c * sp.lognorm(sp.p.Jitter*0.8) * sp.spike())
+	decode := time.Duration(float64(sp.decodeBase) * sp.lognorm(sp.p.Jitter*0.5))
+	bytes := int(sp.bytesBase * c * sp.lognorm(0.25))
+	if bytes < 1000 {
+		bytes = 1000
+	}
+	return Costs{
+		Render:     clampPos(render),
+		Copy:       clampPos(cp),
+		Encode:     clampPos(encode),
+		Decode:     clampPos(decode),
+		Bytes:      bytes,
+		Complexity: c,
+	}
+}
+
+func clampPos(d time.Duration) time.Duration {
+	const floor = 100 * time.Microsecond
+	if d < floor {
+		return floor
+	}
+	return d
+}
+
+// NextInputGap samples the time until the next user input (exponential
+// inter-arrival, i.e. Poisson arrivals at Params.InputRate).
+func (sp *Sampler) NextInputGap() time.Duration {
+	if sp.p.InputRate <= 0 {
+		return math.MaxInt64
+	}
+	gap := sp.rng.ExpFloat64() / sp.p.InputRate
+	// Human inputs have a refractory period; no two inputs within 40ms.
+	const minGap = 0.040
+	if gap < minGap {
+		gap = minGap
+	}
+	return time.Duration(gap * float64(time.Second))
+}
+
+// NextInputID returns a fresh nonzero input id.
+func (sp *Sampler) NextInputID() frame.InputID {
+	sp.nextInputID++
+	return sp.nextInputID
+}
+
+// Complexity returns the current scene-complexity factor.
+func (sp *Sampler) Complexity() float64 { return sp.cmplx }

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testParams() Params {
+	return Params{
+		Name:             "test",
+		RenderMedian:     4 * time.Millisecond,
+		CopyMedian:       time.Millisecond,
+		EncodeMedian:     7 * time.Millisecond,
+		DecodeMedian:     3 * time.Millisecond,
+		Jitter:           0.25,
+		SpikeProb:        0.12,
+		SpikeMax:         3.5,
+		BytesMedian:      32 << 10,
+		InputRate:        3.5,
+		GPUShare:         0.6,
+		CPUIPC:           0.7,
+		ComplexityWander: 0.8,
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	a := NewSampler(testParams(), RefScale, 42)
+	b := NewSampler(testParams(), RefScale, 42)
+	for i := 0; i < 200; i++ {
+		ca, cb := a.NextFrame(), b.NextFrame()
+		if ca != cb {
+			t.Fatalf("frame %d diverged: %+v vs %+v", i, ca, cb)
+		}
+		if a.NextInputGap() != b.NextInputGap() {
+			t.Fatalf("input gap diverged at %d", i)
+		}
+	}
+}
+
+func TestSamplerSeedMatters(t *testing.T) {
+	a := NewSampler(testParams(), RefScale, 1)
+	b := NewSampler(testParams(), RefScale, 2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.NextFrame() == b.NextFrame() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSamplerCostsPositive(t *testing.T) {
+	s := NewSampler(testParams(), RefScale, 7)
+	for i := 0; i < 5000; i++ {
+		c := s.NextFrame()
+		if c.Render <= 0 || c.Copy <= 0 || c.Encode <= 0 || c.Decode <= 0 {
+			t.Fatalf("non-positive cost at %d: %+v", i, c)
+		}
+		if c.Bytes < 1000 {
+			t.Fatalf("implausible frame size %d", c.Bytes)
+		}
+		if c.Complexity < 0.6 || c.Complexity > 1.6 {
+			t.Fatalf("complexity %v out of range", c.Complexity)
+		}
+	}
+}
+
+func TestSamplerMedianNearConfigured(t *testing.T) {
+	s := NewSampler(testParams(), RefScale, 3)
+	var renders []float64
+	for i := 0; i < 20000; i++ {
+		renders = append(renders, s.NextFrame().Render.Seconds()*1000)
+	}
+	// Median should be near 4ms (complexity drift widens it a little).
+	med := median(renders)
+	if med < 3.0 || med > 5.2 {
+		t.Fatalf("render median = %.2fms, want ~4ms", med)
+	}
+}
+
+func TestSamplerHeavyTail(t *testing.T) {
+	// The §4.1 shape: most frames fast, 10-20% spiking well above. With a
+	// 4ms median, the 16.6ms interval should catch the vast majority but
+	// not everything at the p99.
+	s := NewSampler(testParams(), RefScale, 9)
+	n, over := 0, 0
+	var maxV time.Duration
+	for i := 0; i < 20000; i++ {
+		c := s.NextFrame()
+		n++
+		if c.Render > 16600*time.Microsecond {
+			over++
+		}
+		if c.Render > maxV {
+			maxV = c.Render
+		}
+	}
+	frac := float64(over) / float64(n)
+	if frac < 0.005 || frac > 0.25 {
+		t.Fatalf("fraction of renders above 16.6ms = %.3f, want heavy but minority tail", frac)
+	}
+	if maxV < 25*time.Millisecond {
+		t.Fatalf("max render %v: no real spikes", maxV)
+	}
+}
+
+func TestScaleEffects(t *testing.T) {
+	base := NewSampler(testParams(), RefScale, 5)
+	scaled := NewSampler(testParams(), Scale{GPU: 2, CPU: 2, Client: 2, Pixels: 2.25}, 5)
+	var br, bp, sr, sp float64
+	for i := 0; i < 5000; i++ {
+		cb, cs := base.NextFrame(), scaled.NextFrame()
+		br += cb.Render.Seconds()
+		bp += float64(cb.Bytes)
+		sr += cs.Render.Seconds()
+		sp += float64(cs.Bytes)
+	}
+	// GPU 2x and pixels 2.25^0.6 => render ~3.25x slower.
+	if ratio := sr / br; ratio < 2.6 || ratio > 4.0 {
+		t.Fatalf("render scale ratio = %.2f, want ~3.3", ratio)
+	}
+	// Bytes scale sub-linearly with pixels (2.25^0.65 ≈ 1.7).
+	if ratio := sp / bp; ratio < 1.5 || ratio > 1.95 {
+		t.Fatalf("bytes scale ratio = %.2f, want ~1.7", ratio)
+	}
+}
+
+func TestZeroScaleFallsBackToRef(t *testing.T) {
+	s := NewSampler(testParams(), Scale{}, 5)
+	c := s.NextFrame()
+	if c.Render <= 0 {
+		t.Fatal("zero Scale should fall back to RefScale")
+	}
+}
+
+func TestInputGapRespectssRefractory(t *testing.T) {
+	s := NewSampler(testParams(), RefScale, 11)
+	var total time.Duration
+	n := 3000
+	for i := 0; i < n; i++ {
+		g := s.NextInputGap()
+		if g < 40*time.Millisecond {
+			t.Fatalf("gap %v below human refractory period", g)
+		}
+		total += g
+	}
+	rate := float64(n) / total.Seconds()
+	if rate < 2.0 || rate > 4.5 {
+		t.Fatalf("input rate = %.2f/s, want ~3.3 (configured 3.5 minus refractory)", rate)
+	}
+}
+
+func TestInputGapZeroRate(t *testing.T) {
+	p := testParams()
+	p.InputRate = 0
+	s := NewSampler(p, RefScale, 1)
+	if g := s.NextInputGap(); g < time.Duration(math.MaxInt64)/2 {
+		t.Fatalf("zero input rate should return effectively infinite gap, got %v", g)
+	}
+}
+
+func TestInputIDsMonotonic(t *testing.T) {
+	s := NewSampler(testParams(), RefScale, 1)
+	last := s.NextInputID()
+	for i := 0; i < 100; i++ {
+		id := s.NextInputID()
+		if id <= last {
+			t.Fatalf("ids not increasing: %d after %d", id, last)
+		}
+		last = id
+	}
+}
+
+// Property: complexity stays in bounds for arbitrary wander settings.
+func TestComplexityBoundedProperty(t *testing.T) {
+	f := func(seed int64, wander uint8) bool {
+		p := testParams()
+		p.ComplexityWander = float64(wander) / 64 // up to 4x normal
+		s := NewSampler(p, RefScale, seed)
+		for i := 0; i < 500; i++ {
+			s.NextFrame()
+			c := s.Complexity()
+			if c < 0.6 || c > 1.6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}

@@ -1,0 +1,291 @@
+// Package odr is the public API of the OnDemand Rendering (ODR)
+// reproduction — the cloud-3D FPS-regulation system of "Improving Resource
+// and Energy Efficiency for Cloud 3D through Excessive Rendering Reduction"
+// (EuroSys 2024).
+//
+// The package offers three entry points:
+//
+//   - Simulate runs the discrete-event cloud-3D pipeline under a chosen
+//     regulation policy and benchmark/platform configuration and returns the
+//     paper's metrics (FPS, FPS gap, motion-to-photon latency, DRAM
+//     behaviour, power).
+//
+//   - NewStreamServer / NewStreamClient build the real-time streaming stack:
+//     a server that renders a synthetic game, regulates it with ODR (or a
+//     baseline), encodes frames with a real codec and streams them over any
+//     net.Conn; and a measuring client.
+//
+//   - The re-exported core types (MultiBuffer, Pacer, InputBox) are the
+//     paper's mechanisms themselves, usable in other pipelines via the
+//     small Domain/Waiter runtime abstraction.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured results.
+package odr
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"odr/internal/codec"
+	"odr/internal/core"
+	"odr/internal/pictor"
+	"odr/internal/pipeline"
+	"odr/internal/realrt"
+	"odr/internal/regulator"
+	"odr/internal/stream"
+	"odr/internal/workload"
+)
+
+// Core mechanism re-exports: these are the §5 components.
+type (
+	// MultiBuffer is ODR's stage-synchronizing front/back frame buffer
+	// (§5.1).
+	MultiBuffer = core.MultiBuffer
+	// Pacer is the accumulated-delay FPS regulator of Algorithm 1 (§5.2).
+	Pacer = core.Pacer
+	// InputBox implements PriorityFrame's input observation and
+	// interruptible render delay (§5.3).
+	InputBox = core.InputBox
+	// Domain and Waiter are the runtime abstraction the components run on
+	// (virtual time in the simulator, wall clock in the stream stack).
+	Domain = core.Domain
+	Waiter = core.Waiter
+)
+
+// NewMultiBuffer returns an empty multi-buffer in dom.
+func NewMultiBuffer(dom Domain) *MultiBuffer { return core.NewMultiBuffer(dom) }
+
+// NewPacer returns an Algorithm 1 pacer targeting targetFPS (0 disables
+// pacing).
+func NewPacer(targetFPS float64) *Pacer { return core.NewPacer(targetFPS) }
+
+// NewInputBox returns an empty input box in dom.
+func NewInputBox(dom Domain) *InputBox { return core.NewInputBox(dom) }
+
+// NewRealtimeDomain returns a wall-clock Domain (with NewRealtimeWaiter for
+// its goroutines), for using the core components outside the provided
+// stacks.
+func NewRealtimeDomain() Domain { return realrt.NewDomain() }
+
+// NewRealtimeWaiter returns a Waiter for dom, which must have been created
+// by NewRealtimeDomain.
+func NewRealtimeWaiter(dom Domain) Waiter { return realrt.NewWaiter(dom.(*realrt.Domain)) }
+
+// Policy names a regulation policy for Simulate.
+type Policy string
+
+// The available regulation policies.
+const (
+	PolicyNoReg    Policy = "noreg" // no regulation (the §4 baseline)
+	PolicyInterval Policy = "int"   // interval-based regulation (§2)
+	PolicyRVS      Policy = "rvs"   // Remote VSync (§2, [49])
+	PolicyODR      Policy = "odr"   // OnDemand Rendering (§5)
+)
+
+// SimConfig configures one Simulate run. Zero values pick the defaults
+// shown on each field.
+type SimConfig struct {
+	// Benchmark is one of STK, 0AD, RE, D2, IM (default), ITP.
+	Benchmark string
+	// Platform is "priv" (default) or "gce".
+	Platform string
+	// Resolution is "720p" (default) or "1080p".
+	Resolution string
+	// Policy selects the regulator (default PolicyODR).
+	Policy Policy
+	// TargetFPS is the QoS goal: 0 maximizes FPS; for PolicyRVS it is the
+	// client display refresh rate.
+	TargetFPS float64
+	// Duration is the measured simulated time (default 60s).
+	Duration time.Duration
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// TraceCSVPath, when set, replays a recorded frame-cost trace (the
+	// odrtrace -kind trace format) instead of the stochastic benchmark
+	// model. Benchmark still selects input rate and power/DRAM character.
+	TraceCSVPath string
+}
+
+// SimResult is the subset of pipeline metrics exposed publicly.
+type SimResult struct {
+	Label          string
+	RenderFPS      float64
+	EncodeFPS      float64
+	ClientFPS      float64
+	FPSGapMean     float64
+	FPSGapMax      float64
+	MtPMeanMs      float64
+	MtPP99Ms       float64
+	DRAMMissRate   float64
+	DRAMReadNs     float64
+	IPC            float64
+	PowerWatts     float64
+	BandwidthMbps  float64
+	FramesRendered int64
+	FramesDropped  int64
+	PriorityFrames int64
+}
+
+func benchmarkOf(name string) (pictor.Benchmark, error) {
+	if name == "" {
+		return pictor.IM, nil
+	}
+	for _, b := range pictor.Benchmarks {
+		if string(b) == name {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("odr: unknown benchmark %q (want one of %v)", name, pictor.Benchmarks)
+}
+
+// Simulate runs the cloud-3D pipeline simulator once.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	b, err := benchmarkOf(cfg.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	plat := pictor.PrivateCloud
+	switch cfg.Platform {
+	case "", "priv", "private":
+	case "gce", "GCE":
+		plat = pictor.GoogleGCE
+	default:
+		return nil, fmt.Errorf("odr: unknown platform %q (want priv or gce)", cfg.Platform)
+	}
+	res := pictor.R720p
+	switch cfg.Resolution {
+	case "", "720p":
+	case "1080p":
+		res = pictor.R1080p
+	default:
+		return nil, fmt.Errorf("odr: unknown resolution %q (want 720p or 1080p)", cfg.Resolution)
+	}
+	pol := cfg.Policy
+	if pol == "" {
+		pol = PolicyODR
+	}
+	var factory pipeline.PolicyFactory
+	switch pol {
+	case PolicyNoReg:
+		factory = func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewNoReg(ctx) }
+	case PolicyInterval:
+		factory = func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewInterval(ctx, cfg.TargetFPS) }
+	case PolicyRVS:
+		hz := cfg.TargetFPS
+		if hz == 0 {
+			hz = 240
+		}
+		factory = func(ctx *regulator.Ctx) regulator.Policy { return regulator.NewRVS(ctx, hz, 0) }
+	case PolicyODR:
+		factory = func(ctx *regulator.Ctx) regulator.Policy {
+			return regulator.NewODR(ctx, regulator.ODROptions{TargetFPS: cfg.TargetFPS})
+		}
+	default:
+		return nil, fmt.Errorf("odr: unknown policy %q", pol)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	pc := pipeline.Config{
+		Workload: b.Params(),
+		Scale:    pictor.Scale(plat, res),
+		Net:      pictor.Network(plat),
+		Policy:   factory,
+		Duration: cfg.Duration,
+		Seed:     seed,
+	}
+	if cfg.TraceCSVPath != "" {
+		f, err := os.Open(cfg.TraceCSVPath)
+		if err != nil {
+			return nil, fmt.Errorf("odr: opening trace: %w", err)
+		}
+		rows, err := workload.ParseTraceCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		src, err := workload.NewTraceSampler(rows, b.Params().InputRate, seed)
+		if err != nil {
+			return nil, err
+		}
+		pc.Source = src
+	}
+	r := pipeline.Run(pc)
+	return &SimResult{
+		Label:          r.Label,
+		RenderFPS:      r.RenderFPS,
+		EncodeFPS:      r.EncodeFPS,
+		ClientFPS:      r.ClientFPS,
+		FPSGapMean:     r.GapMean,
+		FPSGapMax:      r.GapMax,
+		MtPMeanMs:      r.MtP.Mean(),
+		MtPP99Ms:       r.MtP.Percentile(99),
+		DRAMMissRate:   r.MissRate,
+		DRAMReadNs:     r.ReadTimeNs,
+		IPC:            r.IPC,
+		PowerWatts:     r.PowerWatts,
+		BandwidthMbps:  r.BandwidthMbps,
+		FramesRendered: r.FramesRendered,
+		FramesDropped:  r.FramesDropped,
+		PriorityFrames: r.PriorityFrames,
+	}, nil
+}
+
+// Streaming stack re-exports.
+type (
+	// StreamServer streams a synthetic 3D application over a net.Conn
+	// under a regulation policy.
+	StreamServer = stream.Server
+	// StreamServerConfig configures a StreamServer.
+	StreamServerConfig = stream.ServerConfig
+	// StreamClient decodes a stream and measures client-side QoS.
+	StreamClient = stream.Client
+	// StreamPolicy selects the server's regulation strategy.
+	StreamPolicy = stream.PolicyKind
+	// ClientReport summarizes client-side measurements.
+	ClientReport = stream.Report
+	// CodecOptions configures the frame codec (quantization, keyframe
+	// interval, band-skip delta coding).
+	CodecOptions = codec.Options
+)
+
+// The streaming regulation strategies.
+const (
+	StreamNoReg    = stream.NoRegulation
+	StreamInterval = stream.IntervalRegulation
+	StreamODR      = stream.ODRRegulation
+)
+
+// NewStreamServer prepares a streaming server on conn.
+func NewStreamServer(conn net.Conn, cfg StreamServerConfig) *StreamServer {
+	return stream.NewServer(conn, cfg)
+}
+
+// NewStreamClient wraps conn as a measuring stream client.
+func NewStreamClient(conn net.Conn) *StreamClient { return stream.NewClient(conn) }
+
+// Hub streams one shared game to many clients ("render once, view many"),
+// each with its own encoder and regulation; see stream.Hub.
+type (
+	Hub          = stream.Hub
+	HubConfig    = stream.HubConfig
+	SessionStats = stream.SessionStats
+	// HubAttachOptions configures one viewer (pacing, downscaling).
+	HubAttachOptions = stream.AttachOptions
+)
+
+// NewHub returns a multi-client streaming hub.
+func NewHub(cfg HubConfig) *Hub { return stream.NewHub(cfg) }
+
+// ThrottleConfig shapes a connection like a wide-area path (bandwidth cap,
+// propagation delay, bounded buffering).
+type ThrottleConfig = stream.ThrottleConfig
+
+// Throttle wraps conn so its writes experience the configured path shaping;
+// it lets the real-time stack reproduce public-cloud conditions (including
+// the §6.4 congestion collapse) on a loopback connection.
+func Throttle(conn net.Conn, cfg ThrottleConfig) net.Conn { return stream.Throttle(conn, cfg) }
