@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench report artifacts fidelity examples clean
+.PHONY: all build test race bench report artifacts fidelity examples trace clean
 
 all: build test
 
@@ -35,6 +35,12 @@ artifacts:
 # Executable paper-anchor suite (33 tolerance-checked anchors).
 fidelity:
 	$(GO) run ./cmd/odrsim fidelity
+
+# Frame-lifecycle timeline of an ODR run as Chrome trace-event JSON
+# (open artifacts/timeline.json in chrome://tracing or ui.perfetto.dev).
+trace:
+	mkdir -p artifacts
+	$(GO) run ./cmd/odrtrace -kind timeline -policy odr -trace-out artifacts/timeline.json
 
 examples:
 	$(GO) run ./examples/quickstart

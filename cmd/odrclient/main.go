@@ -5,9 +5,12 @@
 // Usage:
 //
 //	odrclient [-addr localhost:7311] [-duration 10s] [-apm 180] [-view]
+//	          [-stats 1s]
 //
 // With -view, decoded frames are drawn live in the terminal as 24-bit ANSI
-// half-block art.
+// half-block art. With -stats, a one-line QoS summary (frames, FPS,
+// bitrate, motion-to-photon latency) is logged at the given interval while
+// playing.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 	apm := flag.Float64("apm", 180, "actions per minute to inject (Poisson)")
 	seed := flag.Int64("seed", 1, "input-timing seed")
 	view := flag.Bool("view", false, "draw decoded frames in the terminal (ANSI art)")
+	stats := flag.Duration("stats", 0, "log a stats line at this interval (0 = off)")
 	cols := flag.Int("cols", 80, "terminal columns for -view")
 	rows := flag.Int("rows", 22, "terminal rows for -view")
 	flag.Parse()
@@ -69,6 +73,32 @@ func main() {
 	}
 	done := make(chan error, 1)
 	go func() { done <- cli.Run() }()
+
+	if *stats > 0 {
+		stopStats := make(chan struct{})
+		defer close(stopStats)
+		go func() {
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			var lastFrames int64
+			var lastBytes int64
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-t.C:
+				}
+				rep := cli.Report()
+				frames := rep.Frames - lastFrames
+				bytes := rep.Bytes - lastBytes
+				lastFrames, lastBytes = rep.Frames, rep.Bytes
+				log.Printf("stats: frames %d (+%d)  FPS %.1f  %.2f Mbps  MtP mean %.1f ms p99 %.1f ms",
+					rep.Frames, frames, float64(frames)/stats.Seconds(),
+					float64(bytes)*8/1e6/stats.Seconds(),
+					rep.MeanLatency, rep.P99Latency)
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	rate := *apm / 60.0

@@ -6,19 +6,66 @@
 //
 //	odrserver [-addr :7311] [-policy odr|interval|noreg] [-fps 60]
 //	          [-width 640] [-height 360] [-once] [-hub]
+//	          [-debug-addr :8099]
 //
 // With -hub, all connected clients share one rendered game (each with its
 // own encoder and pacing); without it, each client gets a private session.
+//
+// With -debug-addr, the server exposes live observability over HTTP:
+// /debug/odr (JSON snapshot of the regulation state and telemetry
+// registry), /debug/vars (expvar) and /debug/pprof/ (profiles).
+//
+// On SIGINT/SIGTERM the server shuts down gracefully and logs a final
+// telemetry summary before exiting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"odr"
 )
+
+// active tracks the live private sessions for the /debug/odr snapshot.
+type active struct {
+	mu   sync.Mutex
+	next int
+	m    map[int]*odr.StreamServer
+}
+
+func (a *active) add(s *odr.StreamServer) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.m == nil {
+		a.m = make(map[int]*odr.StreamServer)
+	}
+	a.next++
+	a.m[a.next] = s
+	return a.next
+}
+
+func (a *active) remove(id int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.m, id)
+}
+
+func (a *active) snapshots() []map[string]any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]map[string]any, 0, len(a.m))
+	for _, s := range a.m {
+		out = append(out, s.DebugSnapshot())
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":7311", "listen address")
@@ -29,6 +76,7 @@ func main() {
 	once := flag.Bool("once", false, "serve a single client, then exit")
 	hubMode := flag.Bool("hub", false, "share one game across all clients (spectating)")
 	bands := flag.Bool("bands", true, "band-skip delta coding (faster encode on static content)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/odr, /debug/vars and /debug/pprof/ on this address")
 	flag.Parse()
 
 	var kind odr.StreamPolicy
@@ -49,39 +97,91 @@ func main() {
 	}
 	log.Printf("odrserver: %s policy, target %.0f FPS, %dx%d, listening on %s",
 		kind, *fps, *width, *height, ln.Addr())
+
+	reg := odr.NewMetricsRegistry()
+	var sessions active
+	var hub *odr.Hub
 	if *hubMode {
-		hub := odr.NewHub(odr.HubConfig{
+		hub = odr.NewHub(odr.HubConfig{
 			Width: *width, Height: *height, TargetFPS: *fps,
-			Codec: odr.CodecOptions{Bands: *bands},
+			Codec:   odr.CodecOptions{Bands: *bands},
+			Metrics: reg,
+			Logf:    log.Printf,
 		})
 		go hub.Run()
-		defer hub.Stop()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				log.Fatal(err)
-			}
-			addr := conn.RemoteAddr()
-			log.Printf("hub client connected: %s", addr)
-			hub.Attach(conn, 0, func(st odr.SessionStats) {
-				log.Printf("hub client %s detached: sent %d, dropped %d", addr, st.Sent, st.Dropped)
-			})
-		}
 	}
+
+	if *debugAddr != "" {
+		ds, err := odr.ServeDebug(*debugAddr, func() any {
+			snap := map[string]any{"metrics": reg.Snapshot()}
+			if hub != nil {
+				snap["hub"] = hub.Snapshot()
+			} else {
+				snap["sessions"] = sessions.snapshots()
+			}
+			return snap
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ds.Close()
+		log.Printf("debug endpoint on http://%s/debug/odr (pprof at /debug/pprof/)", ds.Addr())
+	}
+
+	// Graceful shutdown: close the listener so Accept unblocks, stop the
+	// hub if any, then log the final telemetry summary.
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v: shutting down", s)
+		close(done)
+		ln.Close()
+	}()
+	finish := func() {
+		if hub != nil {
+			hub.Stop() // logs its own summary via Logf
+		}
+		summary, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			log.Printf("final stats: <unserializable: %v>", err)
+			return
+		}
+		log.Printf("final stats: %s", summary)
+	}
+	defer finish()
+
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
 			log.Fatal(err)
+		}
+		if hub != nil {
+			remote := conn.RemoteAddr()
+			log.Printf("hub client connected: %s", remote)
+			hub.Attach(conn, 0, func(st odr.SessionStats) {
+				log.Printf("hub client %s detached: sent %d, dropped %d", remote, st.Sent, st.Dropped)
+			})
+			continue
 		}
 		log.Printf("client connected: %s", conn.RemoteAddr())
 		srv := odr.NewStreamServer(conn, odr.StreamServerConfig{
 			Width: *width, Height: *height, Policy: kind, TargetFPS: *fps,
-			Codec: odr.CodecOptions{Bands: *bands},
+			Codec:   odr.CodecOptions{Bands: *bands},
+			Metrics: reg,
 		})
+		id := sessions.add(srv)
 		start := time.Now()
 		if err := srv.Run(); err != nil {
 			log.Printf("session error: %v", err)
 		}
+		sessions.remove(id)
 		st := srv.Stats().Snapshot()
 		secs := time.Since(start).Seconds()
 		log.Printf("session done after %.1fs: rendered %d (%.1f/s), sent %d (%.1f/s), dropped %d, priority %d",

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	odrtrace -kind cdf   [-benchmark IM] [-platform priv] [-policy noreg] > cdf.csv
-//	odrtrace -kind trace [-benchmark IM] ...                              > trace.csv
-//	odrtrace -kind fps   [-policy odr -fps 60] ...                        > fps.csv
+//	odrtrace -kind cdf      [-benchmark IM] [-platform priv] [-policy noreg] > cdf.csv
+//	odrtrace -kind trace    [-benchmark IM] ...                              > trace.csv
+//	odrtrace -kind fps      [-policy odr -fps 60] ...                        > fps.csv
+//	odrtrace -kind timeline [-policy odr] -trace-out timeline.json
 //
 // A trace exported with -kind trace can be replayed as the workload of a
 // later run with -replay trace.csv (trace-driven simulation).
+//
+// -kind timeline records the full frame lifecycle (render, copy, encode, tx,
+// decode spans; input, display, MulBuf-drop and PriorityFrame instants) and
+// writes it in Chrome trace-event format — open the file in chrome://tracing
+// or https://ui.perfetto.dev. With -trace-csv the same events are written as
+// CSV instead.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"odr/internal/obs"
 	"odr/internal/pictor"
 	"odr/internal/pipeline"
 	"odr/internal/regulator"
@@ -27,7 +35,10 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "cdf", "export kind: cdf, trace, fps")
+	kind := flag.String("kind", "cdf", "export kind: cdf, trace, fps, timeline")
+	traceOut := flag.String("trace-out", "", "timeline output path (Chrome trace-event JSON; default stdout)")
+	traceCSV := flag.Bool("trace-csv", false, "write the timeline as CSV instead of Chrome JSON")
+	traceEvents := flag.Int("trace-events", 1<<20, "timeline ring capacity (keeps the most recent events)")
 	benchmark := flag.String("benchmark", "IM", "benchmark: STK, 0AD, RE, D2, IM, ITP")
 	platform := flag.String("platform", "priv", "platform: priv, gce")
 	resolution := flag.String("resolution", "720p", "resolution: 720p, 1080p")
@@ -84,6 +95,11 @@ func main() {
 		Seed:          *seed,
 		CollectFrames: 200,
 	}
+	var tl *obs.Tracer
+	if *kind == "timeline" {
+		tl = obs.NewTracer(*traceEvents)
+		cfg.Trace = tl
+	}
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -139,6 +155,32 @@ func main() {
 	case "fps":
 		if err := trace.WriteSeries(os.Stdout, "window", "client_fps", r.ClientRates.Samples()); err != nil {
 			log.Fatal(err)
+		}
+	case "timeline":
+		out := os.Stdout
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		var err error
+		if *traceCSV {
+			err = tl.WriteCSV(out)
+		} else {
+			err = tl.WriteChromeTrace(out)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := tl.Dropped(); n > 0 {
+			log.Printf("timeline ring wrapped: oldest %d events overwritten (raise -trace-events)", n)
+		}
+		if *traceOut != "" {
+			log.Printf("timeline: %d events -> %s (open in chrome://tracing or ui.perfetto.dev)",
+				tl.Recorded()-tl.Dropped(), *traceOut)
 		}
 	default:
 		log.Fatalf("unknown kind %q", *kind)

@@ -32,6 +32,13 @@ type MultiBuffer struct {
 
 	puts  int64
 	drops int64
+
+	// OnDrop, when non-nil, observes every PutPriority drop batch (n is
+	// the number of obsolete frames discarded, at is the newest dropped
+	// frame's sequence number). It is called with the domain lock held and
+	// must not block or re-enter the buffer; the observability layer uses
+	// it to emit MulBuf-drop events without polling Drops().
+	OnDrop func(n int, at uint64)
 }
 
 // NewMultiBuffer returns an empty multi-buffer in the given domain.
@@ -108,6 +115,9 @@ func (b *MultiBuffer) PutPriority(f *frame.Frame) []*frame.Frame {
 	}
 	b.puts++
 	b.drops += int64(len(dropped))
+	if b.OnDrop != nil && len(dropped) > 0 {
+		b.OnDrop(len(dropped), dropped[len(dropped)-1].Seq)
+	}
 	b.changed.Broadcast()
 	return dropped
 }

@@ -27,6 +27,14 @@ type Pacer struct {
 
 	frames int64
 	slept  time.Duration
+
+	// OnDelay, when non-nil, observes every positive pacing delay before
+	// PaceAfterObserved returns it: end is the frame's processing end and d
+	// the requested sleep. It runs on the pacing stage's thread of
+	// execution and must not block; the observability layer uses it to emit
+	// pacer-delay trace spans without the pacer knowing about tracing.
+	// Plain PaceAfter ignores it.
+	OnDelay func(end, d time.Duration)
 }
 
 // NewPacer returns a pacer targeting targetFPS (0 disables pacing).
@@ -73,6 +81,17 @@ func (p *Pacer) PaceAfter(start, end time.Duration) time.Duration {
 		return d
 	}
 	return 0
+}
+
+// PaceAfterObserved is PaceAfter plus the OnDelay observer hook. The
+// regulation pipelines call this variant so that plain PaceAfter stays
+// branch-free for callers that never attach observers.
+func (p *Pacer) PaceAfterObserved(start, end time.Duration) time.Duration {
+	d := p.PaceAfter(start, end)
+	if d > 0 && p.OnDelay != nil {
+		p.OnDelay(end, d)
+	}
+	return d
 }
 
 // SkipFrame consumes one interval from the budget without any processing

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRateCounterLongIdleGapExactZeros checks the arithmetic window closing:
+// a one-hour silence in a 100 ms-window counter must produce exactly the
+// right number of zero-rate samples.
+func TestRateCounterLongIdleGapExactZeros(t *testing.T) {
+	r := NewRateCounter(100 * time.Millisecond)
+	r.Tick(0)
+	gap := time.Hour
+	r.Tick(gap) // lands exactly on a window boundary
+	r.Flush(gap + 100*time.Millisecond)
+	rates := r.Rates()
+	// Windows: [0,100ms) with 1 event, then 35999 idle, then [1h,1h+100ms)
+	// with 1 event = 36001 samples.
+	if want := 36001; rates.N() != want {
+		t.Fatalf("windows = %d, want %d", rates.N(), want)
+	}
+	var zeros, tens int
+	for _, v := range rates.Samples() {
+		switch v {
+		case 0:
+			zeros++
+		case 10: // 1 event / 0.1 s
+			tens++
+		}
+	}
+	if zeros != 35999 || tens != 2 {
+		t.Fatalf("zeros = %d tens = %d, want 35999 and 2", zeros, tens)
+	}
+}
+
+// TestRateCounterTickIsO1 demonstrates the fix: with a 1 ns window, a
+// one-hour gap spans 3.6e12 windows; closing them one by one would hang, so
+// Tick must return immediately and still count the events.
+func TestRateCounterTickIsO1(t *testing.T) {
+	r := NewRateCounter(time.Nanosecond)
+	r.Tick(0)
+	done := make(chan struct{})
+	go func() {
+		r.Tick(time.Hour)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Tick across 3.6e12 idle windows did not return: still O(gap/window)")
+	}
+	if r.Total() != 2 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+}
+
+// TestRateCounterOutOfOrderFlush checks a Flush at a timestamp earlier than
+// the accounting point is harmless, and a later Flush still completes the
+// windows.
+func TestRateCounterOutOfOrderFlush(t *testing.T) {
+	r := NewRateCounter(100 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		r.Tick(time.Duration(i) * 50 * time.Millisecond) // 0..450ms
+	}
+	r.Flush(200 * time.Millisecond) // stale: accounting is already at 400ms
+	n := r.Rates().N()
+	r.Flush(0) // even staler
+	if got := r.Rates().N(); got != n {
+		t.Fatalf("stale Flush changed windows: %d -> %d", n, got)
+	}
+	r.Flush(500 * time.Millisecond)
+	if got := r.Rates().N(); got != 5 {
+		t.Fatalf("windows after final flush = %d, want 5", got)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	// Flushing twice at the same time adds nothing.
+	r.Flush(500 * time.Millisecond)
+	if got := r.Rates().N(); got != 5 {
+		t.Fatalf("repeated Flush changed windows: %d", got)
+	}
+}
+
+// TestRateCounterZeroValueUsable checks the zero value (window 0) picks the
+// default window on first use instead of dividing by zero or spinning.
+func TestRateCounterZeroValueUsable(t *testing.T) {
+	var r RateCounter
+	r.Tick(0)
+	r.Tick(time.Second)
+	r.Flush(time.Second)
+	if r.Total() != 2 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if r.Rates().N() == 0 {
+		t.Fatal("no windows closed over a 1 s span")
+	}
+}
+
+// TestRateCounterRatesMaterializesWithoutFlush checks Rates() alone reflects
+// arithmetically closed idle windows (Flush only adds the final partial
+// accounting).
+func TestRateCounterRatesMaterializesWithoutFlush(t *testing.T) {
+	r := NewRateCounter(100 * time.Millisecond)
+	r.Tick(0)
+	r.Tick(time.Second) // closes [0,100ms) and 9 idle windows
+	if got := r.Rates().N(); got != 10 {
+		t.Fatalf("windows before Flush = %d, want 10", got)
+	}
+	if r.Rates().Min() != 0 {
+		t.Fatal("idle windows missing from Rates before Flush")
+	}
+}
+
+// TestGapStatEmpty checks the zero value reports zeros rather than NaN.
+func TestGapStatEmpty(t *testing.T) {
+	var g GapStat
+	if g.Mean() != 0 || g.Max() != 0 || g.Dist().N() != 0 {
+		t.Fatalf("empty GapStat: mean=%v max=%v n=%d", g.Mean(), g.Max(), g.Dist().N())
+	}
+}
+
+// TestLatencyRecorderSubMillisecond checks sub-ms samples keep fractional
+// precision in the millisecond-valued distribution.
+func TestLatencyRecorderSubMillisecond(t *testing.T) {
+	var l LatencyRecorder
+	l.Record(250 * time.Microsecond)
+	l.Record(750 * time.Microsecond)
+	if m := l.MeanMs(); m != 0.5 {
+		t.Fatalf("MeanMs = %v, want 0.5", m)
+	}
+	if mx := l.Dist().Max(); mx != 0.75 {
+		t.Fatalf("Max = %v, want 0.75", mx)
+	}
+}
+
+// TestDistAddZeros checks the bulk-append keeps statistics consistent with
+// individual Adds.
+func TestDistAddZeros(t *testing.T) {
+	var a, b Dist
+	a.Add(5)
+	a.AddZeros(4)
+	b.Add(5)
+	for i := 0; i < 4; i++ {
+		b.Add(0)
+	}
+	if a.N() != b.N() || a.Sum() != b.Sum() || a.Mean() != b.Mean() {
+		t.Fatalf("AddZeros diverges: n=%d/%d sum=%v/%v", a.N(), b.N(), a.Sum(), b.Sum())
+	}
+	if a.Percentile(50) != b.Percentile(50) {
+		t.Fatalf("median diverges: %v vs %v", a.Percentile(50), b.Percentile(50))
+	}
+	a.AddZeros(0)
+	a.AddZeros(-3)
+	if a.N() != 5 {
+		t.Fatalf("AddZeros(<=0) changed N: %d", a.N())
+	}
+}

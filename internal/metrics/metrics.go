@@ -28,6 +28,17 @@ func (d *Dist) Add(v float64) {
 	d.sum += v
 }
 
+// AddZeros appends n zero samples in one bulk grow. RateCounter uses it to
+// materialize idle windows counted arithmetically, so a long idle gap costs
+// one append instead of one Add call per window.
+func (d *Dist) AddZeros(n int) {
+	if n <= 0 {
+		return
+	}
+	d.samples = append(d.samples, make([]float64, n)...)
+	d.sorted = false
+}
+
 // N returns the number of samples.
 func (d *Dist) N() int { return len(d.samples) }
 
@@ -192,9 +203,13 @@ type RateCounter struct {
 	inWindow    int
 	total       int64
 	rates       Dist
-	firstTick   time.Duration
-	lastTick    time.Duration
-	ticked      bool
+	// pendingZeros counts fully idle windows closed arithmetically; they
+	// are materialized as zero-rate samples when Rates or Flush is called,
+	// keeping Tick O(1) across arbitrarily long idle gaps.
+	pendingZeros int64
+	firstTick    time.Duration
+	lastTick     time.Duration
+	ticked       bool
 }
 
 // NewRateCounter returns a counter with the given averaging window.
@@ -205,35 +220,55 @@ func NewRateCounter(window time.Duration) *RateCounter {
 	return &RateCounter{window: window}
 }
 
-// Tick records one event at time now.
+// Tick records one event at time now. Cost is O(1) regardless of how much
+// time elapsed since the previous event: idle windows are closed
+// arithmetically, not one by one.
 func (r *RateCounter) Tick(now time.Duration) {
 	if !r.ticked {
+		if r.window <= 0 {
+			r.window = 200 * time.Millisecond
+		}
 		r.ticked = true
 		r.firstTick = now
 		r.windowStart = now
 	}
-	for now >= r.windowStart+r.window {
-		r.closeWindow()
-	}
+	r.closeElapsed(now)
 	r.inWindow++
 	r.total++
 	r.lastTick = now
 }
 
-func (r *RateCounter) closeWindow() {
+// closeElapsed closes every window fully elapsed at now: one rate sample for
+// the window that was in progress, plus a count of the fully idle windows
+// after it. The idle windows become zero-rate samples lazily (Rates/Flush),
+// so the cost here does not depend on the gap length.
+func (r *RateCounter) closeElapsed(now time.Duration) {
+	if now < r.windowStart+r.window {
+		return
+	}
+	n := int64((now - r.windowStart) / r.window) // whole windows elapsed, >= 1
 	r.rates.Add(float64(r.inWindow) / r.window.Seconds())
 	r.inWindow = 0
-	r.windowStart += r.window
+	r.pendingZeros += n - 1
+	r.windowStart += time.Duration(n) * r.window
 }
 
-// Flush closes the current partial window accounting up to time now. Call
-// once at the end of a run before reading Rates.
+// Flush closes the current partial window accounting up to time now and
+// materializes any idle windows. Call once at the end of a run before
+// reading Rates; calling it with a stale (earlier) now is a no-op for
+// window accounting.
 func (r *RateCounter) Flush(now time.Duration) {
 	if !r.ticked {
 		return
 	}
-	for now >= r.windowStart+r.window {
-		r.closeWindow()
+	r.closeElapsed(now)
+	r.materializeZeros()
+}
+
+func (r *RateCounter) materializeZeros() {
+	if r.pendingZeros > 0 {
+		r.rates.AddZeros(int(r.pendingZeros))
+		r.pendingZeros = 0
 	}
 }
 
@@ -250,7 +285,10 @@ func (r *RateCounter) MeanRate(now time.Duration) float64 {
 }
 
 // Rates returns the per-window rate distribution (call Flush first).
-func (r *RateCounter) Rates() *Dist { return &r.rates }
+func (r *RateCounter) Rates() *Dist {
+	r.materializeZeros()
+	return &r.rates
+}
 
 // LatencyRecorder accumulates latency samples (e.g. motion-to-photon) as a
 // distribution in milliseconds.

@@ -1,0 +1,48 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/obs"
+)
+
+// BenchmarkTracerDisabled measures the disabled (nil-tracer) fast path,
+// which is what every instrumented hot path pays when tracing is off.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *obs.Tracer
+	for i := 0; i < b.N; i++ {
+		tr.Span(obs.TrackRender, "render", uint64(i), 0, time.Millisecond)
+	}
+}
+
+// BenchmarkTracerSpan measures the enabled recording path: one atomic add
+// plus a slot write.
+func BenchmarkTracerSpan(b *testing.B) {
+	tr := obs.NewTracer(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Span(obs.TrackRender, "render", uint64(i), 0, time.Millisecond)
+	}
+}
+
+// BenchmarkHistogramObserve measures the O(1) record path that replaces
+// sort-heavy Dist on hot paths.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := obs.NewRegistry()
+	h := r.Histogram("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i&1023) + 1)
+	}
+}
+
+// BenchmarkHistogramObserveDisabled measures the nil-histogram fast path.
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var r *obs.Registry
+	h := r.Histogram("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+// FrameInstruments bundles the registry instruments the frame pipeline
+// records, under one shared naming vocabulary, so the simulator and the
+// real-time stream stack export identical /debug/odr snapshots. All
+// fields are nil when built from a nil registry, which makes every record
+// a no-op.
+type FrameInstruments struct {
+	// Counters (events since start).
+	Rendered  *Counter // frames_rendered
+	Encoded   *Counter // frames_encoded
+	Displayed *Counter // frames_displayed (sent, for the server side)
+	Dropped   *Counter // frames_dropped (MulBuf / latest-wins / tail drops)
+	Priority  *Counter // priority_frames (PriorityFrame promotions)
+	Inputs    *Counter // inputs received
+
+	// Histograms of per-step service time, in microseconds.
+	Render *Histogram // render_us
+	Copy   *Histogram // copy_us
+	Encode *Histogram // encode_us
+	Tx     *Histogram // tx_us
+	Decode *Histogram // decode_us
+	MtP    *Histogram // mtp_us (motion-to-photon)
+
+	// Gauges refreshed per monitoring window.
+	RenderFPS *Gauge // render_fps
+	ClientFPS *Gauge // client_fps
+	FPSGap    *Gauge // fps_gap
+}
+
+// NewFrameInstruments resolves the standard instrument set in r (nil r
+// yields all-nil, no-op instruments).
+func NewFrameInstruments(r *Registry) FrameInstruments {
+	return FrameInstruments{
+		Rendered:  r.Counter("frames_rendered"),
+		Encoded:   r.Counter("frames_encoded"),
+		Displayed: r.Counter("frames_displayed"),
+		Dropped:   r.Counter("frames_dropped"),
+		Priority:  r.Counter("priority_frames"),
+		Inputs:    r.Counter("inputs"),
+		Render:    r.Histogram("render_us"),
+		Copy:      r.Histogram("copy_us"),
+		Encode:    r.Histogram("encode_us"),
+		Tx:        r.Histogram("tx_us"),
+		Decode:    r.Histogram("decode_us"),
+		MtP:       r.Histogram("mtp_us"),
+		RenderFPS: r.Gauge("render_fps"),
+		ClientFPS: r.Gauge("client_fps"),
+		FPSGap:    r.Gauge("fps_gap"),
+	}
+}

@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// valid and ignores writes (the disabled fast path).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64 value. A nil *Gauge is valid
+// and ignores writes.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of log2 buckets: enough for the full range of
+// a uint64 value plus a dedicated <=0 bucket.
+const histBuckets = 65
+
+// newHistogram returns a ready histogram (min starts at the sentinel so
+// the first observation always wins the CAS).
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Histogram is a log2-bucketed histogram of non-negative values with O(1)
+// lock-free Observe — the hot-path replacement for metrics.Dist, whose
+// percentile queries sort every sample. Values are recorded in an
+// arbitrary integer unit chosen by the caller (ObserveDuration uses
+// microseconds); bucket i (i >= 1) covers [2^(i-1), 2^i), and bucket 0
+// holds values <= 0. A nil *Histogram is valid and ignores writes.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value in O(1): one bucket increment plus the
+// count/sum/min/max updates, no sorting, no allocation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d / time.Microsecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Min returns the smallest observed value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) from the
+// bucket counts: the geometric midpoint of the bucket holding the q-th
+// observation, clamped to the observed min/max. The estimate is within a
+// factor of sqrt(2) of the true value, which is plenty for live
+// dashboards; exact percentiles stay with metrics.Dist offline.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			var est float64
+			if i == 0 {
+				est = 0
+			} else {
+				lo := math.Exp2(float64(i - 1))
+				est = lo * math.Sqrt2 // geometric midpoint of [2^(i-1), 2^i)
+			}
+			if mn := float64(h.Min()); est < mn {
+				est = mn
+			}
+			if mx := float64(h.Max()); est > mx {
+				est = mx
+			}
+			return est
+		}
+	}
+	return float64(h.Max())
+}
+
+// HistogramSnapshot is the exported view of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot returns the current summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Instrument lookup (Counter/Gauge/Histogram) takes the registry lock and
+// is meant for setup time; the returned instruments are then recorded to
+// lock-free on hot paths. A nil *Registry is valid: it returns nil
+// instruments, whose methods are no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a point-in-time copy of every instrument, keyed by
+// name. Counter and gauge values appear directly; histograms appear as
+// HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Names returns all instrument names, sorted.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the snapshot as indented JSON (keys sorted).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,282 @@
+// Package obs is the observability layer shared by the discrete-event
+// simulator and the real-time streaming stack: a frame-lifecycle span
+// tracer, a registry of cheap atomic metrics, and live HTTP debug
+// endpoints.
+//
+// The design goal is near-zero cost when disabled: every recording entry
+// point is a method on a possibly-nil receiver, so a disabled tracer or
+// registry compiles down to a nil check on the hot path. When enabled,
+// the tracer stores fixed-size events in a pre-allocated ring claimed
+// with one atomic add (no locks, no allocation per event), and the
+// registry's instruments are single atomic operations.
+//
+// Both runtimes share the same event vocabulary, so a simulated run and a
+// live TCP stream export the same artifact: Chrome trace-event JSON
+// (loadable in Perfetto or chrome://tracing) that renders the paper's
+// Fig. 5 pipeline timelines, or the repo's usual CSV tables.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"odr/internal/trace"
+)
+
+// Track is the timeline row an event belongs to — one per pipeline stage,
+// mirroring Fig. 2 of the paper.
+type Track uint8
+
+// The pipeline tracks, in Fig. 2 order.
+const (
+	TrackInput Track = iota
+	TrackRender
+	TrackProxy
+	TrackNetwork
+	TrackClient
+	TrackPacer
+	numTracks
+)
+
+// String implements fmt.Stringer.
+func (t Track) String() string {
+	switch t {
+	case TrackInput:
+		return "input"
+	case TrackRender:
+		return "render"
+	case TrackProxy:
+		return "proxy"
+	case TrackNetwork:
+		return "network"
+	case TrackClient:
+		return "client"
+	case TrackPacer:
+		return "pacer"
+	}
+	return fmt.Sprintf("track%d", uint8(t))
+}
+
+// Phase distinguishes span events (with a duration) from instant events.
+type Phase uint8
+
+// The event phases (a subset of the Chrome trace-event phases).
+const (
+	PhaseSpan    Phase = iota // a complete event, "X"
+	PhaseInstant              // an instant event, "i"
+)
+
+// Event is one recorded trace event. Span events cover [TS, TS+Dur);
+// instant events mark the moment TS.
+type Event struct {
+	// Name identifies the step ("render", "encode", "mulbuf-drop", ...).
+	Name string
+	// TS is the event time as an offset from the run start (virtual time
+	// in the simulator, wall time in the stream stack).
+	TS time.Duration
+	// Dur is the span length (0 for instants).
+	Dur time.Duration
+	// Seq is the frame sequence number the event belongs to (0 if none).
+	Seq uint64
+	// Track is the timeline row.
+	Track Track
+	// Phase is the event kind.
+	Phase Phase
+}
+
+// slot is one ring entry. ticket is 0 while empty and claim+1 once the
+// event has been fully written; the release/acquire pair on ticket
+// publishes the event fields to readers.
+type slot struct {
+	ticket atomic.Uint64
+	ev     Event
+}
+
+// Tracer records frame-lifecycle events into a fixed-size ring. A nil
+// *Tracer is valid and records nothing (the disabled fast path). Writers
+// never block and never allocate; when the ring wraps, the oldest events
+// are overwritten and counted as dropped.
+//
+// Export (Events, WriteChromeTrace, WriteCSV) is intended to run after the
+// traced run has quiesced; an export raced with a wrapping writer may
+// miss or skip the events being overwritten, but never blocks recording.
+type Tracer struct {
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// DefaultTracerEvents is the ring capacity used when NewTracer is given a
+// non-positive size: at five spans per frame it holds ~100 s of a 120 FPS
+// pipeline.
+const DefaultTracerEvents = 1 << 16
+
+// NewTracer returns a tracer whose ring holds at least capacity events
+// (rounded up to a power of two; <=0 selects DefaultTracerEvents).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerEvents
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Enabled reports whether events will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// record claims a slot and publishes ev into it.
+func (t *Tracer) record(ev Event) {
+	claim := t.next.Add(1) - 1
+	s := &t.slots[claim&t.mask]
+	s.ev = ev
+	s.ticket.Store(claim + 1)
+}
+
+// Span records a complete event covering [start, end) on track. Nil
+// tracers record nothing.
+func (t *Tracer) Span(track Track, name string, seq uint64, start, end time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Name: name, TS: start, Dur: end - start, Seq: seq, Track: track, Phase: PhaseSpan})
+}
+
+// Instant records a moment event at ts on track. Nil tracers record
+// nothing.
+func (t *Tracer) Instant(track Track, name string, seq uint64, ts time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Name: name, TS: ts, Seq: seq, Track: track, Phase: PhaseInstant})
+}
+
+// Recorded returns the total number of events recorded since creation,
+// including any that have since been overwritten.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Load()
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	n := t.next.Load()
+	if c := uint64(len(t.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Events returns the retained events sorted by time (ties broken by track
+// then name for determinism).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := t.next.Load()
+	lo := uint64(0)
+	if c := uint64(len(t.slots)); n > c {
+		lo = n - c
+	}
+	out := make([]Event, 0, n-lo)
+	for claim := lo; claim < n; claim++ {
+		s := &t.slots[claim&t.mask]
+		if s.ticket.Load() != claim+1 {
+			continue // being overwritten by a still-running writer
+		}
+		out = append(out, s.ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].Track != out[j].Track {
+			return out[i].Track < out[j].Track
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// chromeEvent is the trace-event JSON shape understood by Perfetto and
+// chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the retained events as Chrome trace-event JSON.
+// Open the file in Perfetto (ui.perfetto.dev) or chrome://tracing to see
+// the Fig. 5-style per-stage frame timeline.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(evs)+int(numTracks))}
+	// Name the rows: one metadata event per track.
+	for tr := Track(0); tr < numTracks; tr++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: int(tr) + 1,
+			Args: map[string]any{"name": fmt.Sprintf("%d-%s", tr, tr)},
+		})
+	}
+	usec := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Name: ev.Name, PID: 1, TID: int(ev.Track) + 1, TS: usec(ev.TS),
+		}
+		if ev.Seq != 0 {
+			ce.Args = map[string]any{"seq": ev.Seq}
+		}
+		switch ev.Phase {
+		case PhaseSpan:
+			ce.Ph = "X"
+			d := usec(ev.Dur)
+			ce.Dur = &d
+		case PhaseInstant:
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped tick mark
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteCSV writes the retained events as a CSV table (track, phase, name,
+// seq, ts_ms, dur_ms), compatible with the repo's other trace exports.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	tb := trace.NewTable("track", "phase", "name", "seq", "ts_ms", "dur_ms")
+	msf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, ev := range t.Events() {
+		phase := "span"
+		if ev.Phase == PhaseInstant {
+			phase = "instant"
+		}
+		if err := tb.AddRow(ev.Track.String(), phase, ev.Name, int64(ev.Seq), msf(ev.TS), msf(ev.Dur)); err != nil {
+			return err
+		}
+	}
+	return tb.WriteCSV(w)
+}

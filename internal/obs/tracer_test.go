@@ -1,0 +1,176 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"odr/internal/obs"
+)
+
+func TestTracerSpanAndInstant(t *testing.T) {
+	tr := obs.NewTracer(16)
+	tr.Span(obs.TrackRender, "render", 1, 10*time.Millisecond, 15*time.Millisecond)
+	tr.Instant(obs.TrackRender, "priority-frame", 2, 20*time.Millisecond)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "render" || evs[0].Phase != obs.PhaseSpan {
+		t.Fatalf("first event = %+v, want render span", evs[0])
+	}
+	if evs[0].Dur != 5*time.Millisecond {
+		t.Fatalf("span dur = %v, want 5ms", evs[0].Dur)
+	}
+	if evs[1].Name != "priority-frame" || evs[1].Phase != obs.PhaseInstant || evs[1].Seq != 2 {
+		t.Fatalf("second event = %+v, want priority instant seq 2", evs[1])
+	}
+}
+
+func TestTracerNilIsNoop(t *testing.T) {
+	var tr *obs.Tracer
+	tr.Span(obs.TrackRender, "render", 1, 0, time.Millisecond)
+	tr.Instant(obs.TrackInput, "input", 0, 0)
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer events = %v, want nil", got)
+	}
+	if tr.Recorded() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reports recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+}
+
+func TestTracerWrapKeepsNewest(t *testing.T) {
+	tr := obs.NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant(obs.TrackClient, "display", uint64(i+1), time.Duration(i)*time.Millisecond)
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("recorded = %d, want 10", tr.Recorded())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (newest retained)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTracerEventsSortedByTime(t *testing.T) {
+	tr := obs.NewTracer(16)
+	tr.Instant(obs.TrackClient, "late", 1, 30*time.Millisecond)
+	tr.Instant(obs.TrackRender, "early", 2, 10*time.Millisecond)
+	tr.Instant(obs.TrackProxy, "middle", 3, 20*time.Millisecond)
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+	if evs[0].Name != "early" || evs[2].Name != "late" {
+		t.Fatalf("unexpected order: %v", evs)
+	}
+}
+
+func TestTracerConcurrentWriters(t *testing.T) {
+	tr := obs.NewTracer(1 << 12)
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Span(obs.Track(w%3), "span", uint64(i), time.Duration(i), time.Duration(i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Recorded() != writers*perWriter {
+		t.Fatalf("recorded = %d, want %d", tr.Recorded(), writers*perWriter)
+	}
+	if got := len(tr.Events()); got != writers*perWriter {
+		t.Fatalf("retained = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestWriteChromeTrace parses the JSON export the way a trace viewer
+// would and checks the event shapes.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := obs.NewTracer(64)
+	tr.Span(obs.TrackRender, "render", 7, 2*time.Millisecond, 5*time.Millisecond)
+	tr.Instant(obs.TrackRender, "mulbuf-drop", 8, 6*time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var sawSpan, sawInstant bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Name == "render" && ev.Ph == "X":
+			sawSpan = true
+			if ev.TS != 2000 || ev.Dur != 3000 {
+				t.Fatalf("render span ts=%v dur=%v, want 2000/3000 µs", ev.TS, ev.Dur)
+			}
+			if ev.Args["seq"] != float64(7) {
+				t.Fatalf("render span args = %v", ev.Args)
+			}
+		case ev.Name == "mulbuf-drop" && ev.Ph == "i":
+			sawInstant = true
+		}
+	}
+	if !sawSpan || !sawInstant {
+		t.Fatalf("missing span (%v) or instant (%v) in export", sawSpan, sawInstant)
+	}
+}
+
+func TestTracerWriteCSV(t *testing.T) {
+	tr := obs.NewTracer(16)
+	tr.Span(obs.TrackProxy, "encode", 3, time.Millisecond, 2*time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want header + 1 row:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "track,phase,name,seq,ts_ms,dur_ms" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "proxy,span,encode,3,1,1" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

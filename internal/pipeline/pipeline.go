@@ -21,6 +21,7 @@ import (
 	"odr/internal/memmodel"
 	"odr/internal/metrics"
 	"odr/internal/netsim"
+	"odr/internal/obs"
 	"odr/internal/powermodel"
 	"odr/internal/regulator"
 	"odr/internal/sim"
@@ -78,6 +79,16 @@ type Config struct {
 	// This is the client-side optimization §5.2 leaves as future work.
 	VRRMinHz float64
 	VRRMaxHz float64
+	// Trace, when non-nil, records every frame's lifecycle against the
+	// virtual clock: render/copy/encode/tx/decode spans, input arrivals,
+	// display instants, and the ODR events (mulbuf-drop, priority-frame,
+	// pace). Export with Trace.WriteChromeTrace for a Fig. 5-style
+	// Perfetto timeline. Nil disables tracing at nil-check cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives live O(1) telemetry (the
+	// obs.FrameInstruments vocabulary) alongside the exact post-run
+	// statistics in Result. Nil disables it at nil-check cost.
+	Metrics *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -221,6 +232,10 @@ type pipelineState struct {
 	frameTrace []frame.Frame
 
 	startBytes int64 // link bytes at collection start
+
+	// Observability (nil-safe: disabled tracer/registry cost a nil check).
+	tr  *obs.Tracer
+	ins obs.FrameInstruments
 }
 
 // sourceFor picks the configured Source or builds the stochastic sampler.
@@ -250,6 +265,8 @@ func build(cfg Config, env *sim.Env) *pipelineState {
 		clientCounter: metrics.NewRateCounter(200 * time.Millisecond),
 		extGPU:        1,
 		extCPU:        1,
+		tr:            cfg.Trace,
+		ins:           obs.NewFrameInstruments(cfg.Metrics),
 	}
 	st.memSnap = st.mem.Current()
 
@@ -262,6 +279,16 @@ func build(cfg Config, env *sim.Env) *pipelineState {
 		OnDrop: st.onDrop,
 	}
 	st.policy = cfg.Policy(ctx)
+	// Pacer-delay spans: the regulator's pacer reports every requested
+	// sleep; [end, end+d) is exactly when the encode stage idles for it.
+	if st.tr != nil {
+		if pp, ok := st.policy.(interface{ Pacer() *core.Pacer }); ok {
+			tr := st.tr
+			pp.Pacer().OnDelay = func(end, d time.Duration) {
+				tr.Span(obs.TrackPacer, "pace", 0, end, end+d)
+			}
+		}
+	}
 	return st
 }
 
@@ -292,6 +319,8 @@ func Run(cfg Config) *Result {
 // onDrop records a dropped frame and carries its inputs forward.
 func (st *pipelineState) onDrop(f *frame.Frame) {
 	st.dropped++
+	st.ins.Dropped.Inc()
+	st.tr.Instant(obs.TrackRender, "mulbuf-drop", f.Seq, st.dom.Now())
 	if len(f.Inputs) > 0 {
 		st.carried = append(st.carried, f.Inputs...)
 	}

@@ -6,6 +6,7 @@ import (
 	"odr/internal/core"
 	"odr/internal/frame"
 	"odr/internal/memmodel"
+	"odr/internal/obs"
 	"odr/internal/powermodel"
 	"odr/internal/sim"
 	"odr/internal/simrt"
@@ -53,6 +54,13 @@ func (st *pipelineState) rendererProc(p *sim.Proc) {
 		st.cpuBusy += scaleDur(costs.Render, 0.35)
 		st.cpuDemand += scaleDur(costs.Render, 0.35)
 		st.rendered++
+		st.tr.Span(obs.TrackRender, "render", f.Seq, f.RenderStart, f.RenderEnd)
+		if f.Priority {
+			st.tr.Instant(obs.TrackRender, "priority-frame", f.Seq, f.RenderStart)
+			st.ins.Priority.Inc()
+		}
+		st.ins.Rendered.Inc()
+		st.ins.Render.ObserveDuration(rt)
 		if st.collecting {
 			st.renderCounter.Tick(p.Now())
 			st.renderTimes.Add(msf(rt))
@@ -83,6 +91,11 @@ func (st *pipelineState) proxyProc(p *sim.Proc) {
 		st.cpuBusy += ct + et
 		st.cpuDemand += scaleDur(f.CostCopy+f.CostEncode, st.memSnap.CPUFactor)
 		st.encoded++
+		st.tr.Span(obs.TrackProxy, "copy", f.Seq, start, f.CopyEnd)
+		st.tr.Span(obs.TrackProxy, "encode", f.Seq, f.EncodeStart, f.EncodeEnd)
+		st.ins.Encoded.Inc()
+		st.ins.Copy.ObserveDuration(ct)
+		st.ins.Encode.ObserveDuration(et)
 		if st.collecting {
 			st.encodeCounter.Tick(p.Now())
 			st.encodeTimes.Add(msf(et))
@@ -100,11 +113,14 @@ func (st *pipelineState) networkProc(p *sim.Proc) {
 		if f == nil {
 			return
 		}
+		txStart := p.Now()
 		tx := st.link.TxTime(f.Bytes, st.policy.SendBacklog())
 		p.Sleep(tx)
 		f.SendEnd = p.Now()
 		st.policy.DoneSend(f)
 		prop := st.link.PropDelay()
+		st.tr.Span(obs.TrackNetwork, "tx", f.Seq, txStart, f.SendEnd)
+		st.ins.Tx.ObserveDuration(tx + prop)
 		if st.collecting {
 			st.transTimes.Add(msf(tx + prop))
 		}
@@ -118,8 +134,11 @@ func (st *pipelineState) networkProc(p *sim.Proc) {
 func (st *pipelineState) clientProc(p *sim.Proc) {
 	for {
 		f := st.deliver.Get(p)
+		arrive := p.Now()
 		p.Sleep(f.CostDecode)
 		f.DecodeEnd = p.Now()
+		st.tr.Span(obs.TrackClient, "decode", f.Seq, arrive, f.DecodeEnd)
+		st.ins.Decode.ObserveDuration(f.DecodeEnd - arrive)
 		display, shown := st.policy.DisplayTime(f, f.DecodeEnd)
 		if !shown {
 			continue
@@ -136,6 +155,11 @@ func (st *pipelineState) clientProc(p *sim.Proc) {
 		}
 		f.DecodeEnd = display
 		st.displayed++
+		st.tr.Instant(obs.TrackClient, "display", f.Seq, display)
+		st.ins.Displayed.Inc()
+		for _, s := range f.Inputs {
+			st.ins.MtP.ObserveDuration(display - s.Issued)
+		}
 		if st.collecting {
 			st.clientCounter.Tick(display)
 			if st.lastDisplay > 0 {
@@ -161,6 +185,8 @@ func (st *pipelineState) inputProc(p *sim.Proc) {
 		issued := p.Now()
 		st.env.After(st.link.PropDelay(), func() {
 			st.inputs.OnInput(id, issued)
+			st.tr.Instant(obs.TrackInput, "input", uint64(id), st.dom.Now())
+			st.ins.Inputs.Inc()
 		})
 	}
 }
@@ -214,6 +240,9 @@ func (st *pipelineState) monitorProc(p *sim.Proc) {
 			clientFPS := float64(st.displayed-gapDisplayed) / span
 			gapRendered, gapDisplayed = st.rendered, st.displayed
 			st.policy.OnWindow(renderFPS, clientFPS)
+			st.ins.RenderFPS.Set(renderFPS)
+			st.ins.ClientFPS.Set(clientFPS)
+			st.ins.FPSGap.Set(renderFPS - clientFPS)
 			if st.collecting {
 				st.gap.AddWindow(renderFPS, clientFPS)
 			}

@@ -126,7 +126,7 @@ func (o *ODR) SubmitEncoded(w core.Waiter, f *frame.Frame, encodeStart time.Dura
 	}
 	if f.Priority && !o.opts.DisablePriority {
 		o.pacer.SkipFrame()
-	} else if d := o.pacer.PaceAfter(encodeStart, o.ctx.Dom.Now()); d > 0 {
+	} else if d := o.pacer.PaceAfterObserved(encodeStart, o.ctx.Dom.Now()); d > 0 {
 		w.Sleep(d)
 	}
 	o.buf1.Release()

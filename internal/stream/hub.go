@@ -9,6 +9,7 @@ import (
 	"odr/internal/codec"
 	"odr/internal/core"
 	"odr/internal/frame"
+	"odr/internal/obs"
 	"odr/internal/realrt"
 )
 
@@ -34,9 +35,18 @@ type Hub struct {
 	rendered int64
 	inputs   int64
 
+	// Lifetime totals across detached sessions (atomics).
+	served       int64
+	totalSent    int64
+	totalDropped int64
+
 	stopOnce sync.Once
 	stopping chan struct{}
 	renderWG sync.WaitGroup
+
+	// Observability (nil-safe; see HubConfig.Trace/Metrics).
+	tr  *obs.Tracer
+	ins obs.FrameInstruments
 }
 
 // HubConfig configures a Hub.
@@ -49,6 +59,17 @@ type HubConfig struct {
 	Codec codec.Options
 	// RenderCost optionally emulates a heavier GPU.
 	RenderCost func() time.Duration
+	// Trace, when non-nil, records the shared game's frame lifecycle and
+	// per-viewer events against the hub's wall clock (the simulator's
+	// vocabulary; export with Trace.WriteChromeTrace).
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives live hub telemetry under the
+	// obs.FrameInstruments names.
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives the final stats summary from Stop (and
+	// nothing else); typically log.Printf. Headless runs set it so every
+	// hub leaves evidence of what it did.
+	Logf func(format string, args ...any)
 }
 
 func (c *HubConfig) applyDefaults() {
@@ -98,8 +119,15 @@ func NewHub(cfg HubConfig) *Hub {
 		pace:     core.NewPacer(cfg.TargetFPS),
 		sessions: make(map[uint32]*hubSession),
 		stopping: make(chan struct{}),
+		tr:       cfg.Trace,
+		ins:      obs.NewFrameInstruments(cfg.Metrics),
 	}
 	h.game.ExtraCost = cfg.RenderCost
+	if h.tr != nil {
+		h.pace.OnDelay = func(end, d time.Duration) {
+			h.tr.Span(obs.TrackPacer, "pace", 0, end, end+d)
+		}
+	}
 	return h
 }
 
@@ -136,6 +164,13 @@ func (h *Hub) Run() {
 		f := &frame.Frame{Seq: seq, Pixels: pix, RenderStart: start, RenderEnd: h.dom.Now()}
 		core.Tag(f, stamps)
 		atomic.AddInt64(&h.rendered, 1)
+		h.tr.Span(obs.TrackRender, "render", f.Seq, f.RenderStart, f.RenderEnd)
+		h.ins.Rendered.Inc()
+		h.ins.Render.ObserveDuration(f.RenderEnd - f.RenderStart)
+		if f.Priority {
+			h.tr.Instant(obs.TrackRender, "priority-frame", f.Seq, f.RenderStart)
+			h.ins.Priority.Inc()
+		}
 
 		// Broadcast: latest-wins per client; a slow client's un-encoded
 		// frame is obsolete the moment a newer one exists.
@@ -144,6 +179,8 @@ func (h *Hub) Run() {
 			dropped := s.buf.PutPriority(f)
 			if len(dropped) > 0 {
 				atomic.AddInt64(&s.dropped, int64(len(dropped)))
+				h.tr.Instant(obs.TrackProxy, "mulbuf-drop", f.Seq, h.dom.Now())
+				h.ins.Dropped.Add(int64(len(dropped)))
 				s.carriedMu.Lock()
 				for _, d := range dropped {
 					s.carried = append(s.carried, d.Inputs...)
@@ -159,13 +196,14 @@ func (h *Hub) Run() {
 			h.pace.SkipFrame()
 			continue
 		}
-		if d := h.pace.PaceAfter(start, h.dom.Now()); d > 0 {
+		if d := h.pace.PaceAfterObserved(start, h.dom.Now()); d > 0 {
 			h.box.DelayInterruptible(w, d)
 		}
 	}
 }
 
-// Stop shuts down the hub and detaches every client.
+// Stop shuts down the hub and detaches every client. If HubConfig.Logf is
+// set, Stop logs a final stats summary once the renderer has quiesced.
 func (h *Hub) Stop() {
 	h.stopOnce.Do(func() {
 		close(h.stopping)
@@ -181,7 +219,47 @@ func (h *Hub) Stop() {
 			s.close()
 		}
 		h.renderWG.Wait()
+		if h.cfg.Logf != nil {
+			snap := h.Snapshot()
+			h.cfg.Logf("hub stopped: rendered=%v inputs=%v sessions_served=%v sent=%v dropped=%v",
+				snap["rendered"], snap["inputs"], snap["sessions_served"], snap["sent"], snap["dropped"])
+		}
 	})
+}
+
+// Snapshot reports the hub's live state for /debug/odr: lifetime frame and
+// input counters, totals across detached sessions, and the per-session
+// counters of every client still attached. Safe to call concurrently with
+// Run.
+func (h *Hub) Snapshot() map[string]any {
+	h.mu.Lock()
+	live := make([]map[string]any, 0, len(h.sessions))
+	var liveSent, liveDropped int64
+	for _, s := range h.sessions {
+		sent := atomic.LoadInt64(&s.sent)
+		dropped := atomic.LoadInt64(&s.dropped)
+		liveSent += sent
+		liveDropped += dropped
+		live = append(live, map[string]any{
+			"id":        s.id,
+			"sent":      sent,
+			"dropped":   dropped,
+			"downscale": s.downscale,
+			"width":     s.w,
+			"height":    s.h,
+		})
+	}
+	h.mu.Unlock()
+	served := atomic.LoadInt64(&h.served)
+	return map[string]any{
+		"target_fps":      h.cfg.TargetFPS,
+		"rendered":        atomic.LoadInt64(&h.rendered),
+		"inputs":          atomic.LoadInt64(&h.inputs),
+		"sessions_served": served + int64(len(live)),
+		"sent":            atomic.LoadInt64(&h.totalSent) + liveSent,
+		"dropped":         atomic.LoadInt64(&h.totalDropped) + liveDropped,
+		"clients":         live,
+	}
 }
 
 // SessionStats reports one attached client's counters.
@@ -252,8 +330,13 @@ func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
 		h.mu.Lock()
 		delete(h.sessions, s.id)
 		h.mu.Unlock()
+		sent := atomic.LoadInt64(&s.sent)
+		droppedN := atomic.LoadInt64(&s.dropped)
+		atomic.AddInt64(&h.served, 1)
+		atomic.AddInt64(&h.totalSent, sent)
+		atomic.AddInt64(&h.totalDropped, droppedN)
 		if detach != nil {
-			detach(SessionStats{Sent: atomic.LoadInt64(&s.sent), Dropped: atomic.LoadInt64(&s.dropped)})
+			detach(SessionStats{Sent: sent, Dropped: droppedN})
 		}
 	}()
 }
@@ -284,10 +367,14 @@ func (s *hubSession) encodeAndSendLoop() {
 			copy(scratch, f.Pixels)
 		}
 		bs, err := s.enc.Encode(scratch)
+		encEnd := s.hub.dom.Now()
 		if err != nil {
 			s.buf.Release()
 			return
 		}
+		s.hub.tr.Span(obs.TrackProxy, "encode", f.Seq, start, encEnd)
+		s.hub.ins.Encoded.Inc()
+		s.hub.ins.Encode.ObserveDuration(encEnd - start)
 		// Only the stamp belonging to this session is echoed: MtP is
 		// measured on the issuing client's clock. Stamps carried from
 		// dropped older frames are answered by this frame too.
@@ -305,14 +392,19 @@ func (s *hubSession) encodeAndSendLoop() {
 			}
 		}
 		payload := frameMsg(f.Seq, inputID, inputNanos, int64(f.RenderEnd), bs)
+		txStart := s.hub.dom.Now()
 		err = writeMsg(s.conn, msgFrame, payload)
 		s.buf.Release()
 		if err != nil {
 			return
 		}
 		atomic.AddInt64(&s.sent, 1)
+		txEnd := s.hub.dom.Now()
+		s.hub.tr.Span(obs.TrackNetwork, "tx", f.Seq, txStart, txEnd)
+		s.hub.ins.Displayed.Inc()
+		s.hub.ins.Tx.ObserveDuration(txEnd - txStart)
 		if !f.Priority {
-			if d := s.pace.PaceAfter(start, s.hub.dom.Now()); d > 0 {
+			if d := s.pace.PaceAfterObserved(start, s.hub.dom.Now()); d > 0 {
 				w.Sleep(d)
 			}
 		}
@@ -336,6 +428,8 @@ func (s *hubSession) inputLoop() {
 				return
 			}
 			atomic.AddInt64(&s.hub.inputs, 1)
+			s.hub.tr.Instant(obs.TrackInput, "input", id, s.hub.dom.Now())
+			s.hub.ins.Inputs.Inc()
 			s.hub.box.OnInput(packInput(s.id, id), time.Duration(nanos))
 		case msgKeyReq:
 			// Each session owns its encoder; force its next frame to key.

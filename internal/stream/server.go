@@ -11,6 +11,7 @@ import (
 	"odr/internal/codec"
 	"odr/internal/core"
 	"odr/internal/frame"
+	"odr/internal/obs"
 	"odr/internal/realrt"
 )
 
@@ -63,6 +64,16 @@ type ServerConfig struct {
 	// when the path has headroom — bitrate adaptation in the spirit of the
 	// §2-cited encoding-adaptation work, orthogonal to FPS regulation.
 	AdaptiveQuality bool
+	// Trace, when non-nil, records the frame lifecycle (render, copy,
+	// encode, tx spans; input/display instants; mulbuf-drop and
+	// priority-frame events) against this server's wall clock — the same
+	// vocabulary as the simulator, exportable as a Perfetto timeline of a
+	// real stream. Nil disables tracing at nil-check cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives live counters and histograms under
+	// the obs.FrameInstruments names (shared with the simulator), for the
+	// -debug-addr /debug/odr endpoint. Nil disables it at nil-check cost.
+	Metrics *obs.Registry
 }
 
 func (c *ServerConfig) applyDefaults() {
@@ -142,6 +153,10 @@ type Server struct {
 
 	// pool recycles raw frame buffers between render and encode.
 	pool sync.Pool
+
+	// Observability (nil-safe; see ServerConfig.Trace/Metrics).
+	tr  *obs.Tracer
+	ins obs.FrameInstruments
 }
 
 // NewServer prepares a server for conn; call Run to start streaming.
@@ -158,6 +173,8 @@ func NewServer(conn net.Conn, cfg ServerConfig) *Server {
 		pacer:    core.NewPacer(cfg.TargetFPS),
 		enc:      codec.NewEncoder(cfg.Width, cfg.Height, cfg.Codec),
 		stopping: make(chan struct{}),
+		tr:       cfg.Trace,
+		ins:      obs.NewFrameInstruments(cfg.Metrics),
 	}
 	s.game.ExtraCost = cfg.RenderCost
 	s.quantShift = int64(cfg.Codec.QuantShift)
@@ -170,11 +187,51 @@ func NewServer(conn net.Conn, cfg ServerConfig) *Server {
 	} else {
 		s.sendq = make(chan *frame.Frame, cfg.QueueFrames)
 	}
+	if s.tr != nil || cfg.Metrics != nil {
+		// MulBuf drops and pacer delays surface through the core hooks so
+		// the event stream matches the simulator's.
+		onDrop := func(n int, at uint64) {
+			s.tr.Instant(obs.TrackRender, "mulbuf-drop", at, s.dom.Now())
+			s.ins.Dropped.Add(int64(n))
+		}
+		s.buf1.OnDrop = onDrop
+		if s.buf2 != nil {
+			s.buf2.OnDrop = onDrop
+		}
+		s.pacer.OnDelay = func(end, d time.Duration) {
+			s.tr.Span(obs.TrackPacer, "pace", 0, end, end+d)
+		}
+	}
 	return s
 }
 
 // Stats returns the server's counters (atomically readable while running).
 func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// DebugSnapshot returns the /debug/odr JSON view of this session: the
+// regulation configuration, the live counters and the MulBuf drop state.
+// It is safe to call from any goroutine while the server is streaming.
+func (s *Server) DebugSnapshot() map[string]any {
+	st := s.stats.Snapshot()
+	snap := map[string]any{
+		"policy":            s.cfg.Policy.String(),
+		"target_fps":        s.cfg.TargetFPS,
+		"pacer_interval_ms": float64(s.pacer.Interval()) / float64(time.Millisecond),
+		"rendered":          st.Rendered,
+		"encoded":           st.Encoded,
+		"sent":              st.Sent,
+		"dropped":           st.Dropped,
+		"priority":          st.Priority,
+		"inputs":            st.Inputs,
+		"key_requests":      st.KeyReqs,
+		"quant_shift":       s.CurrentQuantShift(),
+		"mulbuf1_drops":     s.buf1.Drops(),
+	}
+	if s.buf2 != nil {
+		snap["mulbuf2_drops"] = s.buf2.Drops()
+	}
+	return snap
+}
 
 // Game exposes the synthetic application (for tests).
 func (s *Server) Game() *Game { return s.game }
@@ -260,8 +317,13 @@ func (s *Server) appLoop() {
 		seq++
 		f := &frame.Frame{Seq: seq, Pixels: pix, RenderStart: start, RenderEnd: s.dom.Now()}
 		core.Tag(f, stamps)
+		s.tr.Span(obs.TrackRender, "render", f.Seq, f.RenderStart, f.RenderEnd)
+		s.ins.Rendered.Inc()
+		s.ins.Render.ObserveDuration(f.RenderEnd - f.RenderStart)
 		if f.Priority {
 			atomic.AddInt64(&s.stats.Priority, 1)
+			s.tr.Instant(obs.TrackRender, "priority-frame", f.Seq, f.RenderStart)
+			s.ins.Priority.Inc()
 		}
 		atomic.AddInt64(&s.stats.Rendered, 1)
 		// Submit.
@@ -376,6 +438,11 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 		f.Bytes = len(bs)
 		f.Pixels = bs // carries the bitstream to the sender
 		atomic.AddInt64(&s.stats.Encoded, 1)
+		s.tr.Span(obs.TrackProxy, "copy", f.Seq, start, f.CopyEnd)
+		s.tr.Span(obs.TrackProxy, "encode", f.Seq, f.EncodeStart, f.EncodeEnd)
+		s.ins.Encoded.Inc()
+		s.ins.Copy.ObserveDuration(f.CopyEnd - start)
+		s.ins.Encode.ObserveDuration(f.EncodeEnd - f.EncodeStart)
 
 		if s.cfg.Policy == ODRRegulation {
 			if f.Priority {
@@ -389,7 +456,7 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 					errCh <- nil
 					return
 				}
-				if d := s.pacer.PaceAfter(start, s.dom.Now()); d > 0 {
+				if d := s.pacer.PaceAfterObserved(start, s.dom.Now()); d > 0 {
 					w.Sleep(d)
 				}
 			}
@@ -402,6 +469,8 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 		default:
 			s.addCarried(f.Inputs)
 			atomic.AddInt64(&s.stats.Dropped, 1) // tail-drop: queue full
+			s.tr.Instant(obs.TrackNetwork, "tail-drop", f.Seq, s.dom.Now())
+			s.ins.Dropped.Inc()
 		}
 	}
 }
@@ -413,11 +482,16 @@ func (s *Server) sendLoop(errCh chan<- error) {
 	send := func(f *frame.Frame) error {
 		payload := frameMsg(f.Seq, uint64(f.Input), int64(f.InputTime), int64(f.RenderEnd), f.Pixels)
 		start := time.Now()
+		txStart := s.dom.Now()
 		if err := writeMsg(s.conn, msgFrame, payload); err != nil {
 			return err
 		}
 		atomic.AddInt64(&s.sendBlockedNs, int64(time.Since(start)))
 		atomic.AddInt64(&s.stats.Sent, 1)
+		txEnd := s.dom.Now()
+		s.tr.Span(obs.TrackNetwork, "tx", f.Seq, txStart, txEnd)
+		s.ins.Displayed.Inc()
+		s.ins.Tx.ObserveDuration(txEnd - txStart)
 		return nil
 	}
 	if s.cfg.Policy == ODRRegulation {
@@ -464,6 +538,8 @@ func (s *Server) inputLoop(errCh chan<- error) {
 				return
 			}
 			atomic.AddInt64(&s.stats.Inputs, 1)
+			s.tr.Instant(obs.TrackInput, "input", id, s.dom.Now())
+			s.ins.Inputs.Inc()
 			s.box.OnInput(frame.InputID(id), time.Duration(nanos))
 		case msgKeyReq:
 			atomic.AddInt64(&s.stats.KeyReqs, 1)

@@ -45,10 +45,13 @@ func format(v any) string {
 	switch x := v.(type) {
 	case string:
 		return escape(x)
+	// Floats use the shortest representation that parses back to exactly
+	// the same value, so a trace exported to CSV and replayed (-replay)
+	// reproduces the original costs bit for bit.
 	case float64:
-		return strconv.FormatFloat(x, 'g', 6, 64)
+		return strconv.FormatFloat(x, 'g', -1, 64)
 	case float32:
-		return strconv.FormatFloat(float64(x), 'g', 6, 32)
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
 	case int:
 		return strconv.Itoa(x)
 	case int64:

@@ -31,6 +31,7 @@ import (
 
 	"odr/internal/codec"
 	"odr/internal/core"
+	"odr/internal/obs"
 	"odr/internal/pictor"
 	"odr/internal/pipeline"
 	"odr/internal/realrt"
@@ -103,6 +104,13 @@ type SimConfig struct {
 	Duration time.Duration
 	// Seed makes the run reproducible (default 1).
 	Seed int64
+	// Trace, when non-nil, records the frame lifecycle of the run as spans
+	// and instants on the virtual clock; export it afterwards with
+	// Trace.WriteChromeTrace or Trace.WriteCSV.
+	Trace *Tracer
+	// Metrics, when non-nil, receives live counters, gauges and latency
+	// histograms during the run (snapshot with Metrics.Snapshot).
+	Metrics *MetricsRegistry
 	// TraceCSVPath, when set, replays a recorded frame-cost trace (the
 	// odrtrace -kind trace format) instead of the stochastic benchmark
 	// model. Benchmark still selects input rate and power/DRAM character.
@@ -197,6 +205,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		Policy:   factory,
 		Duration: cfg.Duration,
 		Seed:     seed,
+		Trace:    cfg.Trace,
+		Metrics:  cfg.Metrics,
 	}
 	if cfg.TraceCSVPath != "" {
 		f, err := os.Open(cfg.TraceCSVPath)
@@ -280,6 +290,39 @@ type (
 
 // NewHub returns a multi-client streaming hub.
 func NewHub(cfg HubConfig) *Hub { return stream.NewHub(cfg) }
+
+// Observability re-exports: the frame-lifecycle tracer, the telemetry
+// registry, and the live debug endpoint. All are nil-safe — a nil *Tracer or
+// *MetricsRegistry turns every recording call into a no-op, so observability
+// can be compiled in and switched off without cost.
+type (
+	// Tracer records frame-lifecycle spans and instants into a fixed-size
+	// lock-free ring; export with WriteChromeTrace (chrome://tracing /
+	// Perfetto) or WriteCSV.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded tracer event.
+	TraceEvent = obs.Event
+	// MetricsRegistry holds named counters, gauges and log-bucketed latency
+	// histograms, snapshotable as JSON.
+	MetricsRegistry = obs.Registry
+	// DebugServer is the live observability HTTP endpoint started by
+	// ServeDebug.
+	DebugServer = obs.DebugServer
+)
+
+// NewTracer returns a tracer keeping the most recent events (capacity is
+// rounded up to a power of two; 0 picks the default).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewMetricsRegistry returns an empty telemetry registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeDebug starts an HTTP listener on addr serving /debug/odr (the given
+// snapshot as JSON), /debug/vars (expvar) and /debug/pprof/. Close the
+// returned server to stop it.
+func ServeDebug(addr string, snapshot func() any) (*DebugServer, error) {
+	return obs.ServeDebug(addr, snapshot)
+}
 
 // ThrottleConfig shapes a connection like a wide-area path (bandwidth cap,
 // propagation delay, bounded buffering).
