@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench report artifacts fidelity examples trace clean
+.PHONY: all build test race bench bench-go report artifacts fidelity examples trace clean
 
 all: build test
 
@@ -16,8 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Regenerates every paper table/figure as testing.B benchmarks.
+# Scheduler / cache / codec performance evidence -> BENCH_sched.json
+# (cells/sec sequential vs parallel, warm-cache speedup, allocs/op).
 bench:
+	$(GO) run ./cmd/odrbench -o BENCH_sched.json
+
+# The full Go benchmark suite with allocation reporting.
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full experiment report (every table and figure, 60s per configuration).

@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	odrsim [-duration 60s] [-seed 1] [experiment ...]
+//	odrsim [-duration 60s] [-seed 1] [-parallel 0] [-cache dir] [experiment ...]
 //
 // With no arguments it runs every experiment. Experiment names: fig1, fig3,
 // fig4, fig5, fig6, fig7, table2, fig9, fig10, fig11, fig12, fig13,
 // userstudy (fig14+fig15), summary, ablations.
+//
+// Cells run through the shared deterministic scheduler: -parallel picks the
+// worker count (0 = all CPUs, 1 = sequential) and -cache points at a
+// content-addressed result cache reused across runs ("" disables caching).
+// Output is byte-identical regardless of worker count or cache state.
 package main
 
 import (
@@ -18,20 +23,32 @@ import (
 	"time"
 
 	"odr/internal/experiments"
+	"odr/internal/obs"
+	"odr/internal/sched"
 )
 
 func main() {
 	duration := flag.Duration("duration", 60*time.Second, "simulated duration per configuration")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV artifacts into this directory")
-	parallel := flag.Int("parallel", 0, "prefetch the evaluation matrix with this many workers (0 = all CPUs, -1 = sequential)")
+	parallel := flag.Int("parallel", 0, "scheduler workers (0 = all CPUs, 1 = sequential)")
+	cacheDir := flag.String("cache", "artifacts/cache", "content-addressed result cache directory (empty disables)")
 	flag.Parse()
 
-	o := experiments.Options{Duration: *duration, Seed: *seed, Out: os.Stdout}
-	m := experiments.NewMatrix(o)
-	if *parallel >= 0 {
-		m.Prefetch(*parallel)
+	reg := obs.NewRegistry()
+	var cache *sched.Cache
+	if *cacheDir != "" {
+		c, err := sched.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrsim: opening result cache: %v\n", err)
+			os.Exit(1)
+		}
+		cache = c
 	}
+	runner := sched.New(sched.Options{Workers: *parallel, Cache: cache, Metrics: reg})
+
+	o := experiments.Options{Duration: *duration, Seed: *seed, Out: os.Stdout, Runner: runner}
+	m := experiments.NewMatrix(o)
 
 	all := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "table2",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "userstudy", "summary", "ablations",
@@ -42,6 +59,21 @@ func main() {
 	}
 
 	start := time.Now()
+	// Prefetch the evaluation matrix only when a matrix-backed experiment is
+	// requested, so e.g. `odrsim fig1` stays cheap.
+	matrixBacked := map[string]bool{"table2": true, "fig9": true, "fig10": true,
+		"fig11": true, "fig12": true, "fig13": true, "userstudy": true,
+		"fig14": true, "fig15": true, "summary": true, "fidelity": true}
+	needMatrix := *csvDir != ""
+	for _, name := range want {
+		if matrixBacked[strings.ToLower(name)] {
+			needMatrix = true
+		}
+	}
+	if needMatrix {
+		m.Prefetch()
+	}
+
 	for _, name := range want {
 		switch strings.ToLower(name) {
 		case "fig1":
@@ -105,5 +137,8 @@ func main() {
 		}
 		fmt.Printf("wrote %d CSV artifacts to %s\n", len(files), *csvDir)
 	}
+	run, hits, misses := runner.Stats()
+	fmt.Printf("scheduler: %d cells run, cache %d hits / %d misses (%d workers)\n",
+		run, hits, misses, runner.Workers())
 	fmt.Printf("completed in %.1fs wall time\n", time.Since(start).Seconds())
 }

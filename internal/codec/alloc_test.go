@@ -1,0 +1,91 @@
+package codec
+
+import "testing"
+
+// The frame hot path must not allocate in steady state: EncodeAppend writes
+// into a caller-recycled buffer and the encoder's scratches, and Decode
+// reuses the decoder's two persistent buffers. These tests pin that down so
+// a regression fails loudly instead of showing up as GC pressure in the
+// streaming stack.
+
+func TestEncodeAppendSteadyStateAllocs(t *testing.T) {
+	for _, bands := range []bool{false, true} {
+		const w, h = 320, 180
+		frames := animatedFrames(w, h, 8)
+		enc := NewEncoder(w, h, Options{QuantShift: 2, Bands: bands})
+		buf := make([]byte, 0, 2*w*h*4)
+		var err error
+		// Warm up the encoder scratches (first frames grow them).
+		for _, f := range frames {
+			if buf, err = enc.EncodeAppend(buf[:0], f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			if buf, err = enc.EncodeAppend(buf[:0], frames[i%len(frames)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if allocs > 0 {
+			t.Errorf("bands=%v: EncodeAppend allocates %.1f objects/frame in steady state, want 0", bands, allocs)
+		}
+	}
+}
+
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	for _, bands := range []bool{false, true} {
+		const w, h = 320, 180
+		frames := animatedFrames(w, h, 8)
+		enc := NewEncoder(w, h, Options{QuantShift: 2, Bands: bands})
+		var streams [][]byte
+		for _, f := range frames {
+			bs, err := enc.Encode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streams = append(streams, bs)
+		}
+		dec := NewDecoder()
+		for _, bs := range streams {
+			if _, err := dec.Decode(bs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := dec.Decode(streams[i%len(streams)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if allocs > 0 {
+			t.Errorf("bands=%v: Decode allocates %.1f objects/frame in steady state, want 0", bands, allocs)
+		}
+	}
+}
+
+func benchEncodeAppend(b *testing.B, w, h int) {
+	frames := animatedFrames(w, h, 32)
+	enc := NewEncoder(w, h, Options{QuantShift: 2})
+	buf := make([]byte, 0, 2*w*h*4)
+	var err error
+	for _, f := range frames {
+		if buf, err = enc.EncodeAppend(buf[:0], f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(w * h * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = enc.EncodeAppend(buf[:0], frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(enc.Bytes())/float64(enc.Frames())/1024, "KB/frame")
+}
+
+func BenchmarkEncodeAppend360p(b *testing.B) { benchEncodeAppend(b, 640, 360) }
+func BenchmarkEncodeAppend720p(b *testing.B) { benchEncodeAppend(b, 1280, 720) }

@@ -37,31 +37,35 @@ func bandRange(w, h, i int) (start, end int) {
 	return start, end
 }
 
-// encodeBands appends a band-coded delta of q against prev to out.
-func encodeBands(out, q, prev []byte, w, h int) []byte {
+// appendBands appends a band-coded delta of q against prev to out, reusing
+// the encoder's band scratch buffers.
+func (e *Encoder) appendBands(out, q, prev []byte) []byte {
+	w, h := e.w, e.h
 	var scratch [binary.MaxVarintLen64]byte
 	put := func(v uint64) {
 		n := binary.PutUvarint(scratch[:], v)
 		out = append(out, scratch[:n]...)
 	}
 	nBands := bandCount(h)
-	var changed []int
+	changed := e.bandIdx[:0]
 	for i := 0; i < nBands; i++ {
-		s, e := bandRange(w, h, i)
-		if !bytes.Equal(q[s:e], prev[s:e]) {
+		s, end := bandRange(w, h, i)
+		if !bytes.Equal(q[s:end], prev[s:end]) {
 			changed = append(changed, i)
 		}
 	}
+	e.bandIdx = changed
 	put(uint64(bandRows))
 	put(uint64(len(changed)))
-	delta := make([]byte, 0, bandRows*w*4)
 	for _, i := range changed {
-		s, e := bandRange(w, h, i)
-		delta = delta[:e-s]
+		s, end := bandRange(w, h, i)
+		delta := grow(e.delta, end-s)
 		for j := range delta {
 			delta[j] = q[s+j] - prev[s+j]
 		}
-		payload := rleAppend(nil, delta)
+		e.delta = delta
+		payload := rleAppend(e.bandRLE[:0], delta)
+		e.bandRLE = payload[:0]
 		put(uint64(i))
 		put(uint64(len(payload)))
 		out = append(out, payload...)
@@ -69,8 +73,9 @@ func encodeBands(out, q, prev []byte, w, h int) []byte {
 	return out
 }
 
-// decodeBands applies a band-coded delta payload to cur (w×h RGBA).
-func decodeBands(payload, cur []byte, w, h int) error {
+// applyBands applies a band-coded delta payload to d.cur (w×h RGBA),
+// expanding each band's RLE into the decoder's scratch buffer.
+func (d *Decoder) applyBands(payload []byte, w, h int) error {
 	i := 0
 	next := func() (uint64, error) {
 		v, used := binary.Uvarint(payload[i:])
@@ -109,13 +114,13 @@ func decodeBands(payload, cur []byte, w, h int) error {
 			return ErrTruncated
 		}
 		s, e := bandRange(w, h, int(idx))
-		delta, err := rleDecode(payload[i:i+int(plen)], e-s)
-		if err != nil {
+		d.scratch = grow(d.scratch, e-s)
+		if err := rleDecodeInto(d.scratch, payload[i:i+int(plen)]); err != nil {
 			return err
 		}
 		i += int(plen)
-		for j := range delta {
-			cur[s+j] += delta[j]
+		for j, v := range d.scratch {
+			d.cur[s+j] += v
 		}
 	}
 	if i != len(payload) {

@@ -59,11 +59,22 @@ type Options struct {
 }
 
 // Encoder compresses a stream of same-sized RGBA frames.
+//
+// The encoder holds all working buffers it needs between frames, so the
+// steady-state hot path allocates only when the caller's destination slice
+// must grow: quantization and the previous-frame reference swap between two
+// persistent buffers, the delta image lives in a reusable scratch, and band
+// coding reuses its index/payload scratches.
 type Encoder struct {
 	w, h  int
 	opts  Options
 	prev  []byte // previous *quantized* frame
 	count int
+
+	qbuf    []byte // quantization target; swaps with prev each frame
+	delta   []byte // delta-image scratch
+	bandIdx []int  // changed-band index scratch
+	bandRLE []byte // per-band RLE payload scratch
 
 	frames int64
 	bytes  int64
@@ -89,40 +100,69 @@ func (e *Encoder) Frames() int64 { return e.frames }
 // Bytes returns the total encoded output size.
 func (e *Encoder) Bytes() int64 { return e.bytes }
 
-// Encode compresses pix (len must be w*h*4) and returns the bitstream.
+// Encode compresses pix (len must be w*h*4) and returns the bitstream in a
+// freshly allocated slice. Callers that recycle payload buffers should use
+// EncodeAppend instead.
 func (e *Encoder) Encode(pix []byte) ([]byte, error) {
+	return e.EncodeAppend(make([]byte, 0, headerLen+len(pix)/8), pix)
+}
+
+// EncodeAppend compresses pix (len must be w*h*4), appends the bitstream to
+// dst, and returns the extended slice. When dst has enough capacity the
+// encode allocates nothing.
+func (e *Encoder) EncodeAppend(dst, pix []byte) ([]byte, error) {
 	if len(pix) != e.FrameSize() {
 		return nil, fmt.Errorf("codec: frame is %d bytes, want %d", len(pix), e.FrameSize())
 	}
-	q := quantize(pix, e.opts.QuantShift)
+	q := e.quantizeInto(pix)
 	isKey := e.prev == nil || e.count%e.opts.KeyInterval == 0
 	e.count++
 
-	out := make([]byte, headerLen, headerLen+len(q)/8)
-	out[0] = magic
-	out[2] = byte(e.opts.QuantShift)
-	binary.LittleEndian.PutUint32(out[3:], uint32(e.w))
-	binary.LittleEndian.PutUint32(out[7:], uint32(e.h))
+	base := len(dst)
+	var hdr [headerLen]byte
+	out := append(dst, hdr[:]...)
+	out[base] = magic
+	out[base+2] = byte(e.opts.QuantShift)
+	binary.LittleEndian.PutUint32(out[base+3:], uint32(e.w))
+	binary.LittleEndian.PutUint32(out[base+7:], uint32(e.h))
 
 	switch {
 	case isKey:
-		out[1] = frameKey
+		out[base+1] = frameKey
 		out = rleAppend(out, q)
 	case e.opts.Bands:
-		out[1] = frameBands
-		out = encodeBands(out, q, e.prev, e.w, e.h)
+		out[base+1] = frameBands
+		out = e.appendBands(out, q, e.prev)
 	default:
-		out[1] = frameDelta
-		delta := make([]byte, len(q))
+		out[base+1] = frameDelta
+		delta := grow(e.delta, len(q))
 		for i := range q {
 			delta[i] = q[i] - e.prev[i]
 		}
+		e.delta = delta
 		out = rleAppend(out, delta)
 	}
-	e.prev = q
+	// q lives in e.qbuf; keep it as the new reference frame and let the old
+	// reference become the next quantization target.
+	e.prev, e.qbuf = q, e.prev
 	e.frames++
-	e.bytes += int64(len(out))
+	e.bytes += int64(len(out) - base)
 	return out, nil
+}
+
+// quantizeInto quantizes pix into the encoder's reusable buffer.
+func (e *Encoder) quantizeInto(pix []byte) []byte {
+	out := grow(e.qbuf, len(pix))
+	e.qbuf = out
+	if e.opts.QuantShift == 0 {
+		copy(out, pix)
+		return out
+	}
+	mask := byte(0xFF) << e.opts.QuantShift
+	for i, v := range pix {
+		out[i] = v & mask
+	}
+	return out
 }
 
 // ForceKeyframe makes the next frame a keyframe (e.g. after a client joins).
@@ -144,8 +184,9 @@ func (e *Encoder) SetQuantShift(s uint) {
 
 // Decoder decompresses a stream produced by Encoder.
 type Decoder struct {
-	w, h int
-	cur  []byte
+	w, h    int
+	cur     []byte
+	scratch []byte // RLE expansion target; swaps with cur on keyframes
 }
 
 // NewDecoder returns a decoder; dimensions are learned from the first frame.
@@ -153,7 +194,7 @@ func NewDecoder() *Decoder { return &Decoder{} }
 
 // Decode decompresses one bitstream frame and returns the reconstructed
 // RGBA pixels. The returned slice is owned by the decoder and valid until
-// the next Decode.
+// the next Decode. Steady-state decoding allocates nothing.
 func (d *Decoder) Decode(bs []byte) ([]byte, error) {
 	if len(bs) < headerLen {
 		return nil, ErrTruncated
@@ -173,28 +214,28 @@ func (d *Decoder) Decode(bs []byte) ([]byte, error) {
 	}
 	switch ftype {
 	case frameKey:
-		payload, err := rleDecode(bs[headerLen:], size)
-		if err != nil {
+		d.scratch = grow(d.scratch, size)
+		if err := rleDecodeInto(d.scratch, bs[headerLen:]); err != nil {
 			return nil, err
 		}
 		d.w, d.h = w, h
-		d.cur = payload
+		d.cur, d.scratch = d.scratch, d.cur
 	case frameDelta:
 		if d.cur == nil {
 			return nil, ErrNoKeyframe
 		}
-		payload, err := rleDecode(bs[headerLen:], size)
-		if err != nil {
+		d.scratch = grow(d.scratch, size)
+		if err := rleDecodeInto(d.scratch, bs[headerLen:]); err != nil {
 			return nil, err
 		}
 		for i := range d.cur {
-			d.cur[i] += payload[i]
+			d.cur[i] += d.scratch[i]
 		}
 	case frameBands:
 		if d.cur == nil {
 			return nil, ErrNoKeyframe
 		}
-		if err := decodeBands(bs[headerLen:], d.cur, w, h); err != nil {
+		if err := d.applyBands(bs[headerLen:], w, h); err != nil {
 			return nil, err
 		}
 	default:
@@ -205,6 +246,15 @@ func (d *Decoder) Decode(bs []byte) ([]byte, error) {
 
 // Size returns the current frame dimensions (0,0 before the first frame).
 func (d *Decoder) Size() (w, h int) { return d.w, d.h }
+
+// grow returns b resized to n bytes, reusing its backing array when the
+// capacity allows and allocating once otherwise.
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
 
 // quantize returns pix with the low QuantShift bits cleared.
 func quantize(pix []byte, shift uint) []byte {
@@ -266,34 +316,47 @@ func rleAppend(dst, data []byte) []byte {
 
 // rleDecode expands an RLE payload into exactly size bytes.
 func rleDecode(payload []byte, size int) ([]byte, error) {
-	out := make([]byte, 0, size)
+	out := make([]byte, size)
+	if err := rleDecodeInto(out, payload); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rleDecodeInto expands an RLE payload into exactly len(dst) bytes without
+// allocating: zero runs clear the destination range in place (dst is reused
+// across frames, so stale bytes must be overwritten) and literal runs copy.
+func rleDecodeInto(dst, payload []byte) error {
+	o := 0
 	i := 0
 	for i < len(payload) {
 		tok := payload[i]
 		i++
 		n, used := binary.Uvarint(payload[i:])
 		if used <= 0 {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		i += used
-		if n > uint64(size-len(out)) {
-			return nil, ErrCorrupt
+		if n > uint64(len(dst)-o) {
+			return ErrCorrupt
 		}
 		switch tok {
 		case 0x00:
-			out = append(out, make([]byte, n)...)
+			clear(dst[o : o+int(n)])
+			o += int(n)
 		case 0x01:
 			if i+int(n) > len(payload) {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
-			out = append(out, payload[i:i+int(n)]...)
+			copy(dst[o:], payload[i:i+int(n)])
+			o += int(n)
 			i += int(n)
 		default:
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 	}
-	if len(out) != size {
-		return nil, ErrTruncated
+	if o != len(dst) {
+		return ErrTruncated
 	}
-	return out, nil
+	return nil
 }

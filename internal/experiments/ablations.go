@@ -7,6 +7,7 @@ import (
 	"odr/internal/pictor"
 	"odr/internal/pipeline"
 	"odr/internal/regulator"
+	"odr/internal/sched"
 )
 
 // AblationRow is one variant of an ablation study.
@@ -32,7 +33,18 @@ func ablRow(r *pipeline.Result, variant string) AblationRow {
 	}
 }
 
-func runODRVariant(o Options, b pictor.Benchmark, g pictor.PlatformGroup, opts regulator.ODROptions, variant string, extra func(*pipeline.Config)) AblationRow {
+// runAblation executes one ablation's variant cells through the scheduler
+// and reduces them to rows in submission order.
+func runAblation(o Options, cells []sched.Cell) []AblationRow {
+	results := o.Runner.Run(cells)
+	rows := make([]AblationRow, len(results))
+	for i, r := range results {
+		rows[i] = ablRow(r, cells[i].Config.Label)
+	}
+	return rows
+}
+
+func odrVariantCell(o Options, b pictor.Benchmark, g pictor.PlatformGroup, opts regulator.ODROptions, variant string, extra func(*pipeline.Config)) sched.Cell {
 	cfg := pipeline.Config{
 		Label:    variant,
 		Workload: b.Params(),
@@ -47,7 +59,7 @@ func runODRVariant(o Options, b pictor.Benchmark, g pictor.PlatformGroup, opts r
 	if extra != nil {
 		extra(&cfg)
 	}
-	return ablRow(pipeline.Run(cfg), variant)
+	return sched.Cell{PolicyKey: odrKey(opts), Config: cfg}
 }
 
 // AblationMulBuf2 isolates design choice 1 (DESIGN.md §5): Mul-Buf2's
@@ -56,10 +68,10 @@ func runODRVariant(o Options, b pictor.Benchmark, g pictor.PlatformGroup, opts r
 func AblationMulBuf2(o Options) []AblationRow {
 	o = o.withDefaults()
 	g := pictor.PlatformGroup{Platform: pictor.GoogleGCE, Resolution: pictor.R720p}
-	rows := []AblationRow{
-		runODRVariant(o, pictor.IM, g, regulator.ODROptions{}, "ODRMax", nil),
-		runODRVariant(o, pictor.IM, g, regulator.ODROptions{DisableMulBuf2: true}, "ODRMax-noBuf2", nil),
-	}
+	rows := runAblation(o, []sched.Cell{
+		odrVariantCell(o, pictor.IM, g, regulator.ODROptions{}, "ODRMax", nil),
+		odrVariantCell(o, pictor.IM, g, regulator.ODROptions{DisableMulBuf2: true}, "ODRMax-noBuf2", nil),
+	})
 	printAblation(o, "Ablation: Mul-Buf2 backpressure (InMind, 720p GCE)", rows)
 	return rows
 }
@@ -70,10 +82,10 @@ func AblationMulBuf2(o Options) []AblationRow {
 func AblationAcceleration(o Options) []AblationRow {
 	o = o.withDefaults()
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
-	rows := []AblationRow{
-		runODRVariant(o, pictor.IM, g, regulator.ODROptions{TargetFPS: 60}, "ODR60", nil),
-		runODRVariant(o, pictor.IM, g, regulator.ODROptions{TargetFPS: 60, DelayOnly: true}, "ODR60-delayOnly", nil),
-	}
+	rows := runAblation(o, []sched.Cell{
+		odrVariantCell(o, pictor.IM, g, regulator.ODROptions{TargetFPS: 60}, "ODR60", nil),
+		odrVariantCell(o, pictor.IM, g, regulator.ODROptions{TargetFPS: 60, DelayOnly: true}, "ODR60-delayOnly", nil),
+	})
 	printAblation(o, "Ablation: pacer acceleration vs delay-only (InMind, 720p private)", rows)
 	return rows
 }
@@ -83,10 +95,10 @@ func AblationAcceleration(o Options) []AblationRow {
 func AblationPriority(o Options) []AblationRow {
 	o = o.withDefaults()
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
-	rows := []AblationRow{
-		runODRVariant(o, pictor.IM, g, regulator.ODROptions{}, "ODRMax", nil),
-		runODRVariant(o, pictor.IM, g, regulator.ODROptions{DisablePriority: true}, "ODRMax-noPri", nil),
-	}
+	rows := runAblation(o, []sched.Cell{
+		odrVariantCell(o, pictor.IM, g, regulator.ODROptions{}, "ODRMax", nil),
+		odrVariantCell(o, pictor.IM, g, regulator.ODROptions{DisablePriority: true}, "ODRMax-noPri", nil),
+	})
 	printAblation(o, "Ablation: PriorityFrame (InMind, 720p private)", rows)
 	return rows
 }
@@ -99,28 +111,30 @@ func AblationPriority(o Options) []AblationRow {
 // negligible RTT.
 func AblationRVSFeedback(o Options) []AblationRow {
 	o = o.withDefaults()
-	run := func(rtt time.Duration, cc float64, variant string) AblationRow {
+	cell := func(rtt time.Duration, cc float64, variant string) sched.Cell {
 		net := pictor.Network(pictor.GoogleGCE)
 		net.RTT = rtt
-		cfg := pipeline.Config{
-			Label:    variant,
-			Workload: pictor.IM.Params(),
-			Scale:    pictor.Scale(pictor.GoogleGCE, pictor.R720p),
-			Net:      net,
-			Policy: func(ctx *regulator.Ctx) regulator.Policy {
-				return regulator.NewRVS(ctx, 60, cc)
+		return sched.Cell{
+			PolicyKey: rvsKey(60, cc),
+			Config: pipeline.Config{
+				Label:    variant,
+				Workload: pictor.IM.Params(),
+				Scale:    pictor.Scale(pictor.GoogleGCE, pictor.R720p),
+				Net:      net,
+				Policy: func(ctx *regulator.Ctx) regulator.Policy {
+					return regulator.NewRVS(ctx, 60, cc)
+				},
+				Duration: o.Duration,
+				Seed:     o.Seed + 13,
 			},
-			Duration: o.Duration,
-			Seed:     o.Seed + 13,
 		}
-		return ablRow(pipeline.Run(cfg), variant)
 	}
-	rows := []AblationRow{
-		run(25*time.Millisecond, 0, "RVS60-rtt25ms"),
-		run(time.Millisecond, 0, "RVS60-rtt1ms"),
-		run(25*time.Millisecond, 0.05, "RVS60-cc0.05"),
-		run(25*time.Millisecond, 1.0, "RVS60-cc1.0"),
-	}
+	rows := runAblation(o, []sched.Cell{
+		cell(25*time.Millisecond, 0, "RVS60-rtt25ms"),
+		cell(time.Millisecond, 0, "RVS60-rtt1ms"),
+		cell(25*time.Millisecond, 0.05, "RVS60-cc0.05"),
+		cell(25*time.Millisecond, 1.0, "RVS60-cc1.0"),
+	})
 	printAblation(o, "Ablation: RVS feedback path length and filter strength (InMind, GCE-like path)", rows)
 	return rows
 }
@@ -132,28 +146,20 @@ func AblationContention(o Options) []AblationRow {
 	o = o.withDefaults()
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	freeze := func(c *pipeline.Config) { c.DisableContention = true }
-	rows := []AblationRow{
-		runODRVariant(o, pictor.IM, g, regulator.ODROptions{}, "ODRMax", nil),
-		runODRVariant(o, pictor.IM, g, regulator.ODROptions{}, "ODRMax-noContention", freeze),
+	cells := []sched.Cell{
+		odrVariantCell(o, pictor.IM, g, regulator.ODROptions{}, "ODRMax", nil),
+		odrVariantCell(o, pictor.IM, g, regulator.ODROptions{}, "ODRMax-noContention", freeze),
 	}
 	// NoReg reference points with and without contention.
-	for _, withC := range []bool{false, true} {
-		cfg := pipeline.Config{
-			Label:    "NoReg",
-			Workload: pictor.IM.Params(),
-			Scale:    pictor.Scale(g.Platform, g.Resolution),
-			Net:      pictor.Network(g.Platform),
-			Policy:   factory(NoReg, g.Resolution),
-			Duration: o.Duration,
-			Seed:     seedFor(o.Seed, pictor.IM, g, NoReg),
+	for _, frozen := range []bool{false, true} {
+		c := cellFor(o, pictor.IM, g, NoReg)
+		if frozen {
+			c.Config.DisableContention = true
+			c.Config.Label = "NoReg-noContention"
 		}
-		variant := "NoReg"
-		if withC {
-			cfg.DisableContention = true
-			variant = "NoReg-noContention"
-		}
-		rows = append(rows, ablRow(pipeline.Run(cfg), variant))
+		cells = append(cells, c)
 	}
+	rows := runAblation(o, cells)
 	printAblation(o, "Ablation: DRAM-contention feedback (InMind, 720p private)", rows)
 	return rows
 }

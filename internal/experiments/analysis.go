@@ -5,8 +5,17 @@ import (
 
 	"odr/internal/metrics"
 	"odr/internal/pictor"
-	"odr/internal/pipeline"
+	"odr/internal/sched"
 )
+
+// cellsFor builds the matrix cells for one benchmark/group across ids.
+func cellsFor(o Options, b pictor.Benchmark, g pictor.PlatformGroup, ids []PolicyID) []sched.Cell {
+	cells := make([]sched.Cell, len(ids))
+	for i, id := range ids {
+		cells[i] = cellFor(o, b, g, id)
+	}
+	return cells
+}
 
 // Fig1Result holds Figure 1: cloud vs client FPS for Red Eclipse and InMind
 // under no regulation — the excessive-rendering motivation.
@@ -22,8 +31,13 @@ func Fig1(o Options) Fig1Result {
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	var res Fig1Result
 	fmt.Fprintln(o.Out, "Figure 1: excessive frame rendering causes large FPS gaps (NoReg, 720p private)")
-	for _, b := range []pictor.Benchmark{pictor.RE, pictor.IM} {
-		r := runOne(o, b, g, NoReg)
+	benches := []pictor.Benchmark{pictor.RE, pictor.IM}
+	cells := make([]sched.Cell, len(benches))
+	for i, b := range benches {
+		cells[i] = cellFor(o, b, g, NoReg)
+	}
+	for i, r := range o.Runner.Run(cells) {
+		b := benches[i]
 		res.Benchmarks = append(res.Benchmarks, string(b))
 		res.CloudFPS = append(res.CloudFPS, r.RenderFPS)
 		res.ClientFPS = append(res.ClientFPS, r.ClientFPS)
@@ -48,8 +62,8 @@ func Fig3(o Options) []Fig3Row {
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	fmt.Fprintln(o.Out, "Figure 3: InMind render/encode/decode FPS under §4 regulations (720p private)")
 	var rows []Fig3Row
-	for _, id := range []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax} {
-		r := runOne(o, pictor.IM, g, id)
+	ids := []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax}
+	for _, r := range o.Runner.Run(cellsFor(o, pictor.IM, g, ids)) {
 		row := Fig3Row{Config: r.Label, RenderFPS: r.RenderFPS, EncodeFPS: r.EncodeFPS, DecodeFPS: r.ClientFPS}
 		rows = append(rows, row)
 		fmt.Fprintf(o.Out, "  %-8s render %6.1f  encode %6.1f  decode %6.1f\n",
@@ -75,17 +89,9 @@ type Fig4Result struct {
 func Fig4(o Options) Fig4Result {
 	o = o.withDefaults()
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
-	cfg := pipeline.Config{
-		Label:         "NoReg",
-		Workload:      pictor.IM.Params(),
-		Scale:         pictor.Scale(g.Platform, g.Resolution),
-		Net:           pictor.Network(g.Platform),
-		Policy:        factory(NoReg, g.Resolution),
-		Duration:      o.Duration,
-		Seed:          seedFor(o.Seed, pictor.IM, g, NoReg),
-		CollectFrames: 100,
-	}
-	r := pipeline.Run(cfg)
+	cell := cellFor(o, pictor.IM, g, NoReg)
+	cell.Config.CollectFrames = 100
+	r := o.Runner.RunOne(cell)
 	var res Fig4Result
 	res.RenderCDFx, res.RenderCDFy = r.RenderTimes.CDF()
 	res.EncodeCDFx, res.EncodeCDFy = r.EncodeTimes.CDF()
@@ -126,18 +132,11 @@ func Fig5(o Options) map[string][]Fig5Row {
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	out := make(map[string][]Fig5Row)
 	fmt.Fprintln(o.Out, "Figure 5: pipeline timelines (InMind, 720p private, first 8 displayed frames)")
-	for _, id := range []PolicyID{IntGoal, RVSGoal, ODRGoal} {
-		cfg := pipeline.Config{
-			Label:         label(id, g.Resolution),
-			Workload:      pictor.IM.Params(),
-			Scale:         pictor.Scale(g.Platform, g.Resolution),
-			Net:           pictor.Network(g.Platform),
-			Policy:        factory(id, g.Resolution),
-			Duration:      o.Duration,
-			Seed:          seedFor(o.Seed, pictor.IM, g, id),
-			CollectFrames: 8,
-		}
-		r := pipeline.Run(cfg)
+	cells := cellsFor(o, pictor.IM, g, []PolicyID{IntGoal, RVSGoal, ODRGoal})
+	for i := range cells {
+		cells[i].Config.CollectFrames = 8
+	}
+	for _, r := range o.Runner.Run(cells) {
 		var rows []Fig5Row
 		var t0 float64
 		for i, f := range r.FrameTrace {
@@ -155,8 +154,8 @@ func Fig5(o Options) map[string][]Fig5Row {
 				Priority:    f.Priority,
 			})
 		}
-		out[cfg.Label] = rows
-		fmt.Fprintf(o.Out, "  %s:\n", cfg.Label)
+		out[r.Label] = rows
+		fmt.Fprintf(o.Out, "  %s:\n", r.Label)
 		for _, row := range rows {
 			fmt.Fprintf(o.Out, "    frame %4d  render %7.1f-%7.1f  encode %7.1f-%7.1f  decoded %7.1f%s\n",
 				row.Seq, row.RenderStart, row.RenderEnd, row.EncodeStart, row.EncodeEnd, row.DecodeEnd,
@@ -187,8 +186,8 @@ func Fig6(o Options) []Fig6Row {
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	fmt.Fprintln(o.Out, "Figure 6: InMind MtP latency under §4 regulations (720p private)")
 	var rows []Fig6Row
-	for _, id := range []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax} {
-		r := runOne(o, pictor.IM, g, id)
+	ids := []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax}
+	for _, r := range o.Runner.Run(cellsFor(o, pictor.IM, g, ids)) {
 		row := Fig6Row{Config: r.Label, MeanMs: r.MtP.Mean(), P99Ms: r.MtP.Percentile(99)}
 		rows = append(rows, row)
 		fmt.Fprintf(o.Out, "  %-8s mean %6.1fms  p99 %6.1fms\n", row.Config, row.MeanMs, row.P99Ms)
@@ -211,8 +210,8 @@ func Fig7(o Options) []Fig7Row {
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	fmt.Fprintln(o.Out, "Figure 7: InMind DRAM efficiency under §4 regulations (720p private)")
 	var rows []Fig7Row
-	for _, id := range []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax} {
-		r := runOne(o, pictor.IM, g, id)
+	ids := []PolicyID{NoReg, IntGoal, IntMax, RVSGoal, RVSMax}
+	for _, r := range o.Runner.Run(cellsFor(o, pictor.IM, g, ids)) {
 		row := Fig7Row{Config: r.Label, MissRate: r.MissRate, ReadTimeNs: r.ReadTimeNs, IPC: r.IPC}
 		rows = append(rows, row)
 		fmt.Fprintf(o.Out, "  %-8s miss %5.1f%%  read %5.1fns  IPC %5.2f\n",

@@ -68,6 +68,7 @@ func SummaryCI(o Options, seeds int) SummaryCIResult {
 		so.Out = nil
 		so = so.withDefaults()
 		m := NewMatrix(so)
+		m.Prefetch()
 		s := Summary(m)
 		noRegGap = append(noRegGap, s.NoRegAvgGap)
 		odrGap = append(odrGap, s.ODRAvgGap)

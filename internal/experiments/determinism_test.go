@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"odr/internal/sched"
+)
+
+// The scheduler's contract: worker count and cache state may change wall
+// time, never results. These tests pin byte-identical output for the full
+// Table 2 matrix plus a sweep — the mix of prefetched matrix cells and
+// directly batched sweep cells.
+
+// renderTable2AndSweep runs the full Table 2 (every benchmark × platform
+// group × policy) and the RVS cc sweep with the given runner, returning the
+// printed output.
+func renderTable2AndSweep(t *testing.T, runner *sched.Runner) string {
+	t.Helper()
+	var buf bytes.Buffer
+	o := Options{Duration: 3 * time.Second, Seed: 7, Out: &buf, Runner: runner}
+	m := NewMatrix(o)
+	m.Prefetch()
+	Table2(m)
+	SweepRVScc(o)
+	return buf.String()
+}
+
+func TestParallelRunIsByteIdenticalToSequential(t *testing.T) {
+	seq := renderTable2AndSweep(t, sched.New(sched.Options{Workers: 1}))
+	par := renderTable2AndSweep(t, sched.New(sched.Options{Workers: 8}))
+	if seq != par {
+		t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+func TestWarmCacheRunIsAllHitsAndIdentical(t *testing.T) {
+	dir := t.TempDir()
+	run := func() (string, *sched.Runner) {
+		cache, err := sched.OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sched.New(sched.Options{Cache: cache})
+		return renderTable2AndSweep(t, r), r
+	}
+	cold, r1 := run()
+	run1, hits1, _ := r1.Stats()
+	if run1 == 0 || hits1 != 0 {
+		t.Fatalf("cold run: %d cells run, %d hits", run1, hits1)
+	}
+	warm, r2 := run()
+	run2, hits2, misses2 := r2.Stats()
+	if run2 != 0 || misses2 != 0 {
+		t.Fatalf("warm run recomputed: %d cells run, %d misses (%d hits)", run2, misses2, hits2)
+	}
+	if hits2 != run1+hits1 || hits2 == 0 {
+		t.Fatalf("warm run hits = %d, want %d", hits2, run1)
+	}
+	if cold != warm {
+		t.Fatalf("warm-cache output differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+}

@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"odr/internal/metrics"
 	"odr/internal/pictor"
 	"odr/internal/pipeline"
+	"odr/internal/sched"
 )
 
 // Matrix lazily runs and caches the full evaluation matrix: 6 benchmarks ×
@@ -15,9 +15,9 @@ import (
 // benchmark, plus the ODRMax-noPri row of Table 2). Experiments that share
 // cells (Table 2, Figures 9-13) reuse one Matrix.
 //
-// Cells are deterministic and independent, so Prefetch can run them on all
-// CPUs; Get itself stays single-threaded (experiments call it from one
-// goroutine).
+// Cells are deterministic and independent, so Prefetch runs them all
+// through the options' scheduler; Get itself stays single-threaded
+// (experiments call it from one goroutine).
 type Matrix struct {
 	o     Options
 	mu    sync.Mutex
@@ -48,39 +48,27 @@ func (m *Matrix) Get(b pictor.Benchmark, g pictor.PlatformGroup, id PolicyID) *p
 	return r
 }
 
-// Prefetch runs every cell of the full matrix concurrently (bounded by
-// workers; 0 = GOMAXPROCS) so that subsequent experiments hit only the
-// cache. Each cell is an independent deterministic simulation, so the
-// results are identical to sequential execution.
-func (m *Matrix) Prefetch(workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type cell struct {
-		b  pictor.Benchmark
-		g  pictor.PlatformGroup
-		id PolicyID
-	}
-	var cells []cell
+// Prefetch runs every cell of the full matrix through the options'
+// scheduler so that subsequent experiments hit only memory. Each cell is
+// an independent deterministic simulation with its own derived seed, so
+// the results are identical to sequential execution at any worker count.
+func (m *Matrix) Prefetch() {
+	var keys []string
+	var cells []sched.Cell
 	for _, g := range pictor.Groups {
 		for _, b := range pictor.Benchmarks {
 			for _, id := range Table2Policies {
-				cells = append(cells, cell{b, g, id})
+				keys = append(keys, string(b)+"/"+g.String()+"/"+string(id))
+				cells = append(cells, cellFor(m.o, b, g, id))
 			}
 		}
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for _, c := range cells {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(c cell) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			m.Get(c.b, c.g, c.id)
-		}(c)
+	results := m.o.Runner.Run(cells)
+	m.mu.Lock()
+	for i, key := range keys {
+		m.cells[key] = results[i]
 	}
-	wg.Wait()
+	m.mu.Unlock()
 }
 
 // groupMean averages a metric over the six benchmarks for one group/policy.

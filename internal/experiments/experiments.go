@@ -16,6 +16,7 @@ import (
 	"odr/internal/pictor"
 	"odr/internal/pipeline"
 	"odr/internal/regulator"
+	"odr/internal/sched"
 )
 
 // Options tunes experiment runs. The zero value gives the defaults used for
@@ -27,6 +28,11 @@ type Options struct {
 	Seed int64
 	// Out receives the human-readable report; nil discards it.
 	Out io.Writer
+	// Runner executes the pipeline cells of every experiment. Nil defaults
+	// to a work-stealing runner over all CPUs with no persistent cache.
+	// Cells carry per-cell seeds, so results — and therefore the printed
+	// report — are identical at any worker count.
+	Runner *sched.Runner
 }
 
 func (o Options) withDefaults() Options {
@@ -38,6 +44,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Out == nil {
 		o.Out = io.Discard
+	}
+	if o.Runner == nil {
+		o.Runner = sched.New(sched.Options{})
 	}
 	return o
 }
@@ -128,18 +137,74 @@ func seedFor(base int64, b pictor.Benchmark, g pictor.PlatformGroup, id PolicyID
 	return h | 1
 }
 
+// policyKey canonically names the concrete policy factory(id, res) builds,
+// for content addressing in the result cache. Keys are canonical — the
+// same underlying policy gets the same key however an experiment reaches
+// it — so identical cells submitted by different experiments (e.g. the
+// matrix and an ablation baseline) share one cache entry.
+func policyKey(id PolicyID, res pictor.Resolution) string {
+	goal := res.TargetFPS()
+	switch id {
+	case NoReg:
+		return "NoReg"
+	case IntMax:
+		return "Int@0"
+	case RVSMax:
+		return rvsKey(240, 0)
+	case ODRMax:
+		return odrKey(regulator.ODROptions{})
+	case ODRMaxNoPri:
+		return odrKey(regulator.ODROptions{DisablePriority: true})
+	case IntGoal:
+		return fmt.Sprintf("Int@%g", goal)
+	case RVSGoal:
+		return rvsKey(goal, 0)
+	case ODRGoal:
+		return odrKey(regulator.ODROptions{TargetFPS: goal})
+	}
+	return "?" + string(id)
+}
+
+// odrKey names an ODR variant by its options.
+func odrKey(opts regulator.ODROptions) string {
+	key := fmt.Sprintf("ODR@%g", opts.TargetFPS)
+	if opts.DisablePriority {
+		key += "+noPri"
+	}
+	if opts.DisableMulBuf2 {
+		key += "+noBuf2"
+	}
+	if opts.DelayOnly {
+		key += "+delayOnly"
+	}
+	return key
+}
+
+// rvsKey names an RVS variant by its refresh rate and filter constant.
+func rvsKey(refreshHz, cc float64) string {
+	return fmt.Sprintf("RVS@%g/cc%g", refreshHz, cc)
+}
+
+// cellFor builds the schedulable cell for one (benchmark, group, policy)
+// coordinate of the evaluation matrix.
+func cellFor(o Options, b pictor.Benchmark, g pictor.PlatformGroup, id PolicyID) sched.Cell {
+	return sched.Cell{
+		PolicyKey: policyKey(id, g.Resolution),
+		Config: pipeline.Config{
+			Label:    label(id, g.Resolution),
+			Workload: b.Params(),
+			Scale:    pictor.Scale(g.Platform, g.Resolution),
+			Net:      pictor.Network(g.Platform),
+			Policy:   factory(id, g.Resolution),
+			Duration: o.Duration,
+			Seed:     seedFor(o.Seed, b, g, id),
+		},
+	}
+}
+
 // runOne executes one (benchmark, group, policy) cell.
 func runOne(o Options, b pictor.Benchmark, g pictor.PlatformGroup, id PolicyID) *pipeline.Result {
-	cfg := pipeline.Config{
-		Label:    label(id, g.Resolution),
-		Workload: b.Params(),
-		Scale:    pictor.Scale(g.Platform, g.Resolution),
-		Net:      pictor.Network(g.Platform),
-		Policy:   factory(id, g.Resolution),
-		Duration: o.Duration,
-		Seed:     seedFor(o.Seed, b, g, id),
-	}
-	return pipeline.Run(cfg)
+	return o.Runner.RunOne(cellFor(o, b, g, id))
 }
 
 // mean returns the arithmetic mean of xs (0 when empty).

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"odr/internal/pictor"
+	"odr/internal/sched"
 )
 
 // testOptions keeps test wall time low; 15 simulated seconds are enough for
@@ -377,8 +378,8 @@ func TestLabelResolution(t *testing.T) {
 func TestPrefetchMatchesSequential(t *testing.T) {
 	o := Options{Duration: 5 * time.Second, Seed: 1}
 	seq := NewMatrix(o)
-	par := NewMatrix(o)
-	par.Prefetch(4)
+	par := NewMatrix(Options{Duration: 5 * time.Second, Seed: 1, Runner: sched.New(sched.Options{Workers: 4})})
+	par.Prefetch()
 	g := pictor.Groups[1]
 	for _, id := range []PolicyID{NoReg, ODRGoal} {
 		a := seq.Get(pictor.IM, g, id)

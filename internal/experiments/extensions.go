@@ -6,6 +6,7 @@ import (
 	"odr/internal/pictor"
 	"odr/internal/pipeline"
 	"odr/internal/qoe"
+	"odr/internal/sched"
 )
 
 // These experiments go beyond the paper's evaluation, covering its stated
@@ -33,20 +34,26 @@ func VRRStudy(o Options) []VRRRow {
 	o = o.withDefaults()
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	panel := qoe.NewPanel(30, o.Seed+78)
-	run := func(id PolicyID, vrr bool, name string) VRRRow {
-		cfg := pipeline.Config{
-			Label:    name,
-			Workload: pictor.IM.Params(),
-			Scale:    pictor.Scale(g.Platform, g.Resolution),
-			Net:      pictor.Network(g.Platform),
-			Policy:   factory(id, g.Resolution),
-			Duration: o.Duration,
-			Seed:     seedFor(o.Seed, pictor.IM, g, id),
-		}
+	cell := func(id PolicyID, vrr bool, name string) sched.Cell {
+		c := cellFor(o, pictor.IM, g, id)
+		c.Config.Label = name
 		if vrr {
-			cfg.VRRMinHz, cfg.VRRMaxHz = 48, 144
+			c.Config.VRRMinHz, c.Config.VRRMaxHz = 48, 144
 		}
-		r := pipeline.Run(cfg)
+		return c
+	}
+	cells := []sched.Cell{
+		cell(ODRGoal, false, "ODR60+fixed60Hz"),
+		cell(ODRGoal, true, "ODR60+VRR"),
+		cell(ODRMax, false, "ODRMax+fixed60Hz"),
+		cell(ODRMax, true, "ODRMax+VRR"),
+		cell(RVSGoal, false, "RVS60+vsync60Hz"),
+	}
+	// The simulations run through the scheduler; the panel evaluations stay
+	// in submission order afterwards, so the panel's RNG consumption — and
+	// therefore every rating — matches a sequential run exactly.
+	var rows []VRRRow
+	for _, r := range o.Runner.Run(cells) {
 		inter := &r.InterDisplay
 		stutter := qoe.StutterIndexFrom(inter.Mean(), inter.Stddev(), inter.Percentile(50), inter.Percentile(99))
 		obs := qoe.Observation{
@@ -59,21 +66,14 @@ func VRRStudy(o Options) []VRRRow {
 			RefreshHz:    60,
 			VSynced:      r.VSynced || r.VRR, // VRR panels never tear
 		}
-		return VRRRow{
-			Config:       name,
+		rows = append(rows, VRRRow{
+			Config:       r.Label,
 			ClientFPS:    r.ClientFPS,
 			MtPMeanMs:    r.MtP.Mean(),
 			StutterIndex: stutter,
 			Tearing:      obs.TearingExposure(),
 			Rating:       panel.Evaluate(obs).MeanRating,
-		}
-	}
-	rows := []VRRRow{
-		run(ODRGoal, false, "ODR60+fixed60Hz"),
-		run(ODRGoal, true, "ODR60+VRR"),
-		run(ODRMax, false, "ODRMax+fixed60Hz"),
-		run(ODRMax, true, "ODRMax+VRR"),
-		run(RVSGoal, false, "RVS60+vsync60Hz"),
+		})
 	}
 	fmt.Fprintln(o.Out, "Extension: variable-refresh-rate client (InMind, 720p private)")
 	for _, r := range rows {
@@ -114,47 +114,62 @@ func Consolidation(o Options) []ConsolidationRow {
 	o = o.withDefaults()
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	const targetFPS = 60.0
-	var rows []ConsolidationRow
 	fmt.Fprintln(o.Out, "Extension: server consolidation (InMind sessions, 1 GPU + 4 encode cores, QoS = 57 FPS & 100 ms)")
+	type combo struct {
+		id PolicyID
+		k  int
+	}
+	var combos []combo
 	for _, id := range []PolicyID{NoReg, ODRGoal} {
 		for _, k := range []int{1, 2, 3, 4, 5, 6} {
-			var sessions []pipeline.Config
-			for i := 0; i < k; i++ {
-				sessions = append(sessions, pipeline.Config{
-					Label:    label(id, g.Resolution),
-					Workload: pictor.IM.Params(),
-					Scale:    pictor.Scale(g.Platform, g.Resolution),
-					Net:      pictor.Network(g.Platform),
-					Policy:   factory(id, g.Resolution),
-					Duration: o.Duration,
-					Seed:     seedFor(o.Seed+int64(i)*31, pictor.IM, g, id),
-				})
-			}
-			gr := pipeline.RunGroup(pipeline.GroupConfig{
-				Sessions:    sessions,
-				GPUCapacity: 1,
-				CPUCores:    4,
-			})
-			row := ConsolidationRow{
-				Policy:      label(id, g.Resolution),
-				Sessions:    k,
-				ServerWatts: gr.ServerPowerWatts,
-				GPULoad:     gr.GPULoad,
-			}
-			for _, r := range gr.Per {
-				row.MeanFPS += r.ClientFPS / float64(k)
-				row.MeanMtPMs += r.MtP.Mean() / float64(k)
-				if r.ClientFPS >= targetFPS*0.95 && r.MtP.Mean() <= 100 {
-					row.QoSMet++
-				}
-			}
-			if row.QoSMet > 0 {
-				row.WattsPerGood = row.ServerWatts / float64(row.QoSMet)
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(o.Out, "  %-6s x%d: QoS-met %d/%d  mean %5.1f FPS  MtP %6.1f ms  server %5.1f W  (%.0f W/session at QoS)  GPU load %.2f\n",
-				row.Policy, k, row.QoSMet, k, row.MeanFPS, row.MeanMtPMs, row.ServerWatts, row.WattsPerGood, row.GPULoad)
+			combos = append(combos, combo{id, k})
 		}
+	}
+	// Group simulations are whole-server runs, not cacheable cells, but each
+	// combo is still an independent deterministic simulation: Map runs them
+	// across the runner's workers and returns them in combo order.
+	groups := sched.Map(o.Runner.Workers(), len(combos), func(ci int) *pipeline.GroupResult {
+		id, k := combos[ci].id, combos[ci].k
+		var sessions []pipeline.Config
+		for i := 0; i < k; i++ {
+			sessions = append(sessions, pipeline.Config{
+				Label:    label(id, g.Resolution),
+				Workload: pictor.IM.Params(),
+				Scale:    pictor.Scale(g.Platform, g.Resolution),
+				Net:      pictor.Network(g.Platform),
+				Policy:   factory(id, g.Resolution),
+				Duration: o.Duration,
+				Seed:     seedFor(o.Seed+int64(i)*31, pictor.IM, g, id),
+			})
+		}
+		return pipeline.RunGroup(pipeline.GroupConfig{
+			Sessions:    sessions,
+			GPUCapacity: 1,
+			CPUCores:    4,
+		})
+	})
+	var rows []ConsolidationRow
+	for ci, gr := range groups {
+		id, k := combos[ci].id, combos[ci].k
+		row := ConsolidationRow{
+			Policy:      label(id, g.Resolution),
+			Sessions:    k,
+			ServerWatts: gr.ServerPowerWatts,
+			GPULoad:     gr.GPULoad,
+		}
+		for _, r := range gr.Per {
+			row.MeanFPS += r.ClientFPS / float64(k)
+			row.MeanMtPMs += r.MtP.Mean() / float64(k)
+			if r.ClientFPS >= targetFPS*0.95 && r.MtP.Mean() <= 100 {
+				row.QoSMet++
+			}
+		}
+		if row.QoSMet > 0 {
+			row.WattsPerGood = row.ServerWatts / float64(row.QoSMet)
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(o.Out, "  %-6s x%d: QoS-met %d/%d  mean %5.1f FPS  MtP %6.1f ms  server %5.1f W  (%.0f W/session at QoS)  GPU load %.2f\n",
+			row.Policy, k, row.QoSMet, k, row.MeanFPS, row.MeanMtPMs, row.ServerWatts, row.WattsPerGood, row.GPULoad)
 	}
 	return rows
 }
@@ -184,7 +199,9 @@ func ConsolidationMix(o Options) []MixRow {
 	const lightN = 2
 	var rows []MixRow
 	fmt.Fprintln(o.Out, "Extension: heterogeneous consolidation (1x IMHOTEP + 2x SuperTuxKart, 1 GPU + 4 cores)")
-	for _, id := range []PolicyID{NoReg, ODRGoal} {
+	ids := []PolicyID{NoReg, ODRGoal}
+	groups := sched.Map(o.Runner.Workers(), len(ids), func(ci int) *pipeline.GroupResult {
+		id := ids[ci]
 		sessions := []pipeline.Config{{
 			Label:    label(id, g.Resolution),
 			Workload: pictor.ITP.Params(),
@@ -205,7 +222,10 @@ func ConsolidationMix(o Options) []MixRow {
 				Seed:     seedFor(o.Seed+int64(i)*31, pictor.STK, g, id),
 			})
 		}
-		gr := pipeline.RunGroup(pipeline.GroupConfig{Sessions: sessions, GPUCapacity: 1, CPUCores: 4})
+		return pipeline.RunGroup(pipeline.GroupConfig{Sessions: sessions, GPUCapacity: 1, CPUCores: 4})
+	})
+	for ci, gr := range groups {
+		id := ids[ci]
 		row := MixRow{
 			Policy:  label(id, g.Resolution),
 			Heavy:   string(pictor.ITP),

@@ -6,6 +6,7 @@ import (
 	"odr/internal/pictor"
 	"odr/internal/pipeline"
 	"odr/internal/regulator"
+	"odr/internal/sched"
 )
 
 // SweepRow is one point of a sensitivity sweep.
@@ -30,18 +31,26 @@ func SweepAPM(o Options) []SweepRow {
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	var rows []SweepRow
 	fmt.Fprintln(o.Out, "Sweep: user input rate vs ODR60 QoS (InMind, 720p private)")
-	for _, aps := range []float64{1, 2, 3.6, 5, 8, 12, 20} {
+	rates := []float64{1, 2, 3.6, 5, 8, 12, 20}
+	cells := make([]sched.Cell, len(rates))
+	for i, aps := range rates {
 		wl := pictor.IM.Params()
 		wl.InputRate = aps
-		r := pipeline.Run(pipeline.Config{
-			Label:    "ODR60",
-			Workload: wl,
-			Scale:    pictor.Scale(g.Platform, g.Resolution),
-			Net:      pictor.Network(g.Platform),
-			Policy:   factory(ODRGoal, g.Resolution),
-			Duration: o.Duration,
-			Seed:     seedFor(o.Seed, pictor.IM, g, PolicyID(fmt.Sprintf("apm%.0f", aps*60))),
-		})
+		cells[i] = sched.Cell{
+			PolicyKey: policyKey(ODRGoal, g.Resolution),
+			Config: pipeline.Config{
+				Label:    "ODR60",
+				Workload: wl,
+				Scale:    pictor.Scale(g.Platform, g.Resolution),
+				Net:      pictor.Network(g.Platform),
+				Policy:   factory(ODRGoal, g.Resolution),
+				Duration: o.Duration,
+				Seed:     seedFor(o.Seed, pictor.IM, g, PolicyID(fmt.Sprintf("apm%.0f", aps*60))),
+			},
+		}
+	}
+	for i, r := range o.Runner.Run(cells) {
+		aps := rates[i]
 		row := SweepRow{
 			X:         aps,
 			ClientFPS: r.ClientFPS,
@@ -65,30 +74,39 @@ func SweepBandwidth(o Options) map[string][]SweepRow {
 	g := pictor.PlatformGroup{Platform: pictor.GoogleGCE, Resolution: pictor.R720p}
 	out := make(map[string][]SweepRow)
 	fmt.Fprintln(o.Out, "Sweep: path bandwidth vs QoS (InMind, 720p GCE-like path)")
+	bandwidths := []float64{10, 14, 18, 22, 26, 34, 50}
 	for _, id := range []PolicyID{NoReg, ODRGoal, "ODRAuto60"} {
-		var rows []SweepRow
-		for _, mbps := range []float64{10, 14, 18, 22, 26, 34, 50} {
+		var pol pipeline.PolicyFactory
+		lbl, key := "ODRAuto60", "ODRAuto@60/20"
+		if id == "ODRAuto60" {
+			pol = func(ctx *regulator.Ctx) regulator.Policy {
+				return regulator.NewODRAuto(ctx, 60, 20)
+			}
+		} else {
+			pol = factory(id, g.Resolution)
+			lbl = label(id, g.Resolution)
+			key = policyKey(id, g.Resolution)
+		}
+		cells := make([]sched.Cell, len(bandwidths))
+		for i, mbps := range bandwidths {
 			net := pictor.Network(g.Platform)
 			net.Bandwidth = mbps * 1e6 / 8
-			var pol pipeline.PolicyFactory
-			lbl := "ODRAuto60"
-			if id == "ODRAuto60" {
-				pol = func(ctx *regulator.Ctx) regulator.Policy {
-					return regulator.NewODRAuto(ctx, 60, 20)
-				}
-			} else {
-				pol = factory(id, g.Resolution)
-				lbl = label(id, g.Resolution)
+			cells[i] = sched.Cell{
+				PolicyKey: key,
+				Config: pipeline.Config{
+					Label:    lbl,
+					Workload: pictor.IM.Params(),
+					Scale:    pictor.Scale(g.Platform, g.Resolution),
+					Net:      net,
+					Policy:   pol,
+					Duration: o.Duration,
+					Seed:     seedFor(o.Seed, pictor.IM, g, PolicyID(fmt.Sprintf("%s-bw%.0f", id, mbps))),
+				},
 			}
-			r := pipeline.Run(pipeline.Config{
-				Label:    lbl,
-				Workload: pictor.IM.Params(),
-				Scale:    pictor.Scale(g.Platform, g.Resolution),
-				Net:      net,
-				Policy:   pol,
-				Duration: o.Duration,
-				Seed:     seedFor(o.Seed, pictor.IM, g, PolicyID(fmt.Sprintf("%s-bw%.0f", id, mbps))),
-			})
+		}
+		var rows []SweepRow
+		for i, r := range o.Runner.Run(cells) {
+			mbps := bandwidths[i]
 			row := SweepRow{
 				X:         mbps,
 				ClientFPS: r.ClientFPS,
@@ -100,11 +118,7 @@ func SweepBandwidth(o Options) map[string][]SweepRow {
 			fmt.Fprintf(o.Out, "  %-9s %5.0f Mbps: client %5.1f FPS  MtP %8.1f ms (p99 %8.1f)\n",
 				lbl, mbps, row.ClientFPS, row.MtPMeanMs, row.MtPP99Ms)
 		}
-		key := label(id, g.Resolution)
-		if id == "ODRAuto60" {
-			key = "ODRAuto60"
-		}
-		out[key] = rows
+		out[lbl] = rows
 	}
 	return out
 }
@@ -117,19 +131,27 @@ func SweepRVScc(o Options) []SweepRow {
 	g := pictor.PlatformGroup{Platform: pictor.PrivateCloud, Resolution: pictor.R720p}
 	var rows []SweepRow
 	fmt.Fprintln(o.Out, "Sweep: RVS cc filter vs QoS (InMind, 720p private, 60Hz client)")
-	for _, cc := range []float64{0.05, 0.15, 0.25, 0.5, 0.75, 1.0} {
+	ccs := []float64{0.05, 0.15, 0.25, 0.5, 0.75, 1.0}
+	cells := make([]sched.Cell, len(ccs))
+	for i, cc := range ccs {
 		ccv := cc
-		r := pipeline.Run(pipeline.Config{
-			Label:    "RVS60",
-			Workload: pictor.IM.Params(),
-			Scale:    pictor.Scale(g.Platform, g.Resolution),
-			Net:      pictor.Network(g.Platform),
-			Policy: func(ctx *regulator.Ctx) regulator.Policy {
-				return regulator.NewRVS(ctx, 60, ccv)
+		cells[i] = sched.Cell{
+			PolicyKey: rvsKey(60, ccv),
+			Config: pipeline.Config{
+				Label:    "RVS60",
+				Workload: pictor.IM.Params(),
+				Scale:    pictor.Scale(g.Platform, g.Resolution),
+				Net:      pictor.Network(g.Platform),
+				Policy: func(ctx *regulator.Ctx) regulator.Policy {
+					return regulator.NewRVS(ctx, 60, ccv)
+				},
+				Duration: o.Duration,
+				Seed:     seedFor(o.Seed, pictor.IM, g, PolicyID(fmt.Sprintf("cc%.2f", cc))),
 			},
-			Duration: o.Duration,
-			Seed:     seedFor(o.Seed, pictor.IM, g, PolicyID(fmt.Sprintf("cc%.2f", cc))),
-		})
+		}
+	}
+	for i, r := range o.Runner.Run(cells) {
+		cc := ccs[i]
 		row := SweepRow{
 			X:         cc,
 			ClientFPS: r.ClientFPS,

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The result cache persists Dists as JSON, so the round trip must preserve
+// the distribution bit-for-bit — including the insertion order of samples
+// and the incremental sum, which Var() and Stddev() observe directly.
+func TestDistJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var d Dist
+	for i := 0; i < 500; i++ {
+		d.Add(rng.NormFloat64()*10 + 50)
+	}
+	b, err := json.Marshal(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dist
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatal("Dist JSON round trip not bit-exact before sorting")
+	}
+	if d.Stddev() != got.Stddev() || d.Var() != got.Var() {
+		t.Fatal("variance differs after round trip")
+	}
+	// Sorting state must round-trip too: query once, re-marshal.
+	_ = d.Percentile(99)
+	b2, err := json.Marshal(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 Dist
+	if err := json.Unmarshal(b2, &got2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got2) {
+		t.Fatal("Dist JSON round trip not bit-exact after sorting")
+	}
+	if d.Percentile(50) != got2.Percentile(50) {
+		t.Fatal("percentile differs after round trip")
+	}
+}
+
+func TestDistJSONEmpty(t *testing.T) {
+	var d Dist
+	b, err := json.Marshal(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dist
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 0 || got.Mean() != 0 {
+		t.Fatalf("empty Dist round trip: N=%d", got.N())
+	}
+}

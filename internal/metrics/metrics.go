@@ -7,6 +7,8 @@
 package metrics
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -182,6 +184,50 @@ func (d *Dist) FractionBelow(x float64) float64 {
 	d.ensureSorted()
 	i := sort.SearchFloat64s(d.samples, x)
 	return float64(i) / float64(len(d.samples))
+}
+
+// distJSON is the persisted form of Dist. Samples keep their current
+// in-memory order and the incrementally accumulated sum is stored verbatim:
+// Var iterates samples in slice order without sorting, so a decoded Dist
+// must replay the exact float-summation order of the original to answer
+// every query bit-for-bit (the result-cache determinism guarantee).
+//
+// Samples are stored as the raw little-endian float64 bytes (base64 in the
+// JSON text): bit-exact by construction, and far cheaper to parse than a
+// JSON array with tens of thousands of decimal floats — cache-hit latency
+// is dominated by this decode.
+type distJSON struct {
+	Samples []byte  `json:"samples_f64le"`
+	Sum     float64 `json:"sum"`
+	Sorted  bool    `json:"sorted,omitempty"`
+}
+
+// MarshalJSON encodes the distribution preserving sample order, sum and
+// sort state, so that a decoded Dist reproduces every query exactly.
+func (d Dist) MarshalJSON() ([]byte, error) {
+	raw := make([]byte, 8*len(d.samples))
+	for i, v := range d.samples {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	return json.Marshal(distJSON{Samples: raw, Sum: d.sum, Sorted: d.sorted})
+}
+
+// UnmarshalJSON decodes a distribution written by MarshalJSON.
+func (d *Dist) UnmarshalJSON(b []byte) error {
+	var j distJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if len(j.Samples)%8 != 0 {
+		return fmt.Errorf("metrics: sample blob is %d bytes, not a float64 multiple", len(j.Samples))
+	}
+	d.samples = make([]float64, len(j.Samples)/8)
+	for i := range d.samples {
+		d.samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(j.Samples[8*i:]))
+	}
+	d.sum = j.Sum
+	d.sorted = j.Sorted
+	return nil
 }
 
 // Samples returns a copy of the samples in insertion-independent (sorted)

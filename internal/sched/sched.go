@@ -1,0 +1,228 @@
+// Package sched is the shared experiment runner: a deterministic
+// work-stealing scheduler that executes independent pipeline.Config cells
+// across GOMAXPROCS workers, plus a content-addressed result cache keyed by
+// the canonicalized cell (cache.go).
+//
+// Determinism comes from two properties. First, pipeline.Run is a pure
+// function of its Config — each cell carries its own seed (seedFor in
+// package experiments), so execution order cannot influence a result.
+// Second, the runner reassembles results by submission index, so callers
+// that print results in slice order produce byte-identical output whether
+// the batch ran on one worker or sixteen.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"odr/internal/obs"
+	"odr/internal/pipeline"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Workers is the number of concurrent workers (0 = GOMAXPROCS,
+	// 1 = sequential execution in the calling goroutine).
+	Workers int
+	// Cache, when non-nil, serves cacheable cells from disk and persists
+	// fresh results (see Cache and CellKey).
+	Cache *Cache
+	// Metrics, when non-nil, receives the sched_cells_run,
+	// sched_cache_hits, sched_cache_misses and sched_cache_stores counters.
+	Metrics *obs.Registry
+}
+
+// Runner executes batches of cells. It is safe for concurrent use.
+type Runner struct {
+	workers int
+	cache   *Cache
+
+	cellsRun *obs.Counter // sched_cells_run
+	hits     *obs.Counter // sched_cache_hits
+	misses   *obs.Counter // sched_cache_misses
+	stores   *obs.Counter // sched_cache_stores
+}
+
+// New returns a runner over o.
+func New(o Options) *Runner {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if o.Metrics == nil {
+		// Stats() must count even when the caller doesn't export metrics.
+		o.Metrics = obs.NewRegistry()
+	}
+	return &Runner{
+		workers:  w,
+		cache:    o.Cache,
+		cellsRun: o.Metrics.Counter("sched_cells_run"),
+		hits:     o.Metrics.Counter("sched_cache_hits"),
+		misses:   o.Metrics.Counter("sched_cache_misses"),
+		stores:   o.Metrics.Counter("sched_cache_stores"),
+	}
+}
+
+// Workers returns the configured worker count.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats reports the lifetime cell and cache counts.
+func (r *Runner) Stats() (run, hits, misses int64) {
+	return r.cellsRun.Value(), r.hits.Value(), r.misses.Value()
+}
+
+// Cell is one schedulable simulation: a pipeline.Config plus the identity
+// of its policy. Config.Policy is a function and cannot be hashed, so the
+// caller names the concrete policy (including its options) in PolicyKey;
+// an empty PolicyKey marks the cell uncacheable (it always runs).
+type Cell struct {
+	PolicyKey string
+	Config    pipeline.Config
+}
+
+// Run executes every cell and returns the results in submission order.
+// Cell i's result is always out[i], regardless of which worker ran it.
+func (r *Runner) Run(cells []Cell) []*pipeline.Result {
+	return Map(r.workers, len(cells), func(i int) *pipeline.Result {
+		return r.runCell(cells[i])
+	})
+}
+
+// RunOne executes a single cell (with cache probing) in the calling
+// goroutine.
+func (r *Runner) RunOne(c Cell) *pipeline.Result { return r.runCell(c) }
+
+func (r *Runner) runCell(c Cell) *pipeline.Result {
+	key, cacheable := CellKey(c)
+	if cacheable && r.cache != nil {
+		if res, ok := r.cache.Get(key); ok {
+			r.hits.Inc()
+			return res
+		}
+		r.misses.Inc()
+	}
+	res := pipeline.Run(c.Config)
+	r.cellsRun.Inc()
+	if cacheable && r.cache != nil {
+		if r.cache.Put(key, res) == nil {
+			r.stores.Inc()
+		}
+	}
+	return res
+}
+
+// Map runs fn(i) for every i in [0, n) across up to workers goroutines and
+// returns the results in index order: out[i] always holds fn(i), and fn
+// runs exactly once per index. Execution order is arbitrary — idle workers
+// steal from loaded ones — but with pure fn the output is identical to a
+// sequential loop. A panic in fn propagates to the caller after all
+// workers have stopped.
+func Map[T any](workers, n int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n >= 1<<31 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	spans := make([]span, workers)
+	for w := 0; w < workers; w++ {
+		spans[w].v.Store(pack(w*n/workers, (w+1)*n/workers))
+	}
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  atomic.Bool
+		panicVal  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicVal = p })
+					panicked.Store(true)
+				}
+			}()
+			for !panicked.Load() {
+				i, ok := spans[self].pop()
+				if !ok {
+					if !steal(spans, self) {
+						return
+					}
+					continue
+				}
+				out[i] = fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return out
+}
+
+// span is one worker's index range, packed next<<32|limit so that pops
+// (the owner takes from the bottom) and steals (a thief takes the top
+// half) are single-word CAS transitions. The packed word fully determines
+// the range, and a popped index can never re-enter any span, so the
+// classic ABA hazard cannot occur. The padding keeps neighbouring spans
+// off one cache line.
+type span struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+func pack(next, limit int) uint64 { return uint64(next)<<32 | uint64(uint32(limit)) }
+
+func unpack(v uint64) (next, limit int) { return int(v >> 32), int(uint32(v)) }
+
+// pop claims the next index of the worker's own span.
+func (s *span) pop() (int, bool) {
+	for {
+		v := s.v.Load()
+		next, limit := unpack(v)
+		if next >= limit {
+			return 0, false
+		}
+		if s.v.CompareAndSwap(v, pack(next+1, limit)) {
+			return next, true
+		}
+	}
+}
+
+// steal scans the other spans for remaining work and moves the top half of
+// the first non-empty one into self's (empty) span. It reports whether any
+// work was found; a false return after a full scan means the batch is done
+// for this worker.
+func steal(spans []span, self int) bool {
+	for off := 1; off < len(spans); off++ {
+		victim := &spans[(self+off)%len(spans)]
+		for {
+			v := victim.v.Load()
+			next, limit := unpack(v)
+			remaining := limit - next
+			if remaining <= 0 {
+				break
+			}
+			mid := limit - (remaining+1)/2
+			if victim.v.CompareAndSwap(v, pack(next, mid)) {
+				spans[self].v.Store(pack(mid, limit))
+				return true
+			}
+		}
+	}
+	return false
+}

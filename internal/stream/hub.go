@@ -95,6 +95,11 @@ type hubSession struct {
 	downscale int // 1 = full resolution; n = 1/n width and height
 	w, h      int // this session's output dimensions
 
+	// payload is the session's reusable frame-message buffer (header +
+	// bitstream); encodeAndSendLoop is the only writer, so one buffer
+	// keeps the send path allocation-free in steady state.
+	payload []byte
+
 	sent    int64
 	dropped int64
 
@@ -317,6 +322,7 @@ func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
 		downscale: div,
 		w:         w,
 		h:         hh,
+		payload:   make([]byte, frameHeaderLen, frameHeaderLen+w*hh/2),
 	}
 	h.sessions[s.id] = s
 	h.mu.Unlock()
@@ -366,12 +372,13 @@ func (s *hubSession) encodeAndSendLoop() {
 		} else {
 			copy(scratch, f.Pixels)
 		}
-		bs, err := s.enc.Encode(scratch)
+		payload, err := s.enc.EncodeAppend(s.payload[:frameHeaderLen], scratch)
 		encEnd := s.hub.dom.Now()
 		if err != nil {
 			s.buf.Release()
 			return
 		}
+		s.payload = payload
 		s.hub.tr.Span(obs.TrackProxy, "encode", f.Seq, start, encEnd)
 		s.hub.ins.Encoded.Inc()
 		s.hub.ins.Encode.ObserveDuration(encEnd - start)
@@ -391,7 +398,7 @@ func (s *hubSession) encodeAndSendLoop() {
 				break
 			}
 		}
-		payload := frameMsg(f.Seq, inputID, inputNanos, int64(f.RenderEnd), bs)
+		putFrameHeader(payload, f.Seq, inputID, inputNanos, int64(f.RenderEnd))
 		txStart := s.hub.dom.Now()
 		err = writeMsg(s.conn, msgFrame, payload)
 		s.buf.Release()

@@ -71,13 +71,19 @@ func readMsg(r io.Reader, buf []byte) (typ byte, payload []byte, err error) {
 	return typ, payload, nil
 }
 
+// putFrameHeader fills the frameHeaderLen-byte frame message header in
+// place, so hot paths can build header+bitstream in one recycled buffer.
+func putFrameHeader(dst []byte, seq, inputID uint64, inputNanos, renderNanos int64) {
+	binary.LittleEndian.PutUint64(dst[0:], seq)
+	binary.LittleEndian.PutUint64(dst[8:], inputID)
+	binary.LittleEndian.PutUint64(dst[16:], uint64(inputNanos))
+	binary.LittleEndian.PutUint64(dst[24:], uint64(renderNanos))
+}
+
 // frameMsg encodes a frame message payload: header + bitstream.
 func frameMsg(seq, inputID uint64, inputNanos, renderNanos int64, bitstream []byte) []byte {
 	out := make([]byte, frameHeaderLen+len(bitstream))
-	binary.LittleEndian.PutUint64(out[0:], seq)
-	binary.LittleEndian.PutUint64(out[8:], inputID)
-	binary.LittleEndian.PutUint64(out[16:], uint64(inputNanos))
-	binary.LittleEndian.PutUint64(out[24:], uint64(renderNanos))
+	putFrameHeader(out, seq, inputID, inputNanos, renderNanos)
 	copy(out[frameHeaderLen:], bitstream)
 	return out
 }

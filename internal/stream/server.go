@@ -153,6 +153,11 @@ type Server struct {
 
 	// pool recycles raw frame buffers between render and encode.
 	pool sync.Pool
+	// payloadFree recycles encoded frame payloads (frame header +
+	// bitstream in one buffer) between the sender and the encoder. A
+	// plain channel free list avoids sync.Pool's interface boxing on the
+	// per-frame path; when it runs dry the encoder allocates.
+	payloadFree chan []byte
 
 	// Observability (nil-safe; see ServerConfig.Trace/Metrics).
 	tr  *obs.Tracer
@@ -180,6 +185,7 @@ func NewServer(conn net.Conn, cfg ServerConfig) *Server {
 	s.quantShift = int64(cfg.Codec.QuantShift)
 	size := s.game.FrameBytes()
 	s.pool.New = func() any { return make([]byte, size) }
+	s.payloadFree = make(chan []byte, 16)
 	if cfg.Policy == ODRRegulation {
 		s.buf2 = core.NewMultiBuffer(dom)
 		// PriorityFrame: input arrivals cancel the Mul-Buf1 wait.
@@ -368,6 +374,31 @@ func (s *Server) recycle(f *frame.Frame) {
 	}
 }
 
+// getPayload returns a recycled payload buffer sized for the frame header,
+// allocating a fresh one when the free list is empty.
+func (s *Server) getPayload() []byte {
+	select {
+	case b := <-s.payloadFree:
+		return b[:frameHeaderLen]
+	default:
+		return make([]byte, frameHeaderLen, frameHeaderLen+s.game.FrameBytes()/8)
+	}
+}
+
+// putPayload returns an encoded payload to the free list (dropping it to the
+// GC when the list is full) and clears the frame's reference to it.
+func (s *Server) putPayload(f *frame.Frame) {
+	b := f.Pixels
+	f.Pixels = nil
+	if b == nil {
+		return
+	}
+	select {
+	case s.payloadFree <- b:
+	default:
+	}
+}
+
 // adaptQuality adjusts the encoder's quantization from the sender's
 // observed write-blocking: a saturated path coarsens, a clear path refines
 // back toward the configured base. Called from the encode loop (the
@@ -427,16 +458,19 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 		copy(scratch, f.Pixels)
 		s.recycle(f)
 		f.CopyEnd = s.dom.Now()
-		// Step 5: encode.
-		bs, err := s.enc.Encode(scratch)
+		// Step 5: encode straight after a recycled frame-header prefix, so
+		// the sender can write header+bitstream without assembling a new
+		// payload per frame.
+		payload, err := s.enc.EncodeAppend(s.getPayload(), scratch)
 		if err != nil {
 			errCh <- fmt.Errorf("stream: encode: %w", err)
 			return
 		}
+		putFrameHeader(payload, f.Seq, uint64(f.Input), int64(f.InputTime), int64(f.RenderEnd))
 		f.EncodeStart = f.CopyEnd
 		f.EncodeEnd = s.dom.Now()
-		f.Bytes = len(bs)
-		f.Pixels = bs // carries the bitstream to the sender
+		f.Bytes = len(payload) - frameHeaderLen
+		f.Pixels = payload // carries header+bitstream to the sender
 		atomic.AddInt64(&s.stats.Encoded, 1)
 		s.tr.Span(obs.TrackProxy, "copy", f.Seq, start, f.CopyEnd)
 		s.tr.Span(obs.TrackProxy, "encode", f.Seq, f.EncodeStart, f.EncodeEnd)
@@ -448,6 +482,7 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 			if f.Priority {
 				for _, d := range s.buf2.PutPriority(f) {
 					s.addCarried(d.Inputs)
+					s.putPayload(d)
 					atomic.AddInt64(&s.stats.Dropped, 1)
 				}
 				s.pacer.SkipFrame()
@@ -468,6 +503,7 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 		case s.sendq <- f:
 		default:
 			s.addCarried(f.Inputs)
+			s.putPayload(f)
 			atomic.AddInt64(&s.stats.Dropped, 1) // tail-drop: queue full
 			s.tr.Instant(obs.TrackNetwork, "tail-drop", f.Seq, s.dom.Now())
 			s.ins.Dropped.Inc()
@@ -480,10 +516,10 @@ func (s *Server) sendLoop(errCh chan<- error) {
 	defer s.wg.Done()
 	w := realrt.NewWaiter(s.dom)
 	send := func(f *frame.Frame) error {
-		payload := frameMsg(f.Seq, uint64(f.Input), int64(f.InputTime), int64(f.RenderEnd), f.Pixels)
+		// f.Pixels already holds header+bitstream (built at encode time).
 		start := time.Now()
 		txStart := s.dom.Now()
-		if err := writeMsg(s.conn, msgFrame, payload); err != nil {
+		if err := writeMsg(s.conn, msgFrame, f.Pixels); err != nil {
 			return err
 		}
 		atomic.AddInt64(&s.sendBlockedNs, int64(time.Since(start)))
@@ -492,6 +528,7 @@ func (s *Server) sendLoop(errCh chan<- error) {
 		s.tr.Span(obs.TrackNetwork, "tx", f.Seq, txStart, txEnd)
 		s.ins.Displayed.Inc()
 		s.ins.Tx.ObserveDuration(txEnd - txStart)
+		s.putPayload(f)
 		return nil
 	}
 	if s.cfg.Policy == ODRRegulation {
