@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-go report artifacts fidelity examples trace clean
+.PHONY: all build test race bench bench-go report artifacts fidelity examples trace soak fuzz clean
 
 all: build test
 
@@ -15,6 +15,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos soak: churning reconnecting clients against a hub under the flaky
+# fault schedule, with the race detector and a pass/fail invariant report.
+soak:
+	$(GO) run -race ./cmd/odrsoak -clients 16 -schedule flaky -seed 1 -duration 20s
+
+# Fuzz smoke over the wire framing and the chaos schedule parser.
+fuzz:
+	$(GO) test -fuzz=FuzzReadMsg -fuzztime=10s -run '^$$' ./internal/stream
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run '^$$' ./internal/stream
+	$(GO) test -fuzz=FuzzParseSchedule -fuzztime=10s -run '^$$' ./internal/chaos
 
 # Scheduler / cache / codec performance evidence -> BENCH_sched.json
 # (cells/sec sequential vs parallel, warm-cache speedup, allocs/op).

@@ -1,0 +1,225 @@
+// Command odrsoak churn-tests the streaming stack under deterministic fault
+// injection: N reconnecting clients attach to one hub through chaos-wrapped
+// connections running a named (or custom) fault schedule, survive the faults
+// for the configured duration, and then the run ends with a graceful drain.
+//
+// Usage:
+//
+//	odrsoak [-clients 8] [-schedule flaky] [-seed 1] [-duration 10s]
+//	        [-fps 240] [-width 64] [-height 36] [-retry 8] [-v]
+//
+// The run finishes with a pass/fail invariant report and a nonzero exit on
+// any failure:
+//
+//   - liveness: every client loop exits after the drain — no deadlock;
+//     a watchdog dumps all goroutine stacks and exits 2 if the process
+//     wedges entirely
+//   - pixel identity: the codec is run lossless, the game is deterministic
+//     and clients send no inputs, so every decoded frame must be
+//     byte-identical to an independently rendered reference for its
+//     sequence number — corruption must be caught, never displayed
+//   - resume or clean detach: fault-hit sessions either reconnect and
+//     resume or end with a reported error, never a silent wedge
+//   - no goroutine leaks: after the drain, the goroutine count returns to
+//     the pre-run baseline
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odr"
+	"odr/internal/chaos"
+	"odr/internal/stream"
+	"odr/internal/testutil"
+)
+
+// refTable lazily renders the deterministic reference frames and memoizes
+// their hashes by render sequence number.
+type refTable struct {
+	mu     sync.Mutex
+	game   *stream.Game
+	hashes [][sha256.Size]byte
+}
+
+func newRefTable(w, h int) *refTable {
+	return &refTable{game: stream.NewGame(w, h)}
+}
+
+func (r *refTable) hash(seq uint64) [sha256.Size]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for uint64(len(r.hashes)) < seq {
+		pix := make([]byte, r.game.FrameBytes())
+		r.game.Render(pix)
+		r.hashes = append(r.hashes, sha256.Sum256(pix))
+	}
+	return r.hashes[seq-1]
+}
+
+// soakClient is one churning viewer and its outcome counters.
+type soakClient struct {
+	idx        int
+	cli        *odr.StreamClient
+	runErr     chan error
+	sessions   int64
+	mismatches int64
+	finalErr   error
+	hung       bool
+}
+
+func main() {
+	clients := flag.Int("clients", 8, "number of concurrent reconnecting clients")
+	schedule := flag.String("schedule", "flaky", "fault schedule: a named one (clean, flaky, lossy, degraded, partition) or a spec like latency@0:2ms,disc@65536")
+	seed := flag.Int64("seed", 1, "base RNG seed (per-client, per-session seeds derive from it)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to churn before draining")
+	fps := flag.Float64("fps", 240, "hub render FPS")
+	width := flag.Int("width", 64, "frame width")
+	height := flag.Int("height", 36, "frame height")
+	retry := flag.Int("retry", 8, "per-client consecutive reconnect budget")
+	verbose := flag.Bool("v", false, "log per-client progress")
+	flag.Parse()
+
+	sched, err := chaos.Named(*schedule)
+	if err != nil {
+		if sched, err = chaos.Parse(*schedule); err != nil {
+			log.Fatalf("odrsoak: %v", err)
+		}
+	}
+	log.Printf("odrsoak: %d clients, schedule %q -> %q, seed %d, %v at %dx%d@%.0ffps",
+		*clients, *schedule, sched.String(), *seed, *duration, *width, *height, *fps)
+
+	// Baseline before anything the run owns is spawned.
+	base := testutil.Snapshot()
+
+	ref := newRefTable(*width, *height)
+	hubCfg := odr.HubConfig{
+		Width: *width, Height: *height, TargetFPS: *fps,
+		// Lossless on purpose: pixel identity against the reference is the
+		// corruption-detection invariant.
+		Codec: odr.CodecOptions{QuantShift: 0},
+	}
+	if *verbose {
+		hubCfg.Logf = log.Printf
+	}
+	hub := odr.NewHub(hubCfg)
+	go hub.Run()
+
+	// The watchdog catches a full wedge: if the run (including drain and
+	// shutdown) takes 3x its nominal length plus a minute, something is
+	// deadlocked — dump every stack and fail hard.
+	watchdog := time.AfterFunc(3*(*duration)+time.Minute, func() {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		fmt.Fprintf(os.Stderr, "odrsoak: WATCHDOG: run wedged; goroutine dump:\n%s\n", buf[:n])
+		os.Exit(2)
+	})
+
+	all := make([]*soakClient, *clients)
+	for i := range all {
+		sc := &soakClient{idx: i, runErr: make(chan error, 1)}
+		all[i] = sc
+		dial := func() (net.Conn, error) {
+			session := atomic.AddInt64(&sc.sessions, 1)
+			hubEnd, clientEnd := net.Pipe()
+			// Distinct deterministic seed per (client, session): runs with
+			// the same flags replay the same faults everywhere.
+			connSeed := *seed + int64(sc.idx)*1009 + session*101
+			hub.Attach(odr.WrapChaos(hubEnd, sched, connSeed), 0, nil)
+			return clientEnd, nil
+		}
+		sc.cli = odr.NewReconnectingStreamClient(dial, odr.ReconnectPolicy{
+			MaxAttempts: *retry,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+			IdleTimeout: 2 * time.Second,
+			Seed:        *seed + int64(i),
+		})
+		sc.cli.OnFrame(func(seq uint64, pix []byte) {
+			if seq == 0 {
+				return
+			}
+			if sha256.Sum256(pix) != ref.hash(seq) {
+				atomic.AddInt64(&sc.mismatches, 1)
+			}
+		})
+		go func(sc *soakClient) { sc.runErr <- sc.cli.Run() }(sc)
+	}
+
+	time.Sleep(*duration)
+
+	// End-of-run churn: half the clients stop abruptly (the user closing the
+	// viewer), the rest are seen out gracefully by the hub drain.
+	for _, sc := range all[:len(all)/2] {
+		sc.cli.Stop()
+	}
+	drainErr := hub.Drain(15 * time.Second)
+
+	for _, sc := range all {
+		select {
+		case sc.finalErr = <-sc.runErr:
+		case <-time.After(20 * time.Second):
+			sc.hung = true
+		}
+		sc.cli.Stop() // idempotent; frees a hung client's conn if any
+	}
+	watchdog.Stop()
+	leakErr := base.Check(5 * time.Second)
+
+	// ----- Invariant report -------------------------------------------------
+	var frames, resyncs, reconnects, mismatches, errored, hung int64
+	for _, sc := range all {
+		rep := sc.cli.Report()
+		frames += rep.Frames
+		resyncs += rep.Resyncs
+		reconnects += rep.Reconnects
+		mismatches += atomic.LoadInt64(&sc.mismatches)
+		if sc.hung {
+			hung++
+		}
+		if sc.finalErr != nil {
+			errored++
+		}
+		if *verbose {
+			log.Printf("client %2d: frames=%5d resyncs=%d reconnects=%d sessions=%d mismatches=%d err=%v hung=%v",
+				sc.idx, rep.Frames, rep.Resyncs, rep.Reconnects,
+				atomic.LoadInt64(&sc.sessions), atomic.LoadInt64(&sc.mismatches), sc.finalErr, sc.hung)
+		}
+	}
+	log.Printf("totals: frames=%d resyncs=%d reconnects=%d evicted=%d detached-with-error=%d",
+		frames, resyncs, reconnects, hub.Evicted(), errored)
+
+	fail := 0
+	check := func(name string, ok bool, detail string) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+			fail++
+		}
+		log.Printf("%s  %-24s %s", verdict, name, detail)
+	}
+	check("liveness", hung == 0, fmt.Sprintf("%d/%d client loops exited", int64(len(all))-hung, len(all)))
+	check("pixel-identity", mismatches == 0, fmt.Sprintf("%d decoded frames, %d mismatched the reference", frames, mismatches))
+	check("frames-delivered", frames > 0, fmt.Sprintf("%d frames decoded under schedule %q", frames, *schedule))
+	check("graceful-drain", drainErr == nil, fmt.Sprintf("hub.Drain: %v", drainErr))
+	leakDetail := "goroutines returned to baseline"
+	if leakErr != nil {
+		leakDetail = strings.SplitN(leakErr.Error(), "\n", 2)[0]
+	}
+	check("no-goroutine-leaks", leakErr == nil, leakDetail)
+
+	if fail > 0 {
+		log.Printf("odrsoak: FAIL (%d invariant(s) violated)", fail)
+		os.Exit(1)
+	}
+	log.Printf("odrsoak: PASS")
+}

@@ -1,0 +1,361 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"odr/internal/testutil"
+)
+
+// drainPair returns a wrapped pipe whose peer end is continuously drained
+// into sink (nil = discard), plus a cleanup.
+func drainPair(t *testing.T, sched Schedule, seed int64, sink *bytes.Buffer) (*Conn, func()) {
+	t.Helper()
+	sc, cc := net.Pipe()
+	fc := Wrap(sc, sched, seed)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := cc.Read(buf)
+			if sink != nil && n > 0 {
+				sink.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	cleanup := func() {
+		fc.Close()
+		cc.Close()
+		<-done
+	}
+	return fc, cleanup
+}
+
+// TestEventLogPinned drives a fixed byte stream through a fixed schedule and
+// pins the exact fault event log: same schedule + seed + traffic must always
+// produce this sequence. The corruption position comes from the seeded RNG,
+// mirrored here the same way the implementation draws it.
+func TestEventLogPinned(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const seed = 42
+	sched := MustParse("latency@0:1ms,loss@100x2,corrupt@300,stallw@500:1ms,disc@900")
+	fc, cleanup := drainPair(t, sched, seed, nil)
+	defer cleanup()
+
+	payload := make([]byte, 100)
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		if _, err := fc.Write(payload); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr != ErrInjected {
+		t.Fatalf("final write error = %v, want ErrInjected", lastErr)
+	}
+	pos := rand.New(rand.NewSource(seed)).Intn(100)
+	want := strings.Join([]string{
+		"0 latency off=0 dur=1ms",
+		"1 loss off=100 n=2",
+		"2 corrupt off=300 n=1",
+		fmt.Sprintf("3 corrupt off=300 pos=%d", pos),
+		"4 stallw off=500 dur=1ms",
+		"5 disc off=900",
+	}, "\n")
+	if got := fc.EventLog(); got != want {
+		t.Fatalf("event log mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEventLogReproducible runs the same schedule+seed+traffic twice and
+// requires identical logs.
+func TestEventLogReproducible(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	run := func() string {
+		sched := MustParse("loss@64x1,corrupt@256x2,stallw@512:1ms,loop@512")
+		fc, cleanup := drainPair(t, sched, 7, nil)
+		defer cleanup()
+		for i := 0; i < 20; i++ {
+			if _, err := fc.Write(make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fc.EventLog()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same schedule+seed produced different logs:\n%s\n--- vs ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestLossDropsWholeWrites(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var sink bytes.Buffer
+	// Drop the 2nd write (fires once 64 bytes have gone through).
+	fc, cleanup := drainPair(t, MustParse("loss@64x1"), 1, &sink)
+	for i := 0; i < 3; i++ {
+		payload := bytes.Repeat([]byte{byte('a' + i)}, 64)
+		if _, err := fc.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanup()
+	got := sink.String()
+	want := strings.Repeat("a", 64) + strings.Repeat("c", 64)
+	if got != want {
+		t.Fatalf("delivered %q, want 2nd write dropped", got)
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var sink bytes.Buffer
+	fc, cleanup := drainPair(t, MustParse("corrupt@0"), 3, &sink)
+	payload := bytes.Repeat([]byte{0x55}, 128)
+	if _, err := fc.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	cleanup()
+	got := sink.Bytes()
+	if len(got) != len(payload) {
+		t.Fatalf("delivered %d bytes, want %d", len(got), len(payload))
+	}
+	flipped := 0
+	for _, b := range got {
+		if b != 0x55 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", flipped)
+	}
+	// The caller's buffer must not be mutated.
+	for _, b := range payload {
+		if b != 0x55 {
+			t.Fatal("corruption leaked into the caller's buffer")
+		}
+	}
+}
+
+func TestLoopReArms(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var sink bytes.Buffer
+	// Drop one write at 64, re-arming every 128: writes 2, 4, 6 vanish.
+	fc, cleanup := drainPair(t, MustParse("loss@64,loop@128"), 1, &sink)
+	for i := 0; i < 6; i++ {
+		payload := bytes.Repeat([]byte{byte('a' + i)}, 64)
+		if _, err := fc.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanup()
+	got := sink.String()
+	want := strings.Repeat("a", 64) + strings.Repeat("c", 64) + strings.Repeat("e", 64)
+	if got != want {
+		t.Fatalf("loop loss delivered %q", got)
+	}
+}
+
+func TestDisconnectKillsBothEnds(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	fc := Wrap(sc, MustParse("disc@0"), 1)
+	defer fc.Close()
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := cc.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	if _, err := fc.Write([]byte("x")); err != ErrInjected {
+		t.Fatalf("write error = %v, want ErrInjected", err)
+	}
+	select {
+	case err := <-readErr:
+		if err != io.EOF && !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("peer read error = %v, want EOF/closed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never observed the disconnect")
+	}
+	if _, err := fc.Write([]byte("y")); err != ErrInjected {
+		t.Fatalf("post-disconnect write error = %v, want ErrInjected", err)
+	}
+}
+
+func TestHalfOpenRespectsReadDeadline(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	fc := Wrap(sc, MustParse("halfopen@0"), 1)
+	defer fc.Close()
+	if err := fc.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := fc.Read(make([]byte, 16))
+	if err != os.ErrDeadlineExceeded {
+		t.Fatalf("half-open read error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("half-open read returned after %v, want ~50ms block", elapsed)
+	}
+}
+
+func TestHalfOpenUnblocksOnClose(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	fc := Wrap(sc, MustParse("halfopen@0"), 1)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 16))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if err != net.ErrClosed {
+			t.Fatalf("read error = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("half-open read never unblocked on Close")
+	}
+}
+
+func TestBandwidthPacesWrites(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	fc, cleanup := drainPair(t, MustParse("bw@0:1048576"), 1, nil) // 1 MiB/s
+	defer cleanup()
+	const total = 256 << 10 // 0.25 MiB -> ~0.25s
+	start := time.Now()
+	payload := make([]byte, 32<<10)
+	for sent := 0; sent < total; sent += len(payload) {
+		if _, err := fc.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond || elapsed > 600*time.Millisecond {
+		t.Fatalf("0.25MiB at 1MiB/s took %v, want ~0.25s", elapsed)
+	}
+}
+
+func TestLatencyDelaysWrites(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	fc, cleanup := drainPair(t, MustParse("latency@0:40ms"), 1, nil)
+	defer cleanup()
+	start := time.Now()
+	if _, err := fc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency write returned after %v, want >= ~40ms", elapsed)
+	}
+}
+
+func TestStallInterruptedByClose(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	fc := Wrap(sc, MustParse("stallw@0:30s"), 1)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("x"))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if err != net.ErrClosed {
+			t.Fatalf("stalled write error = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled write not interrupted by Close")
+	}
+}
+
+func TestNamedSchedulesParse(t *testing.T) {
+	for _, name := range NamedSchedules() {
+		s, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("Named(%q).Name = %q", name, s.Name)
+		}
+		// Round-trip through the grammar.
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("reparse %q (%q): %v", name, s.String(), err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("round trip %q: %q != %q", name, back.String(), s.String())
+		}
+	}
+	if _, err := Named("no-such"); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"latency",            // missing offset
+		"latency@x:1ms",      // bad offset
+		"latency@0",          // missing duration
+		"latency@0:zz",       // bad duration
+		"bw@0",               // missing rate
+		"bw@0:fast",          // bad rate
+		"loss@0x0",           // zero count
+		"disc@0:1ms",         // disc takes no parameter
+		"disc@0x2",           // disc takes no count
+		"loop@0",             // loop period must be positive
+		"warp@0",             // unknown kind
+		"latency@-5:1ms",     // negative offset
+		"latency@0:1msx3",    // latency takes no count
+		"corrupt@0:1ms",      // corrupt takes no parameter
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+// FuzzParseSchedule: the schedule grammar must never panic, and accepted
+// specs must survive a String() -> Parse round trip.
+func FuzzParseSchedule(f *testing.F) {
+	for _, spec := range namedSpecs {
+		f.Add(spec)
+	}
+	f.Add("latency@0:5ms,bw@65536:262144,loss@100x3,corrupt@200,stallr@300:1ms,stallw@400:2ms,disc@500,halfopen@600,loop@1000")
+	f.Add("loss@@0,")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("String() of accepted spec rejected: %q -> %q: %v", spec, s.String(), err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("round trip not stable: %q -> %q", s.String(), back.String())
+		}
+	})
+}

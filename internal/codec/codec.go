@@ -192,6 +192,13 @@ type Decoder struct {
 // NewDecoder returns a decoder; dimensions are learned from the first frame.
 func NewDecoder() *Decoder { return &Decoder{} }
 
+// IsKeyframe reports whether the bitstream is a self-contained keyframe —
+// decodable with no prior state. Transports use it to tag the delta chain:
+// a resyncing client skips frames until one of these arrives.
+func IsKeyframe(bs []byte) bool {
+	return len(bs) >= 2 && bs[0] == magic && bs[1] == frameKey
+}
+
 // Decode decompresses one bitstream frame and returns the reconstructed
 // RGBA pixels. The returned slice is owned by the decoder and valid until
 // the next Decode. Steady-state decoding allocates nothing.

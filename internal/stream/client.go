@@ -2,6 +2,9 @@ package stream
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,17 +13,73 @@ import (
 	"odr/internal/metrics"
 )
 
+// streamConn is the connection surface the client needs; *net.TCPConn,
+// net.Pipe ends and the chaos wrapper all satisfy it.
+type streamConn = interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}
+
+// ReconnectPolicy bounds how a reconnecting client chases a flaky server:
+// exponential backoff with jitter, a consecutive-failure budget, and an idle
+// timeout that catches half-open connections (reads that would otherwise
+// block forever on a peer that silently vanished).
+type ReconnectPolicy struct {
+	// MaxAttempts is the consecutive failed session budget before Run gives
+	// up (default 5). The count resets whenever a session makes frame
+	// progress, so a long-lived flaky stream never exhausts it.
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 25ms); it doubles per
+	// consecutive failure up to MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter spreads each delay by ±Jitter fraction (default 0.2) so a herd
+	// of clients does not reconnect in lockstep.
+	Jitter float64
+	// IdleTimeout, when > 0, is the per-read deadline: a session that
+	// receives nothing for this long is declared dead and redialed.
+	IdleTimeout time.Duration
+	// Seed drives the jitter RNG, keeping soak runs reproducible.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
 // Client decodes and displays a stream, sends user inputs, and measures the
 // client-side QoS: decode FPS and motion-to-photon latency (both ends of the
 // measurement are on the client clock, so no clock synchronization is
 // needed — the input timestamp travels to the server and comes back embedded
 // in the responding frame).
+//
+// A client built with NewReconnectingClient additionally survives the
+// network: when its session dies it redials with exponential backoff and
+// resumes via the keyframe resync path, within the ReconnectPolicy budget.
 type Client struct {
-	conn interface {
-		Read([]byte) (int, error)
-		Write([]byte) (int, error)
-		Close() error
-	}
+	dial func() (net.Conn, error) // nil for single-conn clients
+	pol  ReconnectPolicy
+
+	connMu sync.Mutex // guards the conn pointer only — never held across I/O
+	conn   streamConn
+
 	dec *codec.Decoder
 
 	start time.Time
@@ -36,20 +95,41 @@ type Client struct {
 	lastDisplay  time.Duration
 	lastBright   float64
 	resyncs      int64
+	reconnects   int64
 	firstFrame   time.Duration
 	lastFrame    time.Duration
 	onFrame      func(seq uint64, pix []byte)
 
-	stopped atomic.Bool
+	// Delta-chain state (receive goroutine only): lastSeq is the last frame
+	// this client decoded, and pendingResync means a keyframe request is in
+	// flight — non-keyframes are skipped (not decoded) until it lands.
+	haveSeq       bool
+	lastSeq       uint64
+	pendingResync bool
+
+	stopped  atomic.Bool
+	stopCh   chan struct{}
+	stopOnce sync.Once
 }
 
-// NewClient wraps a connection to a stream server.
-func NewClient(conn interface {
-	Read([]byte) (int, error)
-	Write([]byte) (int, error)
-	Close() error
-}) *Client {
-	return &Client{conn: conn, dec: codec.NewDecoder(), start: time.Now()}
+// NewClient wraps a single connection to a stream server. When the
+// connection dies the client stops; use NewReconnectingClient for a client
+// that redials.
+func NewClient(conn streamConn) *Client {
+	return &Client{conn: conn, dec: codec.NewDecoder(), start: time.Now(), stopCh: make(chan struct{})}
+}
+
+// NewReconnectingClient returns a client that obtains connections from dial
+// and, when a session dies mid-stream, redials under pol and resumes via the
+// keyframe resync path. Run performs the initial dial.
+func NewReconnectingClient(dial func() (net.Conn, error), pol ReconnectPolicy) *Client {
+	return &Client{
+		dial:   dial,
+		pol:    pol.withDefaults(),
+		dec:    codec.NewDecoder(),
+		start:  time.Now(),
+		stopCh: make(chan struct{}),
+	}
 }
 
 // OnFrame installs a callback invoked (on the receive goroutine) with each
@@ -63,49 +143,86 @@ func (c *Client) OnFrame(fn func(seq uint64, pix []byte)) {
 // now returns the client-clock offset.
 func (c *Client) now() time.Duration { return time.Since(c.start) }
 
+// currentConn returns the active connection (nil before the first dial).
+func (c *Client) currentConn() streamConn {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn
+}
+
+// setConn swaps the active connection.
+func (c *Client) setConn(conn streamConn) {
+	c.connMu.Lock()
+	c.conn = conn
+	c.connMu.Unlock()
+}
+
+var errNoConn = errors.New("stream: client not connected")
+
 // sendKeyReq asks the server for a keyframe (decoder resync).
 func (c *Client) sendKeyReq() error {
+	conn := c.currentConn()
+	if conn == nil {
+		return errNoConn
+	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return writeMsg(c.conn, msgKeyReq, nil)
+	return writeMsg(conn, msgKeyReq, nil)
 }
 
 // SendInput sends one user input (step 1 of Fig. 2) and returns its id.
 func (c *Client) SendInput() (uint64, error) {
 	id := atomic.AddUint64(&c.nextInput, 1)
 	payload := inputMsg(id, int64(c.now()))
+	conn := c.currentConn()
+	if conn == nil {
+		return id, errNoConn
+	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return id, writeMsg(c.conn, msgInput, payload)
+	return id, writeMsg(conn, msgInput, payload)
 }
 
-// Run receives, decodes and accounts frames until the stream ends. A nil
-// return means orderly shutdown.
-func (c *Client) Run() error {
+// beginResync starts (or continues) a keyframe resync: one keyframe request
+// per outage, then skip frames until the keyframe arrives. Receive-goroutine
+// only.
+func (c *Client) beginResync() error {
+	if c.pendingResync {
+		return nil
+	}
+	c.pendingResync = true
+	c.mu.Lock()
+	c.resyncs++
+	c.mu.Unlock()
+	return c.sendKeyReq()
+}
+
+// errBye distinguishes an orderly msgBye shutdown from a dead session.
+var errBye = errors.New("stream: bye")
+
+// runSession receives, decodes and accounts frames on one connection. It
+// returns errBye on orderly shutdown and the transport/protocol error
+// otherwise.
+func (c *Client) runSession(conn streamConn) error {
+	deadliner, hasDeadline := conn.(interface{ SetReadDeadline(time.Time) error })
 	var buf []byte
 	for {
-		typ, payload, err := readMsg(c.conn, buf)
-		if err != nil {
-			if c.stopped.Load() || isClosedErr(err) {
-				return nil
+		if c.pol.IdleTimeout > 0 && hasDeadline {
+			if err := deadliner.SetReadDeadline(time.Now().Add(c.pol.IdleTimeout)); err != nil {
+				return err
 			}
+		}
+		typ, payload, err := readMsg(conn, buf)
+		if err != nil {
 			return err
 		}
 		buf = payload[:cap(payload)]
 		switch typ {
 		case msgFrame:
-			seq, inputID, inputNanos, _, bs, err := parseFrameMsg(payload)
-			if err != nil {
-				return err
-			}
-			pix, err := c.dec.Decode(bs)
-			if errors.Is(err, codec.ErrNoKeyframe) {
-				// Joined mid-stream (or lost sync): ask for a keyframe and
-				// skip frames until it arrives.
-				c.mu.Lock()
-				c.resyncs++
-				c.mu.Unlock()
-				if kerr := c.sendKeyReq(); kerr != nil {
+			m, bs, err := parseFrameMsg(payload)
+			if errors.Is(err, errFrameChecksum) {
+				// Corrupt bitstream: never decode it — resync instead.
+				if kerr := c.beginResync(); kerr != nil {
 					return kerr
 				}
 				continue
@@ -113,6 +230,32 @@ func (c *Client) Run() error {
 			if err != nil {
 				return err
 			}
+			isKey := m.parentSeq == 0 && codec.IsKeyframe(bs)
+			if c.pendingResync && !isKey {
+				continue // waiting for the requested keyframe
+			}
+			if !isKey && (!c.haveSeq || m.parentSeq != c.lastSeq) {
+				// Broken delta chain: a frame this delta builds on never
+				// reached us (lost, or dropped server-side after encode).
+				// Decoding it would show wrong pixels with no error.
+				if kerr := c.beginResync(); kerr != nil {
+					return kerr
+				}
+				continue
+			}
+			pix, err := c.dec.Decode(bs)
+			if errors.Is(err, codec.ErrNoKeyframe) {
+				// Joined mid-stream: ask for a keyframe and skip until it
+				// arrives.
+				if kerr := c.beginResync(); kerr != nil {
+					return kerr
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			c.haveSeq, c.lastSeq, c.pendingResync = true, m.seq, false
 			display := c.now()
 			c.mu.Lock()
 			c.frames++
@@ -125,25 +268,100 @@ func (c *Client) Run() error {
 				c.interDisplay.Add(float64(display-c.lastDisplay) / float64(time.Millisecond))
 			}
 			c.lastDisplay = display
-			if inputID != 0 {
-				c.latencies.Add(float64(display-time.Duration(inputNanos)) / float64(time.Millisecond))
+			if m.inputID != 0 {
+				c.latencies.Add(float64(display-time.Duration(m.inputNanos)) / float64(time.Millisecond))
 			}
 			c.lastBright = Brightness(pix)
 			fn := c.onFrame
 			c.mu.Unlock()
 			if fn != nil {
-				fn(seq, pix)
+				fn(m.seq, pix)
 			}
 		case msgBye:
+			return errBye
+		case msgInput, msgKeyReq:
+			return fmt.Errorf("stream: unexpected client-bound message type %d", typ)
+		default:
+			return fmt.Errorf("stream: unknown message type %d", typ)
+		}
+	}
+}
+
+// Run receives, decodes and accounts frames until the stream ends. A nil
+// return means orderly shutdown. A reconnecting client redials dead sessions
+// under its policy; Run returns the last session error once MaxAttempts
+// consecutive sessions fail without frame progress.
+func (c *Client) Run() error {
+	if c.dial == nil {
+		err := c.runSession(c.currentConn())
+		if errors.Is(err, errBye) || c.stopped.Load() || isClosedErr(err) {
+			return nil
+		}
+		return err
+	}
+	rng := rand.New(rand.NewSource(c.pol.Seed))
+	attempts, sessions := 0, 0
+	for {
+		if c.stopped.Load() {
+			return nil
+		}
+		conn, err := c.dial()
+		if err == nil {
+			c.setConn(conn)
+			if sessions > 0 {
+				c.mu.Lock()
+				c.reconnects++
+				c.mu.Unlock()
+			}
+			sessions++
+			// A fresh connection means fresh framing and a fresh decoder:
+			// the first delta will miss its parent and trigger a resync.
+			c.dec = codec.NewDecoder()
+			c.haveSeq, c.pendingResync = false, false
+			before := c.frameCount()
+			err = c.runSession(conn)
+			conn.Close()
+			if errors.Is(err, errBye) || c.stopped.Load() {
+				return nil
+			}
+			if c.frameCount() > before {
+				attempts = 0 // the session made progress; reset the budget
+			}
+		}
+		attempts++
+		if attempts >= c.pol.MaxAttempts {
+			return fmt.Errorf("stream: retry budget exhausted after %d attempts: %w", attempts, err)
+		}
+		delay := c.pol.BaseDelay << (attempts - 1)
+		if delay > c.pol.MaxDelay || delay <= 0 {
+			delay = c.pol.MaxDelay
+		}
+		delay += time.Duration((rng.Float64()*2 - 1) * c.pol.Jitter * float64(delay))
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-c.stopCh:
+			t.Stop()
 			return nil
 		}
 	}
 }
 
-// Stop closes the connection, ending Run.
+// frameCount returns the frames decoded so far.
+func (c *Client) frameCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames
+}
+
+// Stop closes the connection, ending Run (including a reconnect backoff
+// sleep in progress).
 func (c *Client) Stop() {
 	c.stopped.Store(true)
-	c.conn.Close()
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	if conn := c.currentConn(); conn != nil {
+		conn.Close()
+	}
 }
 
 // Report summarizes the client-side measurements.
@@ -156,7 +374,9 @@ type Report struct {
 	LatencySamples int
 	MeanInterMs    float64
 	Brightness     float64 // last frame's luminance
-	Resyncs        int64   // keyframe requests issued (mid-stream joins)
+	Resyncs        int64   // keyframe resyncs (mid-stream joins, chain breaks, corruption)
+	Reconnects     int64   // sessions redialed after a mid-stream death
+	RetryBudget    int     // consecutive-failure budget (0 for single-conn clients)
 }
 
 // Report returns the current measurements.
@@ -172,6 +392,10 @@ func (c *Client) Report() Report {
 		MeanInterMs:    c.interDisplay.Mean(),
 		Brightness:     c.lastBright,
 		Resyncs:        c.resyncs,
+		Reconnects:     c.reconnects,
+	}
+	if c.dial != nil {
+		r.RetryBudget = c.pol.MaxAttempts
 	}
 	if span := c.lastFrame - c.firstFrame; span > 0 && c.frames > 1 {
 		r.FPS = float64(c.frames-1) / span.Seconds()

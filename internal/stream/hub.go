@@ -39,10 +39,20 @@ type Hub struct {
 	served       int64
 	totalSent    int64
 	totalDropped int64
+	evicted      int64 // sessions cut for blowing a read/write deadline
 
 	stopOnce sync.Once
 	stopping chan struct{}
 	renderWG sync.WaitGroup
+
+	// Drain sequencing: Drain closes draining; the renderer retires, every
+	// session flushes its queued frame and seals with msgBye, then the hub
+	// stops.
+	drainOnce sync.Once
+	draining  chan struct{}
+
+	// evictCtr mirrors evicted into the metrics registry (nil-safe).
+	evictCtr *obs.Counter
 
 	// Observability (nil-safe; see HubConfig.Trace/Metrics).
 	tr  *obs.Tracer
@@ -66,6 +76,15 @@ type HubConfig struct {
 	// Metrics, when non-nil, receives live hub telemetry under the
 	// obs.FrameInstruments names.
 	Metrics *obs.Registry
+	// WriteTimeout, when > 0, bounds each per-session frame write; a viewer
+	// that cannot drain its socket for this long is evicted. Latest-wins
+	// dropping already shields the hub from slow viewers, so eviction only
+	// fires when even single-frame writes stall. 0 disables it.
+	WriteTimeout time.Duration
+	// ReadTimeout, when > 0, bounds each read on a session's input path,
+	// catching half-open viewer connections. 0 disables it — idle viewers
+	// send nothing, so only set this when inputs (or keepalives) flow.
+	ReadTimeout time.Duration
 	// Logf, when non-nil, receives the final stats summary from Stop (and
 	// nothing else); typically log.Printf. Headless runs set it so every
 	// hub leaves evidence of what it did.
@@ -103,6 +122,11 @@ type hubSession struct {
 	sent    int64
 	dropped int64
 
+	// wantKey is set by inputLoop on msgKeyReq and consumed by
+	// encodeAndSendLoop before the next encode — the encoder itself is
+	// owned exclusively by the encode loop.
+	wantKey atomic.Bool
+
 	// carried holds the input stamps of frames this session dropped
 	// (latest-wins) before sending; the next frame it does send answers
 	// them, so the issuing client still gets its MtP sample.
@@ -124,8 +148,10 @@ func NewHub(cfg HubConfig) *Hub {
 		pace:     core.NewPacer(cfg.TargetFPS),
 		sessions: make(map[uint32]*hubSession),
 		stopping: make(chan struct{}),
+		draining: make(chan struct{}),
 		tr:       cfg.Trace,
 		ins:      obs.NewFrameInstruments(cfg.Metrics),
+		evictCtr: cfg.Metrics.Counter("sessions_evicted"),
 	}
 	h.game.ExtraCost = cfg.RenderCost
 	if h.tr != nil {
@@ -155,6 +181,8 @@ func (h *Hub) Run() {
 	for {
 		select {
 		case <-h.stopping:
+			return
+		case <-h.draining:
 			return
 		default:
 		}
@@ -232,6 +260,61 @@ func (h *Hub) Stop() {
 	})
 }
 
+// Drain ends the hub gracefully: the renderer retires, every attached
+// session flushes the frame it already has queued and receives an orderly
+// msgBye before its connection closes. Drain returns nil once all sessions
+// have detached, or ErrDrainTimeout if some were still attached when the
+// timeout passed; either way the hub is stopped when it returns.
+func (h *Hub) Drain(timeout time.Duration) error {
+	h.drainOnce.Do(func() { close(h.draining) })
+	// Wake the renderer out of a pacing delay so it observes draining.
+	h.box.OnInput(0, 0)
+	h.renderWG.Wait()
+	deadline := time.Now().Add(timeout)
+	for {
+		// Close session buffers (not conns): each encodeAndSendLoop drains
+		// what is buffered, writes msgBye, then tears the session down.
+		// Re-closing every poll round covers sessions that raced Attach.
+		h.mu.Lock()
+		sessions := make([]*hubSession, 0, len(h.sessions))
+		for _, s := range h.sessions {
+			sessions = append(sessions, s)
+		}
+		h.mu.Unlock()
+		if len(sessions) == 0 {
+			h.Stop()
+			return nil
+		}
+		for _, s := range sessions {
+			s.buf.Close()
+		}
+		if time.Now().After(deadline) {
+			h.Stop()
+			return ErrDrainTimeout
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (h *Hub) drainRequested() bool {
+	select {
+	case <-h.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Evicted returns how many sessions were cut for blowing a deadline.
+func (h *Hub) Evicted() int64 { return atomic.LoadInt64(&h.evicted) }
+
+// evictSession records one deadline eviction.
+func (h *Hub) evictSession() {
+	atomic.AddInt64(&h.evicted, 1)
+	h.evictCtr.Inc()
+	h.tr.Instant(obs.TrackNetwork, "evict", 0, h.dom.Now())
+}
+
 // Snapshot reports the hub's live state for /debug/odr: lifetime frame and
 // input counters, totals across detached sessions, and the per-session
 // counters of every client still attached. Safe to call concurrently with
@@ -263,6 +346,7 @@ func (h *Hub) Snapshot() map[string]any {
 		"sessions_served": served + int64(len(live)),
 		"sent":            atomic.LoadInt64(&h.totalSent) + liveSent,
 		"dropped":         atomic.LoadInt64(&h.totalDropped) + liveDropped,
+		"evicted":         atomic.LoadInt64(&h.evicted),
 		"clients":         live,
 	}
 }
@@ -297,6 +381,22 @@ func (h *Hub) Attach(conn net.Conn, clientFPS float64, detach func(SessionStats)
 
 // AttachWithOptions is Attach with per-viewer resolution control.
 func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
+	select {
+	case <-h.stopping:
+		// Refused: the hub is gone; end the session immediately.
+		conn.Close()
+		if opts.Detach != nil {
+			opts.Detach(SessionStats{})
+		}
+		return
+	case <-h.draining:
+		conn.Close()
+		if opts.Detach != nil {
+			opts.Detach(SessionStats{})
+		}
+		return
+	default:
+	}
 	div := opts.Downscale
 	if div < 1 {
 		div = 1
@@ -361,9 +461,17 @@ func (s *hubSession) encodeAndSendLoop() {
 	defer s.close()
 	w := realrt.NewWaiter(s.hub.dom)
 	scratch := make([]byte, s.w*s.h*4)
+	var lastEncoded uint64 // parent-chain tag: seq of the last encoded frame
 	for {
 		f := s.buf.Acquire(w)
 		if f == nil {
+			// Buffer closed: a hub Drain flushes ends with an orderly bye.
+			if s.hub.drainRequested() {
+				if s.hub.cfg.WriteTimeout > 0 {
+					s.conn.SetWriteDeadline(time.Now().Add(s.hub.cfg.WriteTimeout))
+				}
+				writeMsg(s.conn, msgBye, nil)
+			}
 			return
 		}
 		start := s.hub.dom.Now()
@@ -371,6 +479,9 @@ func (s *hubSession) encodeAndSendLoop() {
 			downsample(f.Pixels, s.hub.cfg.Width, scratch, s.w, s.h, s.downscale)
 		} else {
 			copy(scratch, f.Pixels)
+		}
+		if s.wantKey.Swap(false) {
+			s.enc.ForceKeyframe()
 		}
 		payload, err := s.enc.EncodeAppend(s.payload[:frameHeaderLen], scratch)
 		encEnd := s.hub.dom.Now()
@@ -398,11 +509,29 @@ func (s *hubSession) encodeAndSendLoop() {
 				break
 			}
 		}
-		putFrameHeader(payload, f.Seq, inputID, inputNanos, int64(f.RenderEnd))
+		bs := payload[frameHeaderLen:]
+		var parent uint64
+		if !codec.IsKeyframe(bs) {
+			parent = lastEncoded
+		}
+		lastEncoded = f.Seq
+		putFrameHeader(payload, frameMeta{
+			seq:         f.Seq,
+			parentSeq:   parent,
+			inputID:     inputID,
+			inputNanos:  inputNanos,
+			renderNanos: int64(f.RenderEnd),
+		}, bs)
 		txStart := s.hub.dom.Now()
+		if s.hub.cfg.WriteTimeout > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(s.hub.cfg.WriteTimeout))
+		}
 		err = writeMsg(s.conn, msgFrame, payload)
 		s.buf.Release()
 		if err != nil {
+			if isTimeoutErr(err) {
+				s.hub.evictSession()
+			}
 			return
 		}
 		atomic.AddInt64(&s.sent, 1)
@@ -423,8 +552,14 @@ func (s *hubSession) inputLoop() {
 	defer s.close()
 	var buf []byte
 	for {
+		if s.hub.cfg.ReadTimeout > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.hub.cfg.ReadTimeout))
+		}
 		typ, payload, err := readMsg(s.conn, buf)
 		if err != nil {
+			if isTimeoutErr(err) {
+				s.hub.evictSession()
+			}
 			return
 		}
 		buf = payload[:cap(payload)]
@@ -439,8 +574,9 @@ func (s *hubSession) inputLoop() {
 			s.hub.ins.Inputs.Inc()
 			s.hub.box.OnInput(packInput(s.id, id), time.Duration(nanos))
 		case msgKeyReq:
-			// Each session owns its encoder; force its next frame to key.
-			s.enc.ForceKeyframe()
+			// Each session owns its encoder — but the encode loop owns it
+			// exclusively, so only flag the request here.
+			s.wantKey.Store(true)
 		case msgBye:
 			return
 		}

@@ -5,10 +5,13 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"odr/internal/testutil"
 )
 
 func startHub(t *testing.T, cfg HubConfig) (*Hub, func()) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	h := NewHub(cfg)
 	go h.Run()
 	return h, h.Stop

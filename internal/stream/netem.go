@@ -63,13 +63,29 @@ func Throttle(conn net.Conn, cfg ThrottleConfig) net.Conn {
 	return t
 }
 
+// sleepOrClosed waits d, returning false when Close happens first — so no
+// forwarder or paced writer can outlive the conn inside a sleep.
+func (t *throttledConn) sleepOrClosed(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-t.done:
+		return false
+	}
+}
+
 // forwarder delivers paced chunks after their propagation delay.
 func (t *throttledConn) forwarder() {
 	for {
 		select {
 		case c := <-t.forward:
-			if wait := time.Until(c.deliverAt); wait > 0 {
-				time.Sleep(wait)
+			if !t.sleepOrClosed(time.Until(c.deliverAt)) {
+				return
 			}
 			if _, err := t.Conn.Write(c.data); err != nil {
 				t.errMu.Lock()
@@ -105,8 +121,8 @@ func (t *throttledConn) Write(p []byte) (int, error) {
 		t.sendAt = t.sendAt.Add(tx)
 		release := t.sendAt
 		t.mu.Unlock()
-		if wait := time.Until(release); wait > 0 {
-			time.Sleep(wait)
+		if !t.sleepOrClosed(time.Until(release)) {
+			return 0, net.ErrClosed
 		}
 	}
 	data := make([]byte, len(p))

@@ -4,10 +4,13 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"odr/internal/testutil"
 )
 
 func tcpPair(t *testing.T) (server net.Conn, client net.Conn) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -25,10 +26,24 @@ const (
 // maxPayload bounds a message payload (64 MiB) to fail fast on corruption.
 const maxPayload = 64 << 20
 
-// frameHeaderLen is seq(8) + inputID(8) + inputNanos(8) + renderNanos(8).
-const frameHeaderLen = 32
+// allocChunk caps how much readMsg allocates ahead of bytes actually
+// arriving, so a corrupt length prefix cannot force a 64 MiB allocation.
+const allocChunk = 64 << 10
 
-var errPayloadTooLarge = errors.New("stream: payload exceeds limit")
+// frameHeaderLen is seq(8) + parentSeq(8) + inputID(8) + inputNanos(8) +
+// renderNanos(8) + crc32(4). parentSeq is the seq of the frame this delta
+// was encoded against (0 for keyframes): a client that decodes frame N
+// against anything but frame parentSeq would silently show wrong pixels, so
+// a parent-chain mismatch — caused by a lost frame, or by the server
+// dropping an already-encoded frame — triggers a keyframe resync instead.
+// The CRC covers the bitstream, catching byte corruption that the codec
+// would otherwise decode "validly" into wrong pixels.
+const frameHeaderLen = 44
+
+var (
+	errPayloadTooLarge = errors.New("stream: payload exceeds limit")
+	errFrameChecksum   = errors.New("stream: frame bitstream checksum mismatch")
+)
 
 // writeMsg writes one length-prefixed message: type(1) len(4) payload.
 func writeMsg(w io.Writer, typ byte, payload []byte) error {
@@ -57,47 +72,78 @@ func readMsg(r io.Reader, buf []byte) (typ byte, payload []byte, err error) {
 		return 0, nil, err
 	}
 	typ = hdr[0]
-	n := binary.LittleEndian.Uint32(hdr[1:])
+	n := int(binary.LittleEndian.Uint32(hdr[1:]))
 	if n > maxPayload {
 		return 0, nil, fmt.Errorf("stream: message of %d bytes exceeds limit", n)
 	}
-	if cap(buf) < int(n) {
-		buf = make([]byte, n)
+	if cap(buf) >= n {
+		payload = buf[:n]
+		if _, err = io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+		return typ, payload, nil
 	}
-	payload = buf[:n]
-	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	// Grow in allocChunk steps, each funded by bytes that actually arrived,
+	// so a forged length prefix costs its sender the data, not us the memory.
+	payload = buf[:0]
+	tmp := make([]byte, min(n, allocChunk))
+	for remaining := n; remaining > 0; {
+		c := min(remaining, allocChunk)
+		if _, err = io.ReadFull(r, tmp[:c]); err != nil {
+			return 0, nil, err
+		}
+		payload = append(payload, tmp[:c]...)
+		remaining -= c
 	}
 	return typ, payload, nil
 }
 
+// frameMeta is the decoded frame message header.
+type frameMeta struct {
+	seq         uint64
+	parentSeq   uint64 // seq the delta was encoded against; 0 for keyframes
+	inputID     uint64
+	inputNanos  int64
+	renderNanos int64
+}
+
 // putFrameHeader fills the frameHeaderLen-byte frame message header in
 // place, so hot paths can build header+bitstream in one recycled buffer.
-func putFrameHeader(dst []byte, seq, inputID uint64, inputNanos, renderNanos int64) {
-	binary.LittleEndian.PutUint64(dst[0:], seq)
-	binary.LittleEndian.PutUint64(dst[8:], inputID)
-	binary.LittleEndian.PutUint64(dst[16:], uint64(inputNanos))
-	binary.LittleEndian.PutUint64(dst[24:], uint64(renderNanos))
+// bitstream must be the payload that follows the header (for the CRC).
+func putFrameHeader(dst []byte, m frameMeta, bitstream []byte) {
+	binary.LittleEndian.PutUint64(dst[0:], m.seq)
+	binary.LittleEndian.PutUint64(dst[8:], m.parentSeq)
+	binary.LittleEndian.PutUint64(dst[16:], m.inputID)
+	binary.LittleEndian.PutUint64(dst[24:], uint64(m.inputNanos))
+	binary.LittleEndian.PutUint64(dst[32:], uint64(m.renderNanos))
+	binary.LittleEndian.PutUint32(dst[40:], crc32.ChecksumIEEE(bitstream))
 }
 
 // frameMsg encodes a frame message payload: header + bitstream.
-func frameMsg(seq, inputID uint64, inputNanos, renderNanos int64, bitstream []byte) []byte {
+func frameMsg(m frameMeta, bitstream []byte) []byte {
 	out := make([]byte, frameHeaderLen+len(bitstream))
-	putFrameHeader(out, seq, inputID, inputNanos, renderNanos)
 	copy(out[frameHeaderLen:], bitstream)
+	putFrameHeader(out, m, out[frameHeaderLen:])
 	return out
 }
 
-// parseFrameMsg splits a frame message payload.
-func parseFrameMsg(p []byte) (seq, inputID uint64, inputNanos, renderNanos int64, bitstream []byte, err error) {
+// parseFrameMsg splits a frame message payload, verifying the bitstream CRC
+// (errFrameChecksum on mismatch — the client resyncs rather than decoding
+// corrupt data into wrong pixels).
+func parseFrameMsg(p []byte) (m frameMeta, bitstream []byte, err error) {
 	if len(p) < frameHeaderLen {
-		return 0, 0, 0, 0, nil, errors.New("stream: short frame message")
+		return frameMeta{}, nil, errors.New("stream: short frame message")
 	}
-	seq = binary.LittleEndian.Uint64(p[0:])
-	inputID = binary.LittleEndian.Uint64(p[8:])
-	inputNanos = int64(binary.LittleEndian.Uint64(p[16:]))
-	renderNanos = int64(binary.LittleEndian.Uint64(p[24:]))
-	return seq, inputID, inputNanos, renderNanos, p[frameHeaderLen:], nil
+	m.seq = binary.LittleEndian.Uint64(p[0:])
+	m.parentSeq = binary.LittleEndian.Uint64(p[8:])
+	m.inputID = binary.LittleEndian.Uint64(p[16:])
+	m.inputNanos = int64(binary.LittleEndian.Uint64(p[24:]))
+	m.renderNanos = int64(binary.LittleEndian.Uint64(p[32:]))
+	bitstream = p[frameHeaderLen:]
+	if crc32.ChecksumIEEE(bitstream) != binary.LittleEndian.Uint32(p[40:]) {
+		return frameMeta{}, nil, errFrameChecksum
+	}
+	return m, bitstream, nil
 }
 
 // inputMsg encodes an input message payload: id(8) + clientNanos(8).

@@ -1,0 +1,245 @@
+package stream
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"odr/internal/chaos"
+	"odr/internal/testutil"
+)
+
+// ---------------------------------------------------------------------------
+// Reconnect, drain and eviction unit tests: the life-cycle edges the failure
+// matrix exercises end-to-end, pinned down one behavior at a time.
+// ---------------------------------------------------------------------------
+
+// TestClientReconnectBudgetExhausted: when every dial fails, Run gives up
+// after exactly MaxAttempts with the budget error wrapping the last failure.
+func TestClientReconnectBudgetExhausted(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dialErr := errors.New("refused")
+	dials := 0
+	cli := NewReconnectingClient(func() (net.Conn, error) {
+		dials++
+		return nil, dialErr
+	}, ReconnectPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	err := cli.Run()
+	if !errors.Is(err, dialErr) {
+		t.Fatalf("Run = %v, want wrapped dial error", err)
+	}
+	if dials != 3 {
+		t.Fatalf("dialed %d times, want 3", dials)
+	}
+}
+
+// TestClientReconnectBudgetResetsOnProgress: a session that delivers frames
+// resets the consecutive-failure budget, so a long-lived flaky stream
+// survives far more deaths than MaxAttempts.
+func TestClientReconnectBudgetResetsOnProgress(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	h := NewHub(HubConfig{Width: 32, Height: 18, TargetFPS: 240})
+	go h.Run()
+	defer h.Stop()
+
+	// Every session dies after ~20 KiB of frames — enough for progress.
+	sched := chaos.MustParse("disc@20000")
+	dial := func() (net.Conn, error) {
+		sc, cc := net.Pipe()
+		h.Attach(chaos.Wrap(sc, sched, matrixSeed), 0, nil)
+		return cc, nil
+	}
+	cli := NewReconnectingClient(dial, ReconnectPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        matrixSeed,
+	})
+	runErr := make(chan error, 1)
+	go func() { runErr <- cli.Run() }()
+	defer cli.Stop()
+
+	// Surviving 3+ reconnects with MaxAttempts=2 proves the reset: without
+	// it the third session death would exhaust the budget.
+	deadline := time.Now().Add(15 * time.Second)
+	for cli.Report().Reconnects < 3 {
+		select {
+		case err := <-runErr:
+			t.Fatalf("client gave up after %d reconnects: %v", cli.Report().Reconnects, err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck at %d reconnects", cli.Report().Reconnects)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cli.Stop()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run after Stop = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client did not stop")
+	}
+}
+
+// TestServerDrainFlushesAndByes: Drain delivers a final frame and an orderly
+// msgBye to a live client before the connection closes.
+func TestServerDrainFlushesAndByes(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	srv := NewServer(sc, ServerConfig{Width: 32, Height: 18, Policy: ODRRegulation, TargetFPS: 240})
+	cli := NewClient(cc)
+	srvErr := make(chan error, 1)
+	cliErr := make(chan error, 1)
+	go func() { srvErr <- srv.Run() }()
+	go func() { cliErr <- cli.Run() }()
+
+	waitFrames(t, cli, 5, 10*time.Second)
+	before := cli.Report().Frames
+	if err := srv.Drain(10 * time.Second); err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+	// The client must exit via msgBye (nil), having seen the final frame.
+	select {
+	case err := <-cliErr:
+		if err != nil {
+			t.Fatalf("client Run = %v, want nil (orderly bye)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client never received the bye")
+	}
+	if after := cli.Report().Frames; after <= before {
+		t.Errorf("no final frame delivered during drain: %d -> %d", before, after)
+	}
+	select {
+	case <-srvErr:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server loop did not exit")
+	}
+	cli.Stop()
+}
+
+// TestServerDrainTimeout: a client that never reads blocks the flush; Drain
+// must give up after its timeout, stop the session, and report it.
+func TestServerDrainTimeout(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	srv := NewServer(sc, ServerConfig{Width: 32, Height: 18, Policy: ODRRegulation, TargetFPS: 240})
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Run() }()
+
+	if err := srv.Drain(200 * time.Millisecond); !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Drain = %v, want ErrDrainTimeout", err)
+	}
+	select {
+	case <-srvErr:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server loop did not exit after drain timeout")
+	}
+}
+
+// TestHubDrainByesAllClients: Drain flushes every attached session, each
+// client exits via msgBye, and the hub ends with zero sessions.
+func TestHubDrainByesAllClients(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	h := NewHub(HubConfig{Width: 32, Height: 18, TargetFPS: 240})
+	go h.Run()
+	defer h.Stop()
+
+	const n = 3
+	clients := make([]*Client, n)
+	errs := make([]chan error, n)
+	for i := range clients {
+		sc, cc := net.Pipe()
+		h.Attach(sc, 0, nil)
+		clients[i] = NewClient(cc)
+		errs[i] = make(chan error, 1)
+		go func(c *Client, ch chan error) { ch <- c.Run() }(clients[i], errs[i])
+	}
+	for _, c := range clients {
+		waitFrames(t, c, 5, 10*time.Second)
+	}
+	if err := h.Drain(10 * time.Second); err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+	for i, ch := range errs {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Errorf("client %d Run = %v, want nil (orderly bye)", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("client %d never received the bye", i)
+		}
+	}
+	if got := h.Clients(); got != 0 {
+		t.Errorf("Clients after drain = %d, want 0", got)
+	}
+}
+
+// TestHubAttachDuringDrainRefused: a connection attached to a draining or
+// stopped hub is closed immediately and its detach callback fires with zero
+// stats — never a silently dangling session.
+func TestHubAttachDuringDrainRefused(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	h := NewHub(HubConfig{Width: 32, Height: 18, TargetFPS: 240})
+	go h.Run()
+	if err := h.Drain(10 * time.Second); err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+
+	sc, cc := net.Pipe()
+	detached := make(chan SessionStats, 1)
+	h.Attach(sc, 0, func(s SessionStats) { detached <- s })
+	select {
+	case st := <-detached:
+		if st.Sent != 0 {
+			t.Errorf("refused session reported stats %+v", st)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("detach callback never fired for refused attach")
+	}
+	// The conn must be closed: a read on the peer end terminates.
+	cc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := cc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("refused conn still open")
+	}
+}
+
+// TestThrottleCloseInterruptsForwarder: closing a throttled conn must unblock
+// a paced write in progress and terminate the forwarder goroutine, even with
+// chunks still queued behind a long propagation delay.
+func TestThrottleCloseInterruptsForwarder(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	// 1 KiB/s and 10s delay: the second write blocks in pacing, the first
+	// sits in the forwarder waiting out the delay.
+	tc := Throttle(sc, ThrottleConfig{Bandwidth: 1024, Delay: 10 * time.Second})
+	if _, err := tc.Write(make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := tc.Write(make([]byte, 4096)) // ~4s of pacing
+		wrote <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the write enter its pacing sleep
+	if err := tc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-wrote:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("paced write after Close = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("paced write still blocked after Close")
+	}
+	// VerifyNoLeaks (cleanup) asserts the forwarder goroutine is gone well
+	// before its 10s propagation delay would have elapsed.
+}

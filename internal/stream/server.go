@@ -64,6 +64,17 @@ type ServerConfig struct {
 	// when the path has headroom — bitrate adaptation in the spirit of the
 	// §2-cited encoding-adaptation work, orthogonal to FPS regulation.
 	AdaptiveQuality bool
+	// WriteTimeout, when > 0, bounds each frame write: a client that cannot
+	// drain its socket for this long is evicted (the session ends with an
+	// eviction error) instead of stalling the stream forever. Frames already
+	// queue latest-wins (drop-oldest), so eviction is the last resort after
+	// dropping has failed to keep up. 0 disables the deadline.
+	WriteTimeout time.Duration
+	// ReadTimeout, when > 0, bounds each read on the input path; it doubles
+	// as a liveness check that catches half-open connections (a peer that
+	// vanished without closing). 0 disables it — an idle but healthy client
+	// sends nothing, so only set this when inputs (or keepalives) flow.
+	ReadTimeout time.Duration
 	// Trace, when non-nil, records the frame lifecycle (render, copy,
 	// encode, tx spans; input/display instants; mulbuf-drop and
 	// priority-frame events) against this server's wall clock — the same
@@ -97,6 +108,7 @@ type ServerStats struct {
 	Priority int64
 	Inputs   int64
 	KeyReqs  int64
+	Evicted  int64
 }
 
 // snapshotInt64 reads one counter.
@@ -112,6 +124,7 @@ func (s *ServerStats) Snapshot() ServerStats {
 		Priority: load(&s.Priority),
 		Inputs:   load(&s.Inputs),
 		KeyReqs:  load(&s.KeyReqs),
+		Evicted:  load(&s.Evicted),
 	}
 }
 
@@ -133,6 +146,17 @@ type Server struct {
 	stopOnce sync.Once
 	stopping chan struct{}
 	wg       sync.WaitGroup
+
+	// Drain sequencing: Drain closes draining; the app loop renders one
+	// final frame and retires; the pipeline flushes; the send loop writes
+	// msgBye and closes drained on exit.
+	drainOnce sync.Once
+	draining  chan struct{}
+	drained   chan struct{}
+
+	// evictCtr counts slow-client evictions in the metrics registry
+	// (nil-safe no-op without one).
+	evictCtr *obs.Counter
 
 	// wantKey is set by a client keyframe request (decoder resync after
 	// joining mid-stream or recovering from loss) and consumed by the
@@ -178,8 +202,11 @@ func NewServer(conn net.Conn, cfg ServerConfig) *Server {
 		pacer:    core.NewPacer(cfg.TargetFPS),
 		enc:      codec.NewEncoder(cfg.Width, cfg.Height, cfg.Codec),
 		stopping: make(chan struct{}),
+		draining: make(chan struct{}),
+		drained:  make(chan struct{}),
 		tr:       cfg.Trace,
 		ins:      obs.NewFrameInstruments(cfg.Metrics),
+		evictCtr: cfg.Metrics.Counter("sessions_evicted"),
 	}
 	s.game.ExtraCost = cfg.RenderCost
 	s.quantShift = int64(cfg.Codec.QuantShift)
@@ -282,6 +309,55 @@ func (s *Server) stopped() bool {
 	}
 }
 
+// ErrDrainTimeout is returned by Drain when the pipeline could not flush the
+// final frame within the allotted time; the session is stopped regardless.
+var ErrDrainTimeout = errors.New("stream: drain timed out")
+
+// Drain ends the stream gracefully: the application renders one last frame,
+// the pipeline flushes everything already queued, the client receives that
+// final frame followed by an orderly msgBye, and only then does the
+// connection close. It returns ErrDrainTimeout if the flush did not finish
+// in time (slow or dead client); either way the server is stopped when Drain
+// returns.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.drainOnce.Do(func() { close(s.draining) })
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-s.drained:
+		s.Stop()
+		return nil
+	case <-s.stopping:
+		return nil
+	case <-t.C:
+		s.Stop()
+		return ErrDrainTimeout
+	}
+}
+
+func (s *Server) drainRequested() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// evict records a slow-client eviction and returns the error Run reports.
+func (s *Server) evict(op string, err error) error {
+	atomic.AddInt64(&s.stats.Evicted, 1)
+	s.evictCtr.Inc()
+	s.tr.Instant(obs.TrackNetwork, "evict", 0, s.dom.Now())
+	return fmt.Errorf("stream: session evicted (%s stalled beyond deadline): %w", op, err)
+}
+
+// isTimeoutErr reports a deadline-exceeded I/O error.
+func isTimeoutErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // appLoop is the 3D application: gate (per policy), consume inputs, render,
 // submit.
 func (s *Server) appLoop() {
@@ -309,6 +385,16 @@ func (s *Server) appLoop() {
 			}
 		}
 		if s.stopped() {
+			return
+		}
+		if s.drainRequested() {
+			// Final frame: render once more, jump the queue (replacing
+			// anything not yet encoding), then retire the producer. Closing
+			// buf1 lets the encoder drain what's buffered and shut the
+			// pipeline down stage by stage toward the msgBye.
+			seq++
+			s.renderFinalFrame(seq)
+			s.buf1.Close()
 			return
 		}
 		// Render.
@@ -344,6 +430,29 @@ func (s *Server) appLoop() {
 			s.recycle(d)
 			atomic.AddInt64(&s.stats.Dropped, 1)
 		}
+	}
+}
+
+// renderFinalFrame renders the drain frame and queues it ahead of any
+// not-yet-encoding frame.
+func (s *Server) renderFinalFrame(seq uint64) {
+	stamps := s.box.ConsumePending()
+	for range stamps {
+		s.game.OnInput()
+	}
+	stamps = append(s.takeCarried(), stamps...)
+	pix := s.pool.Get().([]byte)
+	start := s.dom.Now()
+	s.game.Render(pix)
+	f := &frame.Frame{Seq: seq, Pixels: pix, RenderStart: start, RenderEnd: s.dom.Now()}
+	core.Tag(f, stamps)
+	s.tr.Span(obs.TrackRender, "render", f.Seq, f.RenderStart, f.RenderEnd)
+	s.ins.Rendered.Inc()
+	atomic.AddInt64(&s.stats.Rendered, 1)
+	for _, d := range s.buf1.PutPriority(f) {
+		s.addCarried(d.Inputs)
+		s.recycle(d)
+		atomic.AddInt64(&s.stats.Dropped, 1)
 	}
 }
 
@@ -437,13 +546,17 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 	scratch := make([]byte, s.game.FrameBytes())
 	lastCheck := time.Now()
 	var blockedAt int64
+	var lastEncoded uint64 // parent-chain tag: seq of the last encoded frame
 	for {
 		f := s.buf1.Acquire(w)
 		if f == nil {
+			// Producer retired (Stop or Drain): pass the shutdown down the
+			// pipeline so the sender flushes everything already encoded —
+			// the sender, not this loop, reports completion on errCh.
 			if s.sendq != nil {
 				close(s.sendq)
 			} else {
-				errCh <- nil
+				s.buf2.Close()
 			}
 			return
 		}
@@ -466,7 +579,19 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 			errCh <- fmt.Errorf("stream: encode: %w", err)
 			return
 		}
-		putFrameHeader(payload, f.Seq, uint64(f.Input), int64(f.InputTime), int64(f.RenderEnd))
+		bs := payload[frameHeaderLen:]
+		var parent uint64
+		if !codec.IsKeyframe(bs) {
+			parent = lastEncoded
+		}
+		lastEncoded = f.Seq
+		putFrameHeader(payload, frameMeta{
+			seq:         f.Seq,
+			parentSeq:   parent,
+			inputID:     uint64(f.Input),
+			inputNanos:  int64(f.InputTime),
+			renderNanos: int64(f.RenderEnd),
+		}, bs)
 		f.EncodeStart = f.CopyEnd
 		f.EncodeEnd = s.dom.Now()
 		f.Bytes = len(payload) - frameHeaderLen
@@ -511,15 +636,24 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 	}
 }
 
-// sendLoop transmits encoded frames.
+// sendLoop transmits encoded frames. Each write runs under the configured
+// WriteTimeout; a client that cannot drain the socket is evicted. When the
+// queue ends because of a Drain, the flushed stream is sealed with msgBye.
 func (s *Server) sendLoop(errCh chan<- error) {
 	defer s.wg.Done()
+	defer close(s.drained)
 	w := realrt.NewWaiter(s.dom)
 	send := func(f *frame.Frame) error {
 		// f.Pixels already holds header+bitstream (built at encode time).
 		start := time.Now()
 		txStart := s.dom.Now()
+		if s.cfg.WriteTimeout > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		if err := writeMsg(s.conn, msgFrame, f.Pixels); err != nil {
+			if isTimeoutErr(err) {
+				return s.evict("frame write", err)
+			}
 			return err
 		}
 		atomic.AddInt64(&s.sendBlockedNs, int64(time.Since(start)))
@@ -531,11 +665,20 @@ func (s *Server) sendLoop(errCh chan<- error) {
 		s.putPayload(f)
 		return nil
 	}
+	finish := func() {
+		if s.drainRequested() {
+			if s.cfg.WriteTimeout > 0 {
+				s.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
+			writeMsg(s.conn, msgBye, nil)
+		}
+		errCh <- nil
+	}
 	if s.cfg.Policy == ODRRegulation {
 		for {
 			f := s.buf2.Acquire(w)
 			if f == nil {
-				errCh <- nil
+				finish()
 				return
 			}
 			err := send(f)
@@ -552,7 +695,7 @@ func (s *Server) sendLoop(errCh chan<- error) {
 			return
 		}
 	}
-	errCh <- nil
+	finish()
 }
 
 // inputLoop receives user inputs (step 2 of Fig. 2: the proxy captures the
@@ -561,8 +704,14 @@ func (s *Server) inputLoop(errCh chan<- error) {
 	defer s.wg.Done()
 	var buf []byte
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		typ, payload, err := readMsg(s.conn, buf)
 		if err != nil {
+			if isTimeoutErr(err) {
+				err = s.evict("input read", err)
+			}
 			errCh <- err
 			return
 		}

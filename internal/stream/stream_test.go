@@ -5,11 +5,14 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"odr/internal/testutil"
 )
 
 // startPair wires a server and client over an in-process pipe and runs both.
 func startPair(t *testing.T, cfg ServerConfig) (*Server, *Client, func()) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	sc, cc := net.Pipe()
 	srv := NewServer(sc, cfg)
 	cli := NewClient(cc)
@@ -59,7 +62,16 @@ func TestStreamODRDeliversFrames(t *testing.T) {
 	})
 	defer cleanup()
 	waitFrames(t, cli, 30, 10*time.Second)
+	// The server bumps Sent after its pipe write returns, which can trail
+	// the client's decode of that same frame by a beat — poll briefly.
 	st := srv.Stats().Snapshot()
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		if st.Rendered >= 30 && st.Encoded >= 30 && st.Sent >= 30 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+		st = srv.Stats().Snapshot()
+	}
 	if st.Rendered < 30 || st.Encoded < 30 || st.Sent < 30 {
 		t.Fatalf("server stats too low: %+v", st)
 	}

@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"odr/internal/chaos"
 	"odr/internal/codec"
 	"odr/internal/core"
 	"odr/internal/obs"
@@ -277,6 +278,49 @@ func NewStreamServer(conn net.Conn, cfg StreamServerConfig) *StreamServer {
 
 // NewStreamClient wraps conn as a measuring stream client.
 func NewStreamClient(conn net.Conn) *StreamClient { return stream.NewClient(conn) }
+
+// Resilience: reconnecting clients, graceful drain, and deterministic fault
+// injection for testing the stack under network failure.
+type (
+	// ReconnectPolicy bounds how a reconnecting client chases a flaky
+	// server: exponential backoff with jitter, a consecutive-failure budget,
+	// and an idle timeout that catches half-open connections.
+	ReconnectPolicy = stream.ReconnectPolicy
+	// ChaosSchedule scripts byte-offset-anchored faults (latency, loss,
+	// corruption, stalls, disconnects) onto a connection; same schedule +
+	// seed + traffic always yields the same fault sequence.
+	ChaosSchedule = chaos.Schedule
+	// ChaosConn is a net.Conn executing a ChaosSchedule; EventLog returns
+	// every fault it injected.
+	ChaosConn = chaos.Conn
+)
+
+// ErrStreamDrainTimeout is returned by StreamServer.Drain and Hub.Drain when
+// the graceful flush did not finish in time.
+var ErrStreamDrainTimeout = stream.ErrDrainTimeout
+
+// NewReconnectingStreamClient returns a stream client that obtains
+// connections from dial and, when a session dies mid-stream, redials under
+// pol and resumes via the keyframe resync path.
+func NewReconnectingStreamClient(dial func() (net.Conn, error), pol ReconnectPolicy) *StreamClient {
+	return stream.NewReconnectingClient(dial, pol)
+}
+
+// ParseChaosSchedule parses a fault schedule spec like
+// "latency@0:2ms,loss@49152x2,disc@147456".
+func ParseChaosSchedule(spec string) (ChaosSchedule, error) { return chaos.Parse(spec) }
+
+// NamedChaosSchedule returns a predefined schedule (clean, flaky, lossy,
+// degraded, partition).
+func NamedChaosSchedule(name string) (ChaosSchedule, error) { return chaos.Named(name) }
+
+// ChaosSchedules lists the predefined schedule names.
+func ChaosSchedules() []string { return chaos.NamedSchedules() }
+
+// WrapChaos wraps conn so it executes sched with the given RNG seed.
+func WrapChaos(conn net.Conn, sched ChaosSchedule, seed int64) *ChaosConn {
+	return chaos.Wrap(conn, sched, seed)
+}
 
 // Hub streams one shared game to many clients ("render once, view many"),
 // each with its own encoder and regulation; see stream.Hub.
