@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-go report artifacts fidelity examples trace soak fuzz clean
+.PHONY: all build test race bench bench-codec bench-codec-check bench-go report artifacts fidelity examples trace soak fuzz clean
 
 all: build test
 
@@ -21,16 +21,30 @@ race:
 soak:
 	$(GO) run -race ./cmd/odrsoak -clients 16 -schedule flaky -seed 1 -duration 20s
 
-# Fuzz smoke over the wire framing and the chaos schedule parser.
+# Fuzz smoke over the wire framing, the chaos schedule parser, and the
+# codec bitstream decoders (v1 + v2 tile).
 fuzz:
 	$(GO) test -fuzz=FuzzReadMsg -fuzztime=10s -run '^$$' ./internal/stream
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run '^$$' ./internal/stream
 	$(GO) test -fuzz=FuzzParseSchedule -fuzztime=10s -run '^$$' ./internal/chaos
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run '^$$' ./internal/codec
+	$(GO) test -fuzz=FuzzV2RoundTrip -fuzztime=10s -run '^$$' ./internal/codec
 
 # Scheduler / cache / codec performance evidence -> BENCH_sched.json
 # (cells/sec sequential vs parallel, warm-cache speedup, allocs/op).
 bench:
 	$(GO) run ./cmd/odrbench -o BENCH_sched.json
+
+# Tile-codec suite -> BENCH_codec.json: static/scrolling/noise content at
+# 720p/1080p/4K through the v1 serial coder and the v2 tile coder at 1-16
+# workers, with a parallel-equals-serial byte-identity check per cell group.
+bench-codec:
+	$(GO) run ./cmd/odrbench -codec -codec-out BENCH_codec.json
+
+# Regression gate: re-run the suite and fail when any speedup-vs-v1 ratio
+# drops more than 20% below the committed BENCH_codec.json baseline.
+bench-codec-check:
+	$(GO) run ./cmd/odrbench -codec-check BENCH_codec.json
 
 # The full Go benchmark suite with allocation reporting.
 bench-go:

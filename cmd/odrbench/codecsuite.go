@@ -1,0 +1,280 @@
+package main
+
+// The tile-codec benchmark suite: encode throughput across content kinds
+// (static / scrolling / noise), resolutions (720p / 1080p / 4K) and worker
+// counts (the v1 serial coder as baseline, then the v2 tile coder at 1-16
+// workers on private pools). Each (content, resolution) group re-checks the
+// determinism contract — every worker count must produce the serial
+// bitstream byte-for-byte — before any timing runs.
+//
+// The emitted BENCH_codec.json reports absolute ns/frame for the machine it
+// ran on plus speedup_vs_v1 ratios; CI regression checking compares the
+// ratios (-codec-check), which transfer across machines, never the
+// absolute times.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"odr/internal/codec"
+	"odr/internal/wpool"
+)
+
+var codecWorkerCounts = []int{1, 2, 4, 8, 16}
+
+type codecCell struct {
+	Content       string  `json:"content"`
+	Width         int     `json:"width"`
+	Height        int     `json:"height"`
+	Version       int     `json:"version"`
+	Workers       int     `json:"workers"` // 0 for the v1 baseline row
+	NsPerFrame    float64 `json:"ns_per_frame"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	DirtyRatio    float64 `json:"dirty_tile_ratio"`
+	SpeedupVsV1   float64 `json:"speedup_vs_v1"`
+}
+
+type codecSuiteReport struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	NumCPU      int         `json:"num_cpu"`
+	FrameBudget string      `json:"frame_budget_per_cell"`
+	Cells       []codecCell `json:"cells"`
+}
+
+// contentFrames builds the frame sequence for one content kind. Frame
+// count shrinks with resolution so a 4K noise set stays within a few
+// hundred MB.
+func contentFrames(kind string, w, h int) [][]byte {
+	frameBytes := w * h * 4
+	n := 8
+	if frameBytes > 16<<20 {
+		n = 3
+	}
+	st := uint64(0x9E3779B97F4A7C15) ^ uint64(frameBytes)
+	next := func() byte { st ^= st << 13; st ^= st >> 7; st ^= st << 17; return byte(st) }
+	base := make([]byte, frameBytes)
+	for i := range base {
+		base[i] = next()
+	}
+	frames := make([][]byte, n)
+	switch kind {
+	case "static":
+		// Identical frames: the all-clean fast path. One backing array.
+		for f := range frames {
+			frames[f] = base
+		}
+	case "scrolling":
+		// A moving ~10% dirty band over a static background: the paper's
+		// mostly-static cloud-UI shape.
+		for f := range frames {
+			fr := make([]byte, frameBytes)
+			copy(fr, base)
+			start := f * frameBytes / n
+			end := min(start+frameBytes/10, frameBytes)
+			for i := start; i < end; i++ {
+				fr[i] = next()
+			}
+			frames[f] = fr
+		}
+	case "noise":
+		// Fully-dynamic content: every tile dirty, worst case for skipping.
+		for f := range frames {
+			fr := make([]byte, frameBytes)
+			for i := range fr {
+				fr[i] = next()
+			}
+			frames[f] = fr
+		}
+	default:
+		panic("unknown content kind " + kind)
+	}
+	return frames
+}
+
+// timeEncode drives enc over frames for roughly budget and reports
+// per-frame averages.
+func timeEncode(enc *codec.Encoder, frames [][]byte, budget time.Duration) (nsPerFrame, bytesPerFrame, dirtyRatio float64) {
+	buf := make([]byte, 0, enc.FrameSize()/2)
+	var err error
+	for _, f := range frames { // warm the scratches
+		if buf, err = enc.EncodeAppend(buf[:0], f); err != nil {
+			panic(err)
+		}
+	}
+	var n, tileSum, dirtySum int
+	var outBytes int64
+	start := time.Now()
+	for n < 3 || time.Since(start) < budget {
+		if buf, err = enc.EncodeAppend(buf[:0], frames[n%len(frames)]); err != nil {
+			panic(err)
+		}
+		outBytes += int64(len(buf))
+		tiles, dirty := enc.TileStats()
+		tileSum += tiles
+		dirtySum += dirty
+		n++
+	}
+	elapsed := time.Since(start)
+	nsPerFrame = float64(elapsed.Nanoseconds()) / float64(n)
+	bytesPerFrame = float64(outBytes) / float64(n)
+	if tileSum > 0 {
+		dirtyRatio = float64(dirtySum) / float64(tileSum)
+	}
+	return nsPerFrame, bytesPerFrame, dirtyRatio
+}
+
+// verifyByteIdentity encodes the frame sequence with a serial v2 encoder
+// and with one per worker count, failing loudly if any bitstream differs.
+func verifyByteIdentity(w, h int, frames [][]byte, pools map[int]*wpool.Pool) error {
+	mk := func(workers int) *codec.Encoder {
+		return codec.NewEncoder(w, h, codec.Options{
+			QuantShift: 2, Workers: workers, Pool: pools[workers],
+		})
+	}
+	serial := mk(1)
+	encs := make(map[int]*codec.Encoder, len(codecWorkerCounts))
+	for _, k := range codecWorkerCounts[1:] {
+		encs[k] = mk(k)
+	}
+	for i, f := range frames {
+		want, err := serial.Encode(f)
+		if err != nil {
+			return err
+		}
+		for _, k := range codecWorkerCounts[1:] {
+			got, err := encs[k].Encode(f)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("%dx%d frame %d: %d-worker bitstream differs from serial", w, h, i, k)
+			}
+		}
+	}
+	return nil
+}
+
+// codecSuite runs the full grid and returns the report.
+func codecSuite(budget time.Duration) (*codecSuiteReport, error) {
+	resolutions := []struct{ w, h int }{{1280, 720}, {1920, 1080}, {3840, 2160}}
+	contents := []string{"static", "scrolling", "noise"}
+
+	pools := make(map[int]*wpool.Pool, len(codecWorkerCounts))
+	for _, k := range codecWorkerCounts {
+		pools[k] = wpool.New(k)
+		defer pools[k].Close()
+	}
+
+	rep := &codecSuiteReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		FrameBudget: budget.String(),
+	}
+	for _, res := range resolutions {
+		for _, content := range contents {
+			frames := contentFrames(content, res.w, res.h)
+			if err := verifyByteIdentity(res.w, res.h, frames, pools); err != nil {
+				return nil, err
+			}
+			frameMB := float64(res.w*res.h*4) / 1e6
+
+			v1 := codec.NewEncoder(res.w, res.h, codec.Options{QuantShift: 2, Version: 1})
+			ns, bpf, _ := timeEncode(v1, frames, budget)
+			v1ns := ns
+			rep.Cells = append(rep.Cells, codecCell{
+				Content: content, Width: res.w, Height: res.h, Version: 1,
+				NsPerFrame: ns, MBPerSec: frameMB / ns * 1e9,
+				BytesPerFrame: bpf, SpeedupVsV1: 1,
+			})
+			for _, k := range codecWorkerCounts {
+				enc := codec.NewEncoder(res.w, res.h, codec.Options{
+					QuantShift: 2, Workers: k, Pool: pools[k],
+				})
+				ns, bpf, dirty := timeEncode(enc, frames, budget)
+				rep.Cells = append(rep.Cells, codecCell{
+					Content: content, Width: res.w, Height: res.h, Version: 2,
+					Workers: k, NsPerFrame: ns, MBPerSec: frameMB / ns * 1e9,
+					BytesPerFrame: bpf, DirtyRatio: dirty, SpeedupVsV1: v1ns / ns,
+				})
+			}
+			fmt.Fprintf(os.Stderr, "odrbench: codec %dx%d %-9s v1 %7.2fms  v2/1w %.2fx  v2/%dw %.2fx\n",
+				res.w, res.h, content, v1ns/1e6,
+				rep.Cells[len(rep.Cells)-len(codecWorkerCounts)].SpeedupVsV1,
+				codecWorkerCounts[len(codecWorkerCounts)-1],
+				rep.Cells[len(rep.Cells)-1].SpeedupVsV1)
+		}
+	}
+	return rep, nil
+}
+
+// writeCodecReport writes the suite report as indented JSON.
+func writeCodecReport(rep *codecSuiteReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// checkCodecRegression re-runs the suite and compares its speedup ratios
+// against the committed baseline: a v2 cell regresses when its speedup over
+// the v1 serial coder drops below (1 - tolerance) of the baseline ratio.
+// Ratios, unlike absolute ns, carry across machines.
+func checkCodecRegression(baselinePath string, budget time.Duration, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline codecSuiteReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	rep, err := codecSuite(budget)
+	if err != nil {
+		return err
+	}
+	current := make(map[string]codecCell, len(rep.Cells))
+	key := func(c codecCell) string {
+		return fmt.Sprintf("%s/%dx%d/v%d/w%d", c.Content, c.Width, c.Height, c.Version, c.Workers)
+	}
+	for _, c := range rep.Cells {
+		current[key(c)] = c
+	}
+	var failures int
+	for _, b := range baseline.Cells {
+		if b.Version != 2 {
+			continue
+		}
+		c, ok := current[key(b)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "odrbench: baseline cell %s missing from current run\n", key(b))
+			failures++
+			continue
+		}
+		floor := b.SpeedupVsV1 * (1 - tolerance)
+		if c.SpeedupVsV1 < floor {
+			fmt.Fprintf(os.Stderr, "odrbench: REGRESSION %s: speedup %.2fx < %.2fx (baseline %.2fx - %.0f%%)\n",
+				key(b), c.SpeedupVsV1, floor, b.SpeedupVsV1, tolerance*100)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d codec bench cell(s) regressed beyond %.0f%%", failures, tolerance*100)
+	}
+	fmt.Fprintf(os.Stderr, "odrbench: codec bench ratios within %.0f%% of %s (%d cells)\n",
+		tolerance*100, baselinePath, len(baseline.Cells))
+	return nil
+}

@@ -10,9 +10,21 @@
 //   - cache: cold vs warm wall time for the same batch through the
 //     content-addressed result cache, and the warm-over-cold speedup.
 //
+// The tile-codec suite (codecsuite.go) runs separately:
+//
+//   - `odrbench -codec` sweeps static/scrolling/noise content at
+//     720p/1080p/4K through the v1 serial coder and the v2 tile coder at
+//     1-16 workers, verifies parallel/serial byte identity, and writes
+//     BENCH_codec.json;
+//   - `odrbench -codec-check BENCH_codec.json` re-runs the sweep and exits
+//     nonzero when any speedup-vs-v1 ratio regresses more than -codec-tol
+//     below the committed baseline.
+//
 // Usage:
 //
 //	odrbench [-o BENCH_sched.json] [-duration 10s] [-cells 24]
+//	odrbench -codec [-codec-out BENCH_codec.json] [-codec-budget 250ms]
+//	odrbench -codec-check BENCH_codec.json [-codec-tol 0.20]
 package main
 
 import (
@@ -187,7 +199,32 @@ func main() {
 	out := flag.String("o", "BENCH_sched.json", "output JSON file")
 	dur := flag.Duration("duration", 60*time.Second, "simulated duration per scheduler cell (60s = the experiments' default cell size)")
 	nCells := flag.Int("cells", 24, "cells in the scheduler batch")
+	codecRun := flag.Bool("codec", false, "run only the tile-codec suite and write -codec-out")
+	codecOut := flag.String("codec-out", "BENCH_codec.json", "output file for the tile-codec suite")
+	codecCheck := flag.String("codec-check", "", "baseline BENCH_codec.json: re-run the codec suite and fail on ratio regression")
+	codecBudget := flag.Duration("codec-budget", 250*time.Millisecond, "minimum measurement time per codec suite cell")
+	codecTol := flag.Float64("codec-tol", 0.20, "allowed fractional drop in speedup_vs_v1 before -codec-check fails")
 	flag.Parse()
+
+	if *codecCheck != "" {
+		if err := checkCodecRegression(*codecCheck, *codecBudget, *codecTol); err != nil {
+			fmt.Fprintln(os.Stderr, "odrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *codecRun {
+		rep, err := codecSuite(*codecBudget)
+		if err == nil {
+			err = writeCodecReport(rep, *codecOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "odrbench: %d codec cells -> %s\n", len(rep.Cells), *codecOut)
+		return
+	}
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

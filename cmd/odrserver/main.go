@@ -75,7 +75,7 @@ func main() {
 	height := flag.Int("height", 360, "frame height")
 	once := flag.Bool("once", false, "serve a single client, then exit")
 	hubMode := flag.Bool("hub", false, "share one game across all clients (spectating)")
-	bands := flag.Bool("bands", true, "band-skip delta coding (faster encode on static content)")
+	bands := flag.Bool("bands", false, "legacy v1 band-skip delta coding (default: the v2 tile codec, which supersedes it)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/odr, /debug/vars and /debug/pprof/ on this address")
 	flag.Parse()
 

@@ -22,6 +22,10 @@
 //     resume or end with a reported error, never a silent wedge
 //   - no goroutine leaks: after the drain, the goroutine count returns to
 //     the pre-run baseline
+//   - tile accounting: the hub encodes the v2 tile bitstream, so the
+//     exported tile counters must agree with the frame counters —
+//     tiles_coded is exactly frames_encoded x tiles-per-frame, and
+//     tiles_dirty never exceeds tiles_coded
 package main
 
 import (
@@ -39,6 +43,7 @@ import (
 
 	"odr"
 	"odr/internal/chaos"
+	"odr/internal/codec"
 	"odr/internal/stream"
 	"odr/internal/testutil"
 )
@@ -102,11 +107,13 @@ func main() {
 	base := testutil.Snapshot()
 
 	ref := newRefTable(*width, *height)
+	metrics := odr.NewMetricsRegistry()
 	hubCfg := odr.HubConfig{
 		Width: *width, Height: *height, TargetFPS: *fps,
 		// Lossless on purpose: pixel identity against the reference is the
 		// corruption-detection invariant.
-		Codec: odr.CodecOptions{QuantShift: 0},
+		Codec:   odr.CodecOptions{QuantShift: 0},
+		Metrics: metrics,
 	}
 	if *verbose {
 		hubCfg.Logf = log.Printf
@@ -216,6 +223,19 @@ func main() {
 		leakDetail = strings.SplitN(leakErr.Error(), "\n", 2)[0]
 	}
 	check("no-goroutine-leaks", leakErr == nil, leakDetail)
+
+	// Tile accounting: every encoded frame contributes exactly
+	// ceil(h/DefaultTileRows) tiles to tiles_coded, and only a subset of
+	// them can be dirty. A drift here means the v2 encoder and its
+	// telemetry disagree about what was put on the wire.
+	snap := metrics.Snapshot()
+	encoded, _ := snap["frames_encoded"].(int64)
+	tilesCoded, _ := snap["tiles_coded"].(int64)
+	tilesDirty, _ := snap["tiles_dirty"].(int64)
+	perFrame := int64((*height + codec.DefaultTileRows - 1) / codec.DefaultTileRows)
+	check("tile-accounting",
+		encoded > 0 && tilesCoded == encoded*perFrame && tilesDirty > 0 && tilesDirty <= tilesCoded,
+		fmt.Sprintf("%d frames x %d tiles = %d coded, %d dirty", encoded, perFrame, tilesCoded, tilesDirty))
 
 	if fail > 0 {
 		log.Printf("odrsoak: FAIL (%d invariant(s) violated)", fail)

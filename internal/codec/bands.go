@@ -60,9 +60,7 @@ func (e *Encoder) appendBands(out, q, prev []byte) []byte {
 	for _, i := range changed {
 		s, end := bandRange(w, h, i)
 		delta := grow(e.delta, end-s)
-		for j := range delta {
-			delta[j] = q[s+j] - prev[s+j]
-		}
+		deltaInto(delta, q[s:end], prev[s:end])
 		e.delta = delta
 		payload := rleAppend(e.bandRLE[:0], delta)
 		e.bandRLE = payload[:0]
@@ -103,14 +101,16 @@ func (d *Decoder) applyBands(payload []byte, w, h int) error {
 		if err != nil {
 			return err
 		}
-		if int(idx) >= nBands {
+		if idx >= uint64(nBands) {
 			return ErrCorrupt
 		}
 		plen, err := next()
 		if err != nil {
 			return err
 		}
-		if i+int(plen) > len(payload) {
+		// Compare while still a uint64: a crafted plen near 2^64 must not
+		// wrap to a negative int and slip past the slice bounds below.
+		if plen > uint64(len(payload)-i) {
 			return ErrTruncated
 		}
 		s, e := bandRange(w, h, int(idx))
@@ -119,9 +119,7 @@ func (d *Decoder) applyBands(payload []byte, w, h int) error {
 			return err
 		}
 		i += int(plen)
-		for j, v := range d.scratch {
-			d.cur[s+j] += v
-		}
+		addInto(d.cur[s:e], d.scratch)
 	}
 	if i != len(payload) {
 		return ErrCorrupt

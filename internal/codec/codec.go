@@ -19,12 +19,19 @@
 //
 //	0x00 <uvarint n>            — n zero bytes
 //	0x01 <uvarint n> <n bytes>  — n literal bytes
+//
+// The layout above is the v1 bitstream. The v2 bitstream (magic 0xD4, see
+// tile.go) splits the frame into independent tile rows with a per-tile
+// offset table, dirty-skip flags and per-tile CRCs, and is what encoders
+// produce by default; this decoder accepts both.
 package codec
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"odr/internal/wpool"
 )
 
 const (
@@ -33,6 +40,11 @@ const (
 
 	frameKey   = 0
 	frameDelta = 1
+
+	// maxDim bounds the decoded frame dimensions. The paper's workloads top
+	// out at 4K; 8192 leaves headroom while capping the allocation a hostile
+	// header can demand at 8192x8192x4 before any payload byte is validated.
+	maxDim = 8192
 )
 
 // Errors returned by the decoder.
@@ -42,6 +54,7 @@ var (
 	ErrDimensions = errors.New("codec: frame dimensions mismatch")
 	ErrNoKeyframe = errors.New("codec: delta frame before any keyframe")
 	ErrCorrupt    = errors.New("codec: corrupt payload")
+	ErrVersion    = errors.New("codec: unsupported bitstream version")
 )
 
 // Options configures an Encoder.
@@ -54,8 +67,37 @@ type Options struct {
 	KeyInterval int
 	// Bands enables band-skip delta coding: unchanged 16-row bands are
 	// skipped without any coding work, cutting encode time on mostly-
-	// static content (see bands.go).
+	// static content (see bands.go). Bands is a v1 mechanism; selecting it
+	// without an explicit Version pins the encoder to the v1 bitstream
+	// (the v2 tile path subsumes band skipping).
 	Bands bool
+	// Version selects the bitstream generation: 2 (the default) emits the
+	// tiled v2 bitstream, 1 the legacy v1 byte-stream. Zero means 2 unless
+	// Bands is set.
+	Version int
+	// TileRows is the tile height in pixel rows for the v2 bitstream
+	// (default 16). Every tile is an independent encode/decode unit.
+	TileRows int
+	// Workers caps how many pool workers encode tiles of one frame
+	// concurrently (0 = the pool's full width, 1 = serial in the calling
+	// goroutine). The bitstream is byte-identical at any setting.
+	Workers int
+	// Pool overrides the worker pool tiles are encoded on (nil = the
+	// process-wide wpool.Default()).
+	Pool *wpool.Pool
+}
+
+// version resolves the effective bitstream version for the options.
+func (o Options) version() int {
+	switch o.Version {
+	case 1, 2:
+		return o.Version
+	default:
+		if o.Bands {
+			return 1
+		}
+		return 2
+	}
 }
 
 // Encoder compresses a stream of same-sized RGBA frames.
@@ -66,15 +108,32 @@ type Options struct {
 // persistent buffers, the delta image lives in a reusable scratch, and band
 // coding reuses its index/payload scratches.
 type Encoder struct {
-	w, h  int
-	opts  Options
-	prev  []byte // previous *quantized* frame
-	count int
+	w, h    int
+	opts    Options
+	version int
+	prev    []byte // previous *quantized* frame
+	count   int
 
 	qbuf    []byte // quantization target; swaps with prev each frame
 	delta   []byte // delta-image scratch
 	bandIdx []int  // changed-band index scratch
 	bandRLE []byte // per-band RLE payload scratch
+
+	// v2 tile state (see tile.go): per-tile scratches persist across
+	// frames, and the wpool.Group embeds the submission bookkeeping, so
+	// the parallel path allocates nothing in steady state either.
+	tileRows    int
+	group       *wpool.Group
+	encTask     func(int)
+	tilePayload [][]byte // per-tile RLE payload scratch
+	tileDelta   [][]byte // per-tile delta scratch
+	tileCRC     []uint32
+	tileDirty   []bool
+	tileNanos   []int64
+	lastTiles   int
+	lastDirty   int
+	curQ        []byte // per-frame task inputs, set before the tile Map
+	curKey      bool
 
 	frames int64
 	bytes  int64
@@ -88,7 +147,16 @@ func NewEncoder(w, h int, opts Options) *Encoder {
 	if opts.KeyInterval <= 0 {
 		opts.KeyInterval = 120
 	}
-	return &Encoder{w: w, h: h, opts: opts}
+	e := &Encoder{w: w, h: h, opts: opts, version: opts.version()}
+	if e.version == 2 {
+		e.tileRows = opts.TileRows
+		if e.tileRows <= 0 {
+			e.tileRows = DefaultTileRows
+		}
+		e.group = wpool.NewGroup(opts.Pool)
+		e.encTask = e.encodeTile
+	}
+	return e
 }
 
 // FrameSize returns the raw frame size in bytes.
@@ -114,6 +182,9 @@ func (e *Encoder) EncodeAppend(dst, pix []byte) ([]byte, error) {
 	if len(pix) != e.FrameSize() {
 		return nil, fmt.Errorf("codec: frame is %d bytes, want %d", len(pix), e.FrameSize())
 	}
+	if e.version == 2 {
+		return e.encodeTiles(dst, pix)
+	}
 	q := e.quantizeInto(pix)
 	isKey := e.prev == nil || e.count%e.opts.KeyInterval == 0
 	e.count++
@@ -136,9 +207,7 @@ func (e *Encoder) EncodeAppend(dst, pix []byte) ([]byte, error) {
 	default:
 		out[base+1] = frameDelta
 		delta := grow(e.delta, len(q))
-		for i := range q {
-			delta[i] = q[i] - e.prev[i]
-		}
+		deltaInto(delta, q, e.prev)
 		e.delta = delta
 		out = rleAppend(out, delta)
 	}
@@ -158,10 +227,7 @@ func (e *Encoder) quantizeInto(pix []byte) []byte {
 		copy(out, pix)
 		return out
 	}
-	mask := byte(0xFF) << e.opts.QuantShift
-	for i, v := range pix {
-		out[i] = v & mask
-	}
+	maskInto(out, pix, 0xFF<<e.opts.QuantShift)
 	return out
 }
 
@@ -182,27 +248,67 @@ func (e *Encoder) SetQuantShift(s uint) {
 	e.opts.QuantShift = s
 }
 
-// Decoder decompresses a stream produced by Encoder.
+// Decoder decompresses a stream produced by Encoder. It accepts both the
+// v1 and the tiled v2 bitstream, switching on the magic byte per frame.
 type Decoder struct {
 	w, h    int
 	cur     []byte
 	scratch []byte // RLE expansion target; swaps with cur on keyframes
+
+	// v2 tile state (tile.go): parsed directory scratches plus the
+	// optional decode pool (nil = serial decoding).
+	group    *wpool.Group
+	workers  int
+	tileOff  []int
+	tileLen  []int
+	tileCRC  []uint32
+	tileGood []bool
+	tileErr  []error
+	decTask  func(int)
+	// per-frame decode task inputs
+	curBS      []byte
+	curKeyF    bool
+	curW, curH int
+	curRows    int
+	badTiles   []int
 }
 
 // NewDecoder returns a decoder; dimensions are learned from the first frame.
 func NewDecoder() *Decoder { return &Decoder{} }
 
+// SetPool enables tile-parallel decoding of v2 frames on p (nil = the
+// shared wpool.Default()), with at most workers concurrent tiles (0 = the
+// pool's full width). The decoded pixels are identical at any setting;
+// the default, without SetPool, is serial decoding.
+func (d *Decoder) SetPool(p *wpool.Pool, workers int) {
+	d.group = wpool.NewGroup(p)
+	d.workers = workers
+}
+
 // IsKeyframe reports whether the bitstream is a self-contained keyframe —
 // decodable with no prior state. Transports use it to tag the delta chain:
-// a resyncing client skips frames until one of these arrives.
+// a resyncing client skips frames until one of these arrives. Both
+// bitstream versions are recognized.
 func IsKeyframe(bs []byte) bool {
-	return len(bs) >= 2 && bs[0] == magic && bs[1] == frameKey
+	if len(bs) >= 2 && bs[0] == magic && bs[1] == frameKey {
+		return true
+	}
+	return len(bs) >= 3 && bs[0] == magic2 && bs[1] == version2 && bs[2] == frameKey
 }
 
 // Decode decompresses one bitstream frame and returns the reconstructed
 // RGBA pixels. The returned slice is owned by the decoder and valid until
 // the next Decode. Steady-state decoding allocates nothing.
+//
+// A v2 frame whose bitstream carries corrupt tiles decodes partially: the
+// intact tiles are applied, the corrupt ones keep their previous content,
+// and Decode returns the pixels alongside a *TileError (matchable with
+// errors.Is(err, ErrTileCRC)) so the caller can resync instead of
+// discarding the whole frame.
 func (d *Decoder) Decode(bs []byte) ([]byte, error) {
+	if len(bs) >= 1 && bs[0] == magic2 {
+		return d.decodeTiles(bs)
+	}
 	if len(bs) < headerLen {
 		return nil, ErrTruncated
 	}
@@ -212,7 +318,7 @@ func (d *Decoder) Decode(bs []byte) ([]byte, error) {
 	ftype := bs[1]
 	w := int(binary.LittleEndian.Uint32(bs[3:]))
 	h := int(binary.LittleEndian.Uint32(bs[7:]))
-	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim {
 		return nil, ErrDimensions
 	}
 	size := w * h * 4
@@ -235,9 +341,7 @@ func (d *Decoder) Decode(bs []byte) ([]byte, error) {
 		if err := rleDecodeInto(d.scratch, bs[headerLen:]); err != nil {
 			return nil, err
 		}
-		for i := range d.cur {
-			d.cur[i] += d.scratch[i]
-		}
+		addInto(d.cur, d.scratch)
 	case frameBands:
 		if d.cur == nil {
 			return nil, ErrNoKeyframe
@@ -277,41 +381,25 @@ func quantize(pix []byte, shift uint) []byte {
 	return out
 }
 
-// rleAppend appends the RLE coding of data to dst and returns dst.
+// rleAppend appends the RLE coding of data to dst and returns dst. The
+// run scanners walk the data a word at a time (wide.go) but keep the
+// exact token boundaries of the original byte-loop coder: zero runs are
+// taken whole, and literal runs break at the first zero run of
+// minZeroRun+ bytes.
 func rleAppend(dst, data []byte) []byte {
 	var scratch [binary.MaxVarintLen64]byte
 	i := 0
 	for i < len(data) {
+		var j int
 		if data[i] == 0 {
-			j := i
-			for j < len(data) && data[j] == 0 {
-				j++
-			}
+			j = zeroRunEnd(data, i)
 			dst = append(dst, 0x00)
 			n := binary.PutUvarint(scratch[:], uint64(j-i))
 			dst = append(dst, scratch[:n]...)
 			i = j
 			continue
 		}
-		// Literal run: extend until we hit a zero run long enough to be
-		// worth a token (>= 4 zeros).
-		j := i
-		zeros := 0
-		for j < len(data) {
-			if data[j] == 0 {
-				zeros++
-				if zeros >= 4 {
-					j -= zeros - 1
-					break
-				}
-			} else {
-				zeros = 0
-			}
-			j++
-		}
-		if j > len(data) {
-			j = len(data)
-		}
+		j = literalRunEnd(data, i)
 		dst = append(dst, 0x01)
 		n := binary.PutUvarint(scratch[:], uint64(j-i))
 		dst = append(dst, scratch[:n]...)
@@ -333,6 +421,11 @@ func rleDecode(payload []byte, size int) ([]byte, error) {
 // rleDecodeInto expands an RLE payload into exactly len(dst) bytes without
 // allocating: zero runs clear the destination range in place (dst is reused
 // across frames, so stale bytes must be overwritten) and literal runs copy.
+//
+// Hostile-input hardening: every run length is bounded against the space
+// remaining in dst *before* the cursor advances or a byte is written, while
+// still a uint64 — a crafted uvarint near 2^64 can neither drive a huge
+// memset nor wrap to a negative int and bypass the slice bounds.
 func rleDecodeInto(dst, payload []byte) error {
 	o := 0
 	i := 0
@@ -352,7 +445,7 @@ func rleDecodeInto(dst, payload []byte) error {
 			clear(dst[o : o+int(n)])
 			o += int(n)
 		case 0x01:
-			if i+int(n) > len(payload) {
+			if n > uint64(len(payload)-i) {
 				return ErrTruncated
 			}
 			copy(dst[o:], payload[i:i+int(n)])

@@ -80,6 +80,15 @@ func TestStaticSceneCompressesAway(t *testing.T) {
 	}
 }
 
+// frameType returns the frame-type byte of a bitstream regardless of its
+// version (v1 keeps it at byte 1, v2 at byte 2 behind the version byte).
+func frameType(bs []byte) byte {
+	if bs[0] == magic2 {
+		return bs[2]
+	}
+	return bs[1]
+}
+
 func TestKeyframeInterval(t *testing.T) {
 	enc := NewEncoder(4, 4, Options{KeyInterval: 3, QuantShift: 0})
 	var types []byte
@@ -88,7 +97,7 @@ func TestKeyframeInterval(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		types = append(types, bs[1])
+		types = append(types, frameType(bs))
 	}
 	want := []byte{frameKey, frameDelta, frameDelta, frameKey, frameDelta, frameDelta, frameKey}
 	if !bytes.Equal(types, want) {
@@ -106,7 +115,7 @@ func TestForceKeyframe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bs[1] != frameKey {
+	if frameType(bs) != frameKey {
 		t.Fatal("ForceKeyframe did not produce a keyframe")
 	}
 }

@@ -25,7 +25,16 @@ func FuzzDecode(f *testing.F) {
 		}
 		f.Add(bs)
 	}
+	tileEnc := NewEncoder(8, 40, Options{Version: 2})
+	for i := int64(0); i < 3; i++ {
+		bs, err := tileEnc.Encode(genFrame(8, 40, i))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bs)
+	}
 	f.Add([]byte{magic, frameDelta, 0, 8, 0, 0, 0, 8, 0, 0, 0})
+	f.Add([]byte{magic2, version2, frameKey, 0, 8, 0, 0, 0, 8, 0, 0, 0, 16, 0, 1, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder()
 		pix, err := dec.Decode(data)
@@ -33,6 +42,59 @@ func FuzzDecode(f *testing.F) {
 			w, h := dec.Size()
 			if len(pix) != w*h*4 {
 				t.Fatalf("decoded %d bytes for %dx%d", len(pix), w, h)
+			}
+		}
+	})
+}
+
+// FuzzV2RoundTrip drives the v2 tile codec over fuzzer-chosen geometries
+// and content: the decode must reconstruct the quantized source exactly,
+// and the v1 coder fed the same frames must reconstruct the same pixels.
+func FuzzV2RoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(4), uint8(4), uint8(16), uint8(0))
+	f.Add([]byte{1, 2, 3, 0, 0, 0, 0, 9}, uint8(1), uint8(1), uint8(1), uint8(2))
+	f.Add(bytes.Repeat([]byte{0xAB, 0x00}, 40), uint8(8), uint8(40), uint8(5), uint8(7))
+	f.Add([]byte{0xFF}, uint8(16), uint8(3), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, wb, hb, rowsB, shiftB uint8) {
+		w, h := 1+int(wb)%16, 1+int(hb)%40
+		rows, shift := 1+int(rowsB)%24, uint(shiftB)%8
+		pix := func(mut byte) []byte {
+			p := make([]byte, w*h*4)
+			for i := range p {
+				if len(data) > 0 {
+					p[i] = data[i%len(data)]
+				}
+				p[i] += mut * byte(i)
+			}
+			return p
+		}
+		v2 := NewEncoder(w, h, Options{QuantShift: shift, TileRows: rows, KeyInterval: 2, Workers: 1})
+		v1 := NewEncoder(w, h, Options{QuantShift: shift, Version: 1, KeyInterval: 2})
+		d2, d1 := NewDecoder(), NewDecoder()
+		for mut := byte(0); mut < 3; mut++ {
+			p := pix(mut)
+			bs2, err := v2.Encode(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := d2.Decode(bs2)
+			if err != nil {
+				t.Fatalf("v2 decode: %v", err)
+			}
+			want := quantized(p, shift)
+			if !bytes.Equal(got, want) {
+				t.Fatal("v2 round trip differs from quantized source")
+			}
+			bs1, err := v1.Encode(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := d1.Decode(bs1)
+			if err != nil {
+				t.Fatalf("v1 decode: %v", err)
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatal("v2 pixels differ from v1")
 			}
 		}
 	})

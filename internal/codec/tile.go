@@ -1,0 +1,354 @@
+package codec
+
+// The v2 bitstream: the frame is split into fixed-height tile rows, each an
+// independent encode/decode unit. Tiles generalize bands.go — an unchanged
+// tile is skipped with a directory flag — and add what the flat v1 stream
+// cannot express: a per-tile offset table (so tiles encode and decode
+// concurrently), and a per-tile CRC32 (so corruption localizes to a tile
+// instead of killing the frame).
+//
+// Layout (all integers little-endian):
+//
+//	byte 0:       magic 0xD4
+//	byte 1:       version (2)
+//	byte 2:       frame type (0 = key, 1 = delta)
+//	byte 3:       quantization shift (0-7)
+//	bytes 4-7:    width  (uint32)
+//	bytes 8-11:   height (uint32)
+//	bytes 12-13:  tile height in pixel rows (uint16)
+//	bytes 14-15:  tile count (uint16; must equal ceil(height/tileRows))
+//	then per tile, 9 bytes of directory:
+//	    byte 0:     flags (bit 0 = dirty; clean tiles carry no payload)
+//	    bytes 1-4:  payload length (uint32)
+//	    bytes 5-8:  CRC32-Castagnoli of the payload
+//	then the tile payloads, concatenated in tile order.
+//
+// Each payload is the RLE coding (codec.go tokens) of the tile's quantized
+// content (key frames) or of its byte-wise delta against the previous
+// frame (delta frames). Key frames mark every tile dirty.
+//
+// Determinism: workers encode tiles into per-tile scratch buffers and the
+// assembly loop concatenates them in fixed tile order, so the bitstream is
+// byte-identical whether one worker or sixteen ran the tiles — the pinned
+// TestV2SerialParallelByteIdentical guards this.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+const (
+	magic2   = 0xD4
+	version2 = 2
+
+	hdr2Len     = 16
+	dirEntryLen = 9
+
+	// DefaultTileRows is the tile height used when Options.TileRows is
+	// zero; exported so accounting invariants (tiles per frame =
+	// ceil(h/DefaultTileRows)) can be checked from outside the package.
+	DefaultTileRows = 16
+	maxTileCount    = 1<<16 - 1
+
+	tileFlagDirty = 0x01
+)
+
+// castagnoli is the per-tile CRC polynomial (hardware-accelerated on
+// amd64/arm64, unlike IEEE on some targets).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTileCRC marks a v2 frame that carried one or more corrupt tile
+// payloads. The frame still decodes partially (intact tiles update, corrupt
+// tiles keep their previous content); match with errors.Is.
+var ErrTileCRC = errors.New("codec: tile payload failed its checksum")
+
+// TileError lists the corrupt tiles of a partially-decoded v2 frame, in
+// ascending tile order. errors.Is(err, ErrTileCRC) matches it.
+type TileError struct{ Tiles []int }
+
+// Error implements error.
+func (e *TileError) Error() string {
+	return fmt.Sprintf("codec: %d corrupt tile(s) %v", len(e.Tiles), e.Tiles)
+}
+
+// Unwrap makes errors.Is(err, ErrTileCRC) match.
+func (e *TileError) Unwrap() error { return ErrTileCRC }
+
+// tileCount returns the number of tileRows-high tiles covering height h.
+func tileCount(h, rows int) int { return (h + rows - 1) / rows }
+
+// tileRange returns the byte range of tile i in a w×h RGBA frame split
+// into rows-high tiles (the last tile may be short).
+func tileRange(w, h, rows, i int) (start, end int) {
+	rowBytes := w * 4
+	start = i * rows * rowBytes
+	end = start + rows*rowBytes
+	if max := h * rowBytes; end > max {
+		end = max
+	}
+	return start, end
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+// ensureTileState sizes the per-tile scratch slices once; the tile count is
+// fixed per encoder, so steady-state frames find them allocated.
+func (e *Encoder) ensureTileState(nt int) {
+	if len(e.tilePayload) == nt {
+		return
+	}
+	e.tilePayload = make([][]byte, nt)
+	e.tileDelta = make([][]byte, nt)
+	e.tileCRC = make([]uint32, nt)
+	e.tileDirty = make([]bool, nt)
+	e.tileNanos = make([]int64, nt)
+}
+
+// encodeTile codes one tile of the in-flight frame (e.curQ against e.prev)
+// into the tile's own payload scratch. It runs concurrently with other
+// tiles: all shared inputs are read-only, all outputs are tile-indexed.
+func (e *Encoder) encodeTile(i int) {
+	start := time.Now()
+	s, end := tileRange(e.w, e.h, e.tileRows, i)
+	q := e.curQ
+	if !e.curKey && bytes.Equal(q[s:end], e.prev[s:end]) {
+		e.tileDirty[i] = false
+		e.tilePayload[i] = e.tilePayload[i][:0]
+		e.tileCRC[i] = 0
+		e.tileNanos[i] = time.Since(start).Nanoseconds()
+		return
+	}
+	e.tileDirty[i] = true
+	src := q[s:end]
+	if !e.curKey {
+		d := grow(e.tileDelta[i], end-s)
+		e.tileDelta[i] = d
+		deltaInto(d, q[s:end], e.prev[s:end])
+		src = d
+	}
+	e.tilePayload[i] = rleAppend(e.tilePayload[i][:0], src)
+	e.tileCRC[i] = crc32.Checksum(e.tilePayload[i], castagnoli)
+	e.tileNanos[i] = time.Since(start).Nanoseconds()
+}
+
+// encodeTiles appends one v2 frame to dst: quantize, fan the tiles across
+// the worker pool, then assemble header + directory + payloads in fixed
+// tile order.
+func (e *Encoder) encodeTiles(dst, pix []byte) ([]byte, error) {
+	nt := tileCount(e.h, e.tileRows)
+	if nt > maxTileCount {
+		return nil, fmt.Errorf("codec: %d tiles exceed the format limit %d", nt, maxTileCount)
+	}
+	q := e.quantizeInto(pix)
+	isKey := e.prev == nil || e.count%e.opts.KeyInterval == 0
+	e.count++
+	e.ensureTileState(nt)
+	e.curQ, e.curKey = q, isKey
+	e.group.Map(e.opts.Workers, nt, e.encTask)
+
+	base := len(dst)
+	var hdr [hdr2Len]byte
+	hdr[0] = magic2
+	hdr[1] = version2
+	if isKey {
+		hdr[2] = frameKey
+	} else {
+		hdr[2] = frameDelta
+	}
+	hdr[3] = byte(e.opts.QuantShift)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.w))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(e.h))
+	binary.LittleEndian.PutUint16(hdr[12:], uint16(e.tileRows))
+	binary.LittleEndian.PutUint16(hdr[14:], uint16(nt))
+	out := append(dst, hdr[:]...)
+
+	dirty := 0
+	var ent [dirEntryLen]byte
+	for i := 0; i < nt; i++ {
+		ent[0] = 0
+		if e.tileDirty[i] {
+			ent[0] = tileFlagDirty
+			dirty++
+		}
+		binary.LittleEndian.PutUint32(ent[1:], uint32(len(e.tilePayload[i])))
+		binary.LittleEndian.PutUint32(ent[5:], e.tileCRC[i])
+		out = append(out, ent[:]...)
+	}
+	for i := 0; i < nt; i++ {
+		out = append(out, e.tilePayload[i]...)
+	}
+
+	e.lastTiles, e.lastDirty = nt, dirty
+	e.prev, e.qbuf = q, e.prev
+	e.frames++
+	e.bytes += int64(len(out) - base)
+	return out, nil
+}
+
+// TileStats reports the tile accounting of the last encoded frame: how many
+// tiles the frame had and how many were dirty (coded). Both are zero for
+// v1 encoders and before the first frame.
+func (e *Encoder) TileStats() (tiles, dirty int) { return e.lastTiles, e.lastDirty }
+
+// TileNanos returns the per-tile encode durations (nanoseconds, tile order)
+// of the last encoded frame. The slice is reused by the next Encode; it is
+// empty for v1 encoders.
+func (e *Encoder) TileNanos() []int64 { return e.tileNanos[:e.lastTiles] }
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+// ensureTileState sizes the decoder's per-tile directory scratches.
+func (d *Decoder) ensureTileState(nt int) {
+	if len(d.tileOff) == nt {
+		return
+	}
+	d.tileOff = make([]int, nt)
+	d.tileLen = make([]int, nt)
+	d.tileCRC = make([]uint32, nt)
+	d.tileGood = make([]bool, nt)
+	d.tileErr = make([]error, nt)
+}
+
+// decodeTile validates and applies one tile of the in-flight v2 frame. It
+// runs concurrently with other tiles: tile regions are disjoint, shared
+// inputs read-only, and the per-tile error slot carries the outcome.
+func (d *Decoder) decodeTile(i int) {
+	s, end := tileRange(d.curW, d.curH, d.curRows, i)
+	dst := d.scratch[s:end]
+	if !d.tileGood[i] { // clean tile of a delta frame: nothing to apply
+		d.tileErr[i] = nil
+		return
+	}
+	seg := d.curBS[d.tileOff[i] : d.tileOff[i]+d.tileLen[i]]
+	keepOld := func() {
+		// A corrupt tile of a key frame keeps its previous content in the
+		// new frame buffer (zeros when there is no previous frame); a
+		// corrupt delta tile simply is not applied.
+		if d.curKeyF {
+			if d.cur != nil {
+				copy(dst, d.cur[s:end])
+			} else {
+				clear(dst)
+			}
+		}
+	}
+	if crc32.Checksum(seg, castagnoli) != d.tileCRC[i] {
+		d.tileErr[i] = ErrTileCRC
+		keepOld()
+		return
+	}
+	if err := rleDecodeInto(dst, seg); err != nil {
+		d.tileErr[i] = err
+		keepOld()
+		return
+	}
+	d.tileErr[i] = nil
+	if !d.curKeyF {
+		addInto(d.cur[s:end], dst)
+	}
+}
+
+// decodeTiles decodes one v2 frame. Intact tiles apply even when some
+// tiles are corrupt; see Decode's contract.
+func (d *Decoder) decodeTiles(bs []byte) ([]byte, error) {
+	if len(bs) < hdr2Len {
+		return nil, ErrTruncated
+	}
+	if bs[1] != version2 {
+		return nil, ErrVersion
+	}
+	ftype := bs[2]
+	if ftype != frameKey && ftype != frameDelta {
+		return nil, ErrCorrupt
+	}
+	isKey := ftype == frameKey
+	w := int(binary.LittleEndian.Uint32(bs[4:]))
+	h := int(binary.LittleEndian.Uint32(bs[8:]))
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim {
+		return nil, ErrDimensions
+	}
+	rows := int(binary.LittleEndian.Uint16(bs[12:]))
+	nt := int(binary.LittleEndian.Uint16(bs[14:]))
+	if rows <= 0 || nt != tileCount(h, rows) {
+		return nil, ErrCorrupt
+	}
+	if d.cur != nil && (d.w != w || d.h != h) {
+		return nil, ErrDimensions
+	}
+	if !isKey && d.cur == nil {
+		return nil, ErrNoKeyframe
+	}
+
+	// Walk the directory before touching any payload byte: offsets are
+	// prefix sums of the declared lengths, every length is bounded by the
+	// bytes actually present, and the payloads must exactly exhaust the
+	// frame — no gaps, no trailing junk.
+	dirEnd := hdr2Len + nt*dirEntryLen
+	if len(bs) < dirEnd {
+		return nil, ErrTruncated
+	}
+	d.ensureTileState(nt)
+	off := dirEnd
+	for i := 0; i < nt; i++ {
+		ent := bs[hdr2Len+i*dirEntryLen:]
+		flags := ent[0]
+		if flags&^tileFlagDirty != 0 {
+			return nil, ErrCorrupt
+		}
+		plen := int(binary.LittleEndian.Uint32(ent[1:]))
+		dirtyTile := flags&tileFlagDirty != 0
+		if !dirtyTile && (plen != 0 || isKey) {
+			// Clean tiles carry no payload, and key frames have no clean
+			// tiles — every tile of a keyframe is self-contained content.
+			return nil, ErrCorrupt
+		}
+		if plen > len(bs)-off {
+			return nil, ErrTruncated
+		}
+		d.tileOff[i], d.tileLen[i] = off, plen
+		d.tileCRC[i] = binary.LittleEndian.Uint32(ent[5:])
+		d.tileGood[i] = dirtyTile
+		off += plen
+	}
+	if off != len(bs) {
+		return nil, ErrCorrupt
+	}
+
+	size := w * h * 4
+	d.scratch = grow(d.scratch, size)
+	d.curBS, d.curKeyF, d.curW, d.curH, d.curRows = bs, isKey, w, h, rows
+	if d.group != nil {
+		if d.decTask == nil {
+			d.decTask = d.decodeTile
+		}
+		d.group.Map(d.workers, nt, d.decTask)
+	} else {
+		for i := 0; i < nt; i++ {
+			d.decodeTile(i)
+		}
+	}
+	d.curBS = nil
+
+	if isKey {
+		d.w, d.h = w, h
+		d.cur, d.scratch = d.scratch, d.cur
+	}
+	d.badTiles = d.badTiles[:0]
+	for i := 0; i < nt; i++ {
+		if d.tileErr[i] != nil {
+			d.badTiles = append(d.badTiles, i)
+		}
+	}
+	if len(d.badTiles) > 0 {
+		return d.cur, &TileError{Tiles: append([]int(nil), d.badTiles...)}
+	}
+	return d.cur, nil
+}

@@ -1,0 +1,152 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The SWAR kernels must agree with the obvious byte loops on every input.
+// These differential tests sweep random buffers across the interesting
+// lengths (0, sub-word, word-aligned, word+tail) so both the 8-byte body
+// and the byte tail of every kernel are exercised.
+
+func randBuf(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+var kernelLens = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 100, 255}
+
+func TestSubAddBytesAllLanePairs(t *testing.T) {
+	// Every (a,b) byte pair in one lane, with noise in the neighbors to
+	// catch cross-lane carry/borrow leaks.
+	rng := rand.New(rand.NewSource(1))
+	for a := 0; a < 256; a += 3 {
+		for b := 0; b < 256; b += 3 {
+			noise := rng.Uint64()
+			lane := uint(8 * rng.Intn(8))
+			x := noise&^(uint64(0xFF)<<lane) | uint64(a)<<lane
+			y := ^noise&^(uint64(0xFF)<<lane) | uint64(b)<<lane
+			sub := subBytes(x, y)
+			add := addBytes(x, y)
+			for l := uint(0); l < 64; l += 8 {
+				xa, yb := byte(x>>l), byte(y>>l)
+				if got, want := byte(sub>>l), xa-yb; got != want {
+					t.Fatalf("subBytes lane %d: %#x-%#x = %#x, want %#x", l/8, xa, yb, got, want)
+				}
+				if got, want := byte(add>>l), xa+yb; got != want {
+					t.Fatalf("addBytes lane %d: %#x+%#x = %#x, want %#x", l/8, xa, yb, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHasZeroByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		v := rng.Uint64()
+		if i%4 == 0 { // force a zero lane in a quarter of the probes
+			v &^= uint64(0xFF) << (8 * uint(rng.Intn(8)))
+		}
+		want := false
+		for l := uint(0); l < 64; l += 8 {
+			if byte(v>>l) == 0 {
+				want = true
+			}
+		}
+		if got := hasZeroByte(v); got != want {
+			t.Fatalf("hasZeroByte(%#x) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestDeltaAddMaskMatchByteLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range kernelLens {
+		a, b := randBuf(rng, n), randBuf(rng, n)
+
+		got := make([]byte, n)
+		deltaInto(got, a, b)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = a[i] - b[i]
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("deltaInto mismatch at len %d", n)
+		}
+
+		// addInto inverts deltaInto: b + (a-b) == a.
+		sum := append([]byte(nil), b...)
+		addInto(sum, got)
+		if !bytes.Equal(sum, a) {
+			t.Fatalf("addInto does not invert deltaInto at len %d", n)
+		}
+
+		for _, mask := range []byte{0x00, 0x80, 0xFC, 0xFF} {
+			got := make([]byte, n)
+			maskInto(got, a, mask)
+			for i := range got {
+				if got[i] != a[i]&mask {
+					t.Fatalf("maskInto mask %#x len %d: byte %d = %#x, want %#x", mask, n, i, got[i], a[i]&mask)
+				}
+			}
+		}
+	}
+}
+
+// Reference byte-loop run scanners, as rleAppend used before the word-wide
+// versions. The kernels must preserve these token boundaries exactly —
+// that is what keeps the new bitstream byte-identical to the old one.
+func refZeroRunEnd(data []byte, i int) int {
+	for i < len(data) && data[i] == 0 {
+		i++
+	}
+	return i
+}
+
+func refLiteralRunEnd(data []byte, i int) int {
+	zeros := 0
+	for i < len(data) {
+		if data[i] == 0 {
+			zeros++
+			if zeros >= minZeroRun {
+				return i - (zeros - 1)
+			}
+		} else {
+			zeros = 0
+		}
+		i++
+	}
+	return len(data)
+}
+
+func TestRunScannersMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(200)
+		data := make([]byte, n)
+		for i := range data {
+			// Heavily zero-biased so runs of every length appear.
+			if rng.Intn(3) > 0 {
+				data[i] = 0
+			} else {
+				data[i] = byte(1 + rng.Intn(255))
+			}
+		}
+		for i := 0; i <= n; i++ {
+			if i < n && data[i] == 0 {
+				if got, want := zeroRunEnd(data, i), refZeroRunEnd(data, i); got != want {
+					t.Fatalf("zeroRunEnd(%v, %d) = %d, want %d", data, i, got, want)
+				}
+			}
+			if got, want := literalRunEnd(data, i), refLiteralRunEnd(data, i); got != want {
+				t.Fatalf("literalRunEnd(%v, %d) = %d, want %d", data, i, got, want)
+			}
+		}
+	}
+}

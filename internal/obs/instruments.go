@@ -14,38 +14,48 @@ type FrameInstruments struct {
 	Priority  *Counter // priority_frames (PriorityFrame promotions)
 	Inputs    *Counter // inputs received
 
+	// Tile codec counters (v2 bitstream; see internal/codec/tile.go).
+	TilesCoded *Counter // tiles_coded (tiles of every encoded frame)
+	TilesDirty *Counter // tiles_dirty (tiles that actually carried a payload)
+
 	// Histograms of per-step service time, in microseconds.
-	Render *Histogram // render_us
-	Copy   *Histogram // copy_us
-	Encode *Histogram // encode_us
-	Tx     *Histogram // tx_us
-	Decode *Histogram // decode_us
-	MtP    *Histogram // mtp_us (motion-to-photon)
+	Render     *Histogram // render_us
+	Copy       *Histogram // copy_us
+	Encode     *Histogram // encode_us
+	TileEncode *Histogram // tile_encode_us (per-tile slice of encode_us)
+	Tx         *Histogram // tx_us
+	Decode     *Histogram // decode_us
+	MtP        *Histogram // mtp_us (motion-to-photon)
 
 	// Gauges refreshed per monitoring window.
-	RenderFPS *Gauge // render_fps
-	ClientFPS *Gauge // client_fps
-	FPSGap    *Gauge // fps_gap
+	RenderFPS  *Gauge // render_fps
+	ClientFPS  *Gauge // client_fps
+	FPSGap     *Gauge // fps_gap
+	DirtyRatio *Gauge // dirty_tile_ratio (dirty/total of the last frame)
 }
 
 // NewFrameInstruments resolves the standard instrument set in r (nil r
 // yields all-nil, no-op instruments).
 func NewFrameInstruments(r *Registry) FrameInstruments {
 	return FrameInstruments{
-		Rendered:  r.Counter("frames_rendered"),
-		Encoded:   r.Counter("frames_encoded"),
-		Displayed: r.Counter("frames_displayed"),
-		Dropped:   r.Counter("frames_dropped"),
-		Priority:  r.Counter("priority_frames"),
-		Inputs:    r.Counter("inputs"),
-		Render:    r.Histogram("render_us"),
-		Copy:      r.Histogram("copy_us"),
-		Encode:    r.Histogram("encode_us"),
-		Tx:        r.Histogram("tx_us"),
-		Decode:    r.Histogram("decode_us"),
-		MtP:       r.Histogram("mtp_us"),
-		RenderFPS: r.Gauge("render_fps"),
-		ClientFPS: r.Gauge("client_fps"),
-		FPSGap:    r.Gauge("fps_gap"),
+		Rendered:   r.Counter("frames_rendered"),
+		Encoded:    r.Counter("frames_encoded"),
+		Displayed:  r.Counter("frames_displayed"),
+		Dropped:    r.Counter("frames_dropped"),
+		Priority:   r.Counter("priority_frames"),
+		Inputs:     r.Counter("inputs"),
+		TilesCoded: r.Counter("tiles_coded"),
+		TilesDirty: r.Counter("tiles_dirty"),
+		Render:     r.Histogram("render_us"),
+		Copy:       r.Histogram("copy_us"),
+		Encode:     r.Histogram("encode_us"),
+		TileEncode: r.Histogram("tile_encode_us"),
+		Tx:         r.Histogram("tx_us"),
+		Decode:     r.Histogram("decode_us"),
+		MtP:        r.Histogram("mtp_us"),
+		RenderFPS:  r.Gauge("render_fps"),
+		ClientFPS:  r.Gauge("client_fps"),
+		FPSGap:     r.Gauge("fps_gap"),
+		DirtyRatio: r.Gauge("dirty_tile_ratio"),
 	}
 }

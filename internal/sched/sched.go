@@ -1,7 +1,8 @@
-// Package sched is the shared experiment runner: a deterministic
-// work-stealing scheduler that executes independent pipeline.Config cells
-// across GOMAXPROCS workers, plus a content-addressed result cache keyed by
-// the canonicalized cell (cache.go).
+// Package sched is the shared experiment runner: a deterministic scheduler
+// that executes independent pipeline.Config cells on the process-wide
+// worker pool (internal/wpool, shared with the tile codec), plus a
+// content-addressed result cache keyed by the canonicalized cell
+// (cache.go).
 //
 // Determinism comes from two properties. First, pipeline.Run is a pure
 // function of its Config — each cell carries its own seed (seedFor in
@@ -13,11 +14,10 @@ package sched
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"odr/internal/obs"
 	"odr/internal/pipeline"
+	"odr/internal/wpool"
 )
 
 // Options configures a Runner.
@@ -112,117 +112,21 @@ func (r *Runner) runCell(c Cell) *pipeline.Result {
 	return res
 }
 
-// Map runs fn(i) for every i in [0, n) across up to workers goroutines and
-// returns the results in index order: out[i] always holds fn(i), and fn
-// runs exactly once per index. Execution order is arbitrary — idle workers
-// steal from loaded ones — but with pure fn the output is identical to a
-// sequential loop. A panic in fn propagates to the caller after all
-// workers have stopped.
+// Map runs fn(i) for every i in [0, n) across up to workers concurrent
+// executors and returns the results in index order: out[i] always holds
+// fn(i), and fn runs exactly once per index. Execution order is arbitrary
+// but with pure fn the output is identical to a sequential loop. A panic
+// in fn propagates to the caller after all executors have stopped.
+//
+// The work runs on the process-wide wpool.Default() pool — the same
+// persistent workers the tile codec uses — instead of spawning a goroutine
+// batch per call, so back-to-back experiment batches and in-flight frame
+// encodes share one set of executors.
 func Map[T any](workers, n int, fn func(int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 || n >= 1<<31 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
-		}
-		return out
-	}
-	spans := make([]span, workers)
-	for w := 0; w < workers; w++ {
-		spans[w].v.Store(pack(w*n/workers, (w+1)*n/workers))
-	}
-	var (
-		wg        sync.WaitGroup
-		panicOnce sync.Once
-		panicked  atomic.Bool
-		panicVal  any
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(self int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panicOnce.Do(func() { panicVal = p })
-					panicked.Store(true)
-				}
-			}()
-			for !panicked.Load() {
-				i, ok := spans[self].pop()
-				if !ok {
-					if !steal(spans, self) {
-						return
-					}
-					continue
-				}
-				out[i] = fn(i)
-			}
-		}(w)
-	}
-	wg.Wait()
-	if panicVal != nil {
-		panic(panicVal)
-	}
+	wpool.Default().Map(workers, n, func(i int) { out[i] = fn(i) })
 	return out
-}
-
-// span is one worker's index range, packed next<<32|limit so that pops
-// (the owner takes from the bottom) and steals (a thief takes the top
-// half) are single-word CAS transitions. The packed word fully determines
-// the range, and a popped index can never re-enter any span, so the
-// classic ABA hazard cannot occur. The padding keeps neighbouring spans
-// off one cache line.
-type span struct {
-	v atomic.Uint64
-	_ [7]uint64
-}
-
-func pack(next, limit int) uint64 { return uint64(next)<<32 | uint64(uint32(limit)) }
-
-func unpack(v uint64) (next, limit int) { return int(v >> 32), int(uint32(v)) }
-
-// pop claims the next index of the worker's own span.
-func (s *span) pop() (int, bool) {
-	for {
-		v := s.v.Load()
-		next, limit := unpack(v)
-		if next >= limit {
-			return 0, false
-		}
-		if s.v.CompareAndSwap(v, pack(next+1, limit)) {
-			return next, true
-		}
-	}
-}
-
-// steal scans the other spans for remaining work and moves the top half of
-// the first non-empty one into self's (empty) span. It reports whether any
-// work was found; a false return after a full scan means the batch is done
-// for this worker.
-func steal(spans []span, self int) bool {
-	for off := 1; off < len(spans); off++ {
-		victim := &spans[(self+off)%len(spans)]
-		for {
-			v := victim.v.Load()
-			next, limit := unpack(v)
-			remaining := limit - next
-			if remaining <= 0 {
-				break
-			}
-			mid := limit - (remaining+1)/2
-			if victim.v.CompareAndSwap(v, pack(next, mid)) {
-				spans[self].v.Store(pack(mid, limit))
-				return true
-			}
-		}
-	}
-	return false
 }

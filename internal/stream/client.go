@@ -252,10 +252,26 @@ func (c *Client) runSession(conn streamConn) error {
 				}
 				continue
 			}
-			if err != nil {
+			partial := errors.Is(err, codec.ErrTileCRC)
+			if err != nil && !partial {
 				return err
 			}
-			c.haveSeq, c.lastSeq, c.pendingResync = true, m.seq, false
+			if partial {
+				// Corrupt tiles in an otherwise valid v2 frame: the intact
+				// tiles were applied, so show what arrived — but the
+				// reconstruction no longer matches the encoder, so treat the
+				// delta chain as broken until a keyframe lands.
+				c.haveSeq = false
+				if isKey {
+					// The awaited keyframe itself was damaged; ask again.
+					c.pendingResync = false
+				}
+				if kerr := c.beginResync(); kerr != nil {
+					return kerr
+				}
+			} else {
+				c.haveSeq, c.lastSeq, c.pendingResync = true, m.seq, false
+			}
 			display := c.now()
 			c.mu.Lock()
 			c.frames++
@@ -314,10 +330,12 @@ func (c *Client) Run() error {
 				c.mu.Unlock()
 			}
 			sessions++
-			// A fresh connection means fresh framing and a fresh decoder:
-			// the first delta will miss its parent and trigger a resync.
+			// A fresh connection means fresh framing and a fresh decoder,
+			// with the whole keyframe-chain state reset alongside it: the
+			// first delta of the new session must be rejected and trigger a
+			// resync, never matched against a stale lastSeq.
 			c.dec = codec.NewDecoder()
-			c.haveSeq, c.pendingResync = false, false
+			c.haveSeq, c.lastSeq, c.pendingResync = false, 0, false
 			before := c.frameCount()
 			err = c.runSession(conn)
 			conn.Close()

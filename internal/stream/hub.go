@@ -493,6 +493,14 @@ func (s *hubSession) encodeAndSendLoop() {
 		s.hub.tr.Span(obs.TrackProxy, "encode", f.Seq, start, encEnd)
 		s.hub.ins.Encoded.Inc()
 		s.hub.ins.Encode.ObserveDuration(encEnd - start)
+		if tiles, dirty := s.enc.TileStats(); tiles > 0 {
+			s.hub.ins.TilesCoded.Add(int64(tiles))
+			s.hub.ins.TilesDirty.Add(int64(dirty))
+			s.hub.ins.DirtyRatio.Set(float64(dirty) / float64(tiles))
+			for _, ns := range s.enc.TileNanos() {
+				s.hub.ins.TileEncode.Observe(ns / 1e3)
+			}
+		}
 		// Only the stamp belonging to this session is echoed: MtP is
 		// measured on the issuing client's clock. Stamps carried from
 		// dropped older frames are answered by this frame too.

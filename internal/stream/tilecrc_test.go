@@ -1,0 +1,261 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odr/internal/chaos"
+	"odr/internal/codec"
+	"odr/internal/testutil"
+)
+
+// TestClientPartialDecodeOnTileCorruption exercises the interplay between
+// the wire CRC and the per-tile CRCs: a bitstream corrupted *before* the
+// frame header was stamped (server-side memory corruption, not wire noise)
+// passes the outer checksum, so only the v2 tile CRC can catch it. The
+// client must display the intact tiles, keep the previous content in the
+// corrupt one, request a keyframe, and recover fully when it lands.
+func TestClientPartialDecodeOnTileCorruption(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const w, h = 16, 40 // three 16-row tiles, the last short
+	const rowBytes = w * 4
+	tile0 := [2]int{0, 16 * rowBytes}
+	tile2 := [2]int{32 * rowBytes, h * rowBytes}
+
+	pixA := make([]byte, w*h*4)
+	for i := range pixA {
+		pixA[i] = byte(i*7 + 3)
+	}
+	pixB := append([]byte(nil), pixA...)
+	for i := 0; i < 16; i++ { // touch tile 0 and tile 2; tile 1 stays clean
+		pixB[tile0[0]+i]++
+		pixB[tile2[0]+i]++
+	}
+
+	enc := codec.NewEncoder(w, h, codec.Options{QuantShift: 0, KeyInterval: 1 << 20})
+	bs1, err := enc.Encode(pixA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs2, err := enc.Encode(pixB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final byte of the bitstream belongs to the last dirty tile's
+	// payload (tile 2). Flip it BEFORE stamping the frame header, so the
+	// wire CRC is consistent with the already-corrupt bitstream.
+	bs2[len(bs2)-1] ^= 0xFF
+
+	sc, cc := net.Pipe()
+	defer sc.Close()
+	cli := NewClient(cc)
+	type capture struct {
+		seq uint64
+		pix []byte
+	}
+	frames := make(chan capture, 4)
+	cli.OnFrame(func(seq uint64, pix []byte) {
+		frames <- capture{seq, append([]byte(nil), pix...)}
+	})
+	cliDone := make(chan error, 1)
+	go func() { cliDone <- cli.Run() }()
+
+	srvDone := make(chan error, 1)
+	go func() {
+		srvDone <- func() error {
+			if err := writeMsg(sc, msgFrame, frameMsg(frameMeta{seq: 1}, bs1)); err != nil {
+				return err
+			}
+			if err := writeMsg(sc, msgFrame, frameMsg(frameMeta{seq: 2, parentSeq: 1}, bs2)); err != nil {
+				return err
+			}
+			typ, _, err := readMsg(sc, nil)
+			if err != nil {
+				return err
+			}
+			if typ != msgKeyReq {
+				return fmt.Errorf("expected msgKeyReq after tile corruption, got type %d", typ)
+			}
+			enc.ForceKeyframe()
+			key, err := enc.Encode(pixB)
+			if err != nil {
+				return err
+			}
+			if err := writeMsg(sc, msgFrame, frameMsg(frameMeta{seq: 3}, key)); err != nil {
+				return err
+			}
+			return writeMsg(sc, msgBye, nil)
+		}()
+	}()
+
+	select {
+	case err := <-srvDone:
+		if err != nil {
+			t.Fatalf("mock server: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mock server stuck")
+	}
+	select {
+	case err := <-cliDone:
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client stuck")
+	}
+
+	got := map[uint64][]byte{}
+	for len(frames) > 0 {
+		c := <-frames
+		got[c.seq] = c.pix
+	}
+	partial, ok := got[2]
+	if !ok {
+		t.Fatal("the partially-decoded frame was never displayed")
+	}
+	if !bytes.Equal(partial[tile0[0]:tile0[1]], pixB[tile0[0]:tile0[1]]) {
+		t.Error("intact tile 0 was not applied in the partial frame")
+	}
+	if !bytes.Equal(partial[tile2[0]:tile2[1]], pixA[tile2[0]:tile2[1]]) {
+		t.Error("corrupt tile 2 did not keep its previous content")
+	}
+	if !bytes.Equal(got[3], pixB) {
+		t.Error("post-resync keyframe did not restore pixel identity")
+	}
+	rep := cli.Report()
+	if rep.Resyncs != 1 || rep.Frames != 3 {
+		t.Fatalf("report = %+v, want 1 resync and 3 displayed frames", rep)
+	}
+}
+
+// TestReconnectRejectsStaleDeltaChain cuts the first session with a chaos
+// disconnect schedule mid-frame, then has the "server" continue its delta
+// chain on the new connection — as a server that never noticed the
+// reconnect would. The client must reject that first post-reconnect delta
+// (fresh decoder, fresh chain state), resync via keyframe request, and
+// never display the stale delta.
+func TestReconnectRejectsStaleDeltaChain(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const w, h = 16, 40
+	pix := func(step byte) []byte {
+		p := make([]byte, w*h*4)
+		for i := range p {
+			p[i] = byte(i)*3 + step*17
+		}
+		return p
+	}
+	pA, pB, pC := pix(0), pix(1), pix(2)
+	enc := codec.NewEncoder(w, h, codec.Options{QuantShift: 0, KeyInterval: 1 << 20})
+	mustEncode := func(p []byte) []byte {
+		bs, err := enc.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bs
+	}
+	msg1 := frameMsg(frameMeta{seq: 1}, mustEncode(pA))               // key
+	msg2 := frameMsg(frameMeta{seq: 2, parentSeq: 1}, mustEncode(pB)) // delta
+	msg3 := frameMsg(frameMeta{seq: 3, parentSeq: 2}, mustEncode(pC)) // delta: the stale-chain frame
+
+	// The disconnect lands exactly on the header write of the third frame:
+	// session 1 delivers frames 1 and 2 whole, then dies mid-stream.
+	disc := chaos.MustParse(fmt.Sprintf("disc@%d", 10+len(msg1)+len(msg2)))
+
+	var sessionN atomic.Int32
+	serverConns := make(chan net.Conn, 2)
+	dial := func() (net.Conn, error) {
+		sc, cc := net.Pipe()
+		if sessionN.Add(1) == 1 {
+			serverConns <- chaos.Wrap(sc, disc, 1)
+		} else {
+			serverConns <- sc
+		}
+		return cc, nil
+	}
+	cli := NewReconnectingClient(dial, ReconnectPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		Seed:        1,
+	})
+	var seqs []uint64
+	cli.OnFrame(func(seq uint64, pix []byte) { seqs = append(seqs, seq) })
+	cliDone := make(chan error, 1)
+	go func() { cliDone <- cli.Run() }()
+
+	srvDone := make(chan error, 1)
+	go func() {
+		srvDone <- func() error {
+			conn1 := <-serverConns
+			if err := writeMsg(conn1, msgFrame, msg1); err != nil {
+				return err
+			}
+			if err := writeMsg(conn1, msgFrame, msg2); err != nil {
+				return err
+			}
+			if err := writeMsg(conn1, msgFrame, msg3); err == nil {
+				return fmt.Errorf("expected the chaos disconnect to cut frame 3")
+			}
+			conn1.Close() // the cut link dies for the reader too
+
+			conn2 := <-serverConns
+			defer conn2.Close()
+			// Continue the old delta chain as if nothing happened.
+			if err := writeMsg(conn2, msgFrame, msg3); err != nil {
+				return err
+			}
+			typ, _, err := readMsg(conn2, nil)
+			if err != nil {
+				return err
+			}
+			if typ != msgKeyReq {
+				return fmt.Errorf("expected msgKeyReq for the stale delta, got type %d", typ)
+			}
+			enc.ForceKeyframe()
+			key, err := enc.Encode(pC)
+			if err != nil {
+				return err
+			}
+			if err := writeMsg(conn2, msgFrame, frameMsg(frameMeta{seq: 4}, key)); err != nil {
+				return err
+			}
+			return writeMsg(conn2, msgBye, nil)
+		}()
+	}()
+
+	select {
+	case err := <-srvDone:
+		if err != nil {
+			t.Fatalf("mock server: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mock server stuck")
+	}
+	select {
+	case err := <-cliDone:
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client stuck")
+	}
+
+	want := []uint64{1, 2, 4}
+	if len(seqs) != len(want) {
+		t.Fatalf("displayed seqs %v, want %v", seqs, want)
+	}
+	for i, s := range want {
+		if seqs[i] != s {
+			t.Fatalf("displayed seqs %v, want %v — the stale delta must never display", seqs, want)
+		}
+	}
+	rep := cli.Report()
+	if rep.Reconnects != 1 || rep.Resyncs != 1 {
+		t.Fatalf("report = %+v, want 1 reconnect and 1 resync", rep)
+	}
+}

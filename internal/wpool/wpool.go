@@ -1,0 +1,230 @@
+// Package wpool is the process-wide persistent worker pool shared by the
+// tile-parallel frame codec and the experiment scheduler. It exists because
+// both hot paths fan small index-addressed batches (tiles of a frame,
+// cells of an experiment grid) across cores many times per second: spawning
+// goroutines per batch would churn the scheduler and show up as allocation
+// noise on paths the repo pins at zero allocs.
+//
+// The pool holds GOMAXPROCS-1 helper goroutines that park on a channel.
+// A Map submission wakes up to limit-1 of them; the submitting goroutine
+// always participates too, so completion never depends on helper
+// availability — a fully busy pool just means the submitter does the work
+// itself (and nested Maps degrade to inline loops instead of deadlocking).
+//
+// Determinism: Map(fn) runs fn(i) exactly once for every index, and callers
+// write results to index-addressed slots, so the output of a Map is
+// byte-identical whether zero or all helpers join. Which goroutine runs
+// which index is the only thing that varies.
+//
+// The shared Default pool is created at package init, before any test or
+// soak harness snapshots its goroutine-leak baseline, so its helpers are
+// part of every baseline rather than a "leak".
+package wpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of persistent helper goroutines. The zero value is
+// unusable; use New or Default.
+type Pool struct {
+	helpers int
+	jobs    chan *job
+}
+
+// job is one Map submission: an atomic index dispenser plus join/close
+// bookkeeping. Helpers that pick the job off the channel claim indices
+// until none remain or a participant panicked.
+type job struct {
+	fn   func(int)
+	n    int64
+	next atomic.Int64
+
+	// First panic wins; the others stop claiming indices.
+	panicked atomic.Bool
+	panicMu  sync.Mutex
+	panicSet bool
+	panicVal any
+
+	// mu serializes helper join against submitter close, so wg.Wait cannot
+	// miss a late joiner.
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// run claims and executes indices until the job is exhausted (or a
+// participant panicked). A panic in fn is recorded and re-raised by the
+// submitter after every participant has stopped.
+func (j *job) run() {
+	defer func() {
+		if p := recover(); p != nil {
+			j.panicMu.Lock()
+			if !j.panicSet {
+				j.panicSet, j.panicVal = true, p
+			}
+			j.panicMu.Unlock()
+			j.panicked.Store(true)
+		}
+	}()
+	for !j.panicked.Load() {
+		i := j.next.Add(1) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(int(i))
+	}
+}
+
+// New returns a pool that runs batches across up to workers goroutines
+// (workers-1 persistent helpers plus the submitter). workers <= 1 yields a
+// helperless pool whose Maps run inline. Close releases the helpers; the
+// Default pool is never closed.
+func New(workers int) *Pool {
+	helpers := workers - 1
+	if helpers < 0 {
+		helpers = 0
+	}
+	p := &Pool{helpers: helpers, jobs: make(chan *job, helpers)}
+	for i := 0; i < helpers; i++ {
+		go p.helper()
+	}
+	return p
+}
+
+// helper parks on the job channel and joins whatever work arrives. A job
+// that closed before the helper got to it is skipped — its submitter
+// already finished it.
+func (p *Pool) helper() {
+	for j := range p.jobs {
+		j.mu.Lock()
+		if j.closed {
+			j.mu.Unlock()
+			continue
+		}
+		j.wg.Add(1)
+		j.mu.Unlock()
+		j.run()
+		j.wg.Done()
+	}
+}
+
+// Close stops the helpers once their queued jobs finish. Only for
+// privately-owned pools (tests, benchmarks); Map must not be in flight.
+func (p *Pool) Close() { close(p.jobs) }
+
+// Workers returns the maximum parallelism of the pool (helpers + the
+// submitting goroutine).
+func (p *Pool) Workers() int { return p.helpers + 1 }
+
+// Map runs fn(i) exactly once for every i in [0, n), across at most limit
+// goroutines (0 = the pool's full width). It returns when all indices have
+// completed; a panic in fn propagates to the caller after every
+// participant has stopped. The limit caps how many helpers are woken for
+// this call; because callers write to index-addressed slots, results are
+// identical at any limit.
+func (p *Pool) Map(limit, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if limit <= 0 || limit > p.helpers+1 {
+		limit = p.helpers + 1
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	j := &job{fn: fn, n: int64(n)}
+	p.submit(j, limit)
+}
+
+// submit wakes helpers for j, participates, then closes the job and waits
+// for joined helpers before re-raising any panic.
+func (p *Pool) submit(j *job, limit int) {
+	notify := limit - 1
+wake:
+	for i := 0; i < notify; i++ {
+		select {
+		case p.jobs <- j:
+		default:
+			// Every helper is busy (or its wakeup slot already full); the
+			// submitter will absorb the remaining work itself.
+			break wake
+		}
+	}
+	j.run()
+	j.mu.Lock()
+	j.closed = true
+	j.mu.Unlock()
+	j.wg.Wait()
+	if j.panicSet {
+		panic(j.panicVal)
+	}
+}
+
+// Group is a reusable Map handle: it embeds the job bookkeeping so a caller
+// that Maps repeatedly (an encoder, once per frame) allocates nothing in
+// steady state. A Group serializes its own Maps — one at a time.
+type Group struct {
+	p *Pool
+	j job
+}
+
+// NewGroup returns a Group over p (nil p = the Default pool).
+func NewGroup(p *Pool) *Group {
+	if p == nil {
+		p = Default()
+	}
+	return &Group{p: p}
+}
+
+// Pool returns the pool the group submits to.
+func (g *Group) Pool() *Pool { return g.p }
+
+// Map is Pool.Map without the per-call job allocation. Not safe for
+// concurrent calls on the same Group.
+func (g *Group) Map(limit, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	p := g.p
+	if limit <= 0 || limit > p.helpers+1 {
+		limit = p.helpers + 1
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Reset under mu: a helper holding a stale pointer to this job (from a
+	// previous Map's wakeup) serializes against the reset and then either
+	// joins this run (fine — it is current again) or sees it closed.
+	j := &g.j
+	j.mu.Lock()
+	j.fn, j.n = fn, int64(n)
+	j.next.Store(0)
+	j.panicked.Store(false)
+	j.panicSet, j.panicVal = false, nil
+	j.closed = false
+	j.mu.Unlock()
+	p.submit(j, limit)
+}
+
+// defaultPool is created at package init so every goroutine-leak baseline
+// in the repo includes its helpers.
+var defaultPool = New(runtime.GOMAXPROCS(0))
+
+// Default returns the shared process-wide pool, sized to GOMAXPROCS at
+// startup.
+func Default() *Pool { return defaultPool }
