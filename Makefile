@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-codec bench-codec-check bench-go report artifacts fidelity examples trace soak fuzz clean
+.PHONY: all build test race bench bench-codec bench-codec-check bench-go report artifacts fidelity examples trace soak fuzz metrics-check clean
 
 all: build test
 
@@ -21,14 +21,22 @@ race:
 soak:
 	$(GO) run -race ./cmd/odrsoak -clients 16 -schedule flaky -seed 1 -duration 20s
 
-# Fuzz smoke over the wire framing, the chaos schedule parser, and the
-# codec bitstream decoders (v1 + v2 tile).
+# Fuzz smoke over the wire framing, the chaos schedule parser, the codec
+# bitstream decoders (v1 + v2 tile), and the metrics scrape parser.
 fuzz:
 	$(GO) test -fuzz=FuzzReadMsg -fuzztime=10s -run '^$$' ./internal/stream
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run '^$$' ./internal/stream
 	$(GO) test -fuzz=FuzzParseSchedule -fuzztime=10s -run '^$$' ./internal/chaos
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run '^$$' ./internal/codec
 	$(GO) test -fuzz=FuzzV2RoundTrip -fuzztime=10s -run '^$$' ./internal/codec
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/obs/scrape
+
+# Metrics-surface lint: pre-register every family the server can export and
+# hold the registry to the odr_<subsystem>_<noun>_<unit> naming convention
+# (the same lint gates odrserver startup).
+metrics-check:
+	$(GO) run ./cmd/odrserver -metrics-lint
+	$(GO) test -run 'TestRegisterLiveMetricsIsLintClean|TestLint' ./internal/stream ./internal/obs
 
 # Scheduler / cache / codec performance evidence -> BENCH_sched.json
 # (cells/sec sequential vs parallel, warm-cache speedup, allocs/op).

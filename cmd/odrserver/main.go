@@ -13,24 +13,34 @@
 //
 // With -debug-addr, the server exposes live observability over HTTP:
 // /debug/odr (JSON snapshot of the regulation state and telemetry
-// registry), /debug/vars (expvar) and /debug/pprof/ (profiles).
+// registry), /metrics (Prometheus text exposition of the same registry,
+// including the per-session QoE/energy series), /debug/vars (expvar) and
+// /debug/pprof/ (profiles).
+//
+// -metrics-lint validates the full metric surface against the registry
+// naming conventions and exits (0 clean, 1 with violations printed); the
+// same lint also guards normal startup.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully and logs a final
-// telemetry summary before exiting.
+// telemetry summary (one line per instrument, sorted by name) before
+// exiting.
 package main
 
 import (
-	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"odr"
+	"odr/internal/obs"
+	"odr/internal/stream"
 )
 
 // active tracks the live private sessions for the /debug/odr snapshot.
@@ -67,6 +77,30 @@ func (a *active) snapshots() []map[string]any {
 	return out
 }
 
+// registerAll pre-registers every metric family odrserver can export: the
+// shared frame-pipeline instruments and the labeled live-session surface.
+func registerAll(reg *odr.MetricsRegistry) {
+	obs.NewFrameInstruments(reg)
+	stream.RegisterLiveMetrics(reg)
+}
+
+// lintMetrics builds the full surface in a scratch registry and reports
+// convention violations (-metrics-lint, and the make metrics-check target).
+func lintMetrics() int {
+	reg := odr.NewMetricsRegistry()
+	registerAll(reg)
+	errs := obs.Lint(reg)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "metrics-lint: %v\n", err)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "metrics-lint: %d violation(s)\n", len(errs))
+		return 1
+	}
+	fmt.Printf("metrics-lint: %d families clean\n", len(reg.Names()))
+	return 0
+}
+
 func main() {
 	addr := flag.String("addr", ":7311", "listen address")
 	policy := flag.String("policy", "odr", "regulation policy: odr, interval, noreg")
@@ -76,8 +110,13 @@ func main() {
 	once := flag.Bool("once", false, "serve a single client, then exit")
 	hubMode := flag.Bool("hub", false, "share one game across all clients (spectating)")
 	bands := flag.Bool("bands", false, "legacy v1 band-skip delta coding (default: the v2 tile codec, which supersedes it)")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/odr, /debug/vars and /debug/pprof/ on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/odr, /metrics, /debug/vars and /debug/pprof/ on this address")
+	metricsLint := flag.Bool("metrics-lint", false, "validate the metric naming conventions and exit")
 	flag.Parse()
+
+	if *metricsLint {
+		os.Exit(lintMetrics())
+	}
 
 	var kind odr.StreamPolicy
 	switch *policy {
@@ -99,6 +138,11 @@ func main() {
 		kind, *fps, *width, *height, ln.Addr())
 
 	reg := odr.NewMetricsRegistry()
+	// Pre-register every family this process can export, then hold startup
+	// to the naming conventions — a misnamed instrument is a bug caught
+	// here, not a broken dashboard discovered later.
+	registerAll(reg)
+	obs.MustLint(reg)
 	var sessions active
 	var hub *odr.Hub
 	if *hubMode {
@@ -112,7 +156,7 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		ds, err := odr.ServeDebug(*debugAddr, func() any {
+		ds, err := odr.ServeDebugWithMetrics(*debugAddr, reg, func() any {
 			snap := map[string]any{"metrics": reg.Snapshot()}
 			if hub != nil {
 				snap["hub"] = hub.Snapshot()
@@ -125,7 +169,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer ds.Close()
-		log.Printf("debug endpoint on http://%s/debug/odr (pprof at /debug/pprof/)", ds.Addr())
+		log.Printf("debug endpoint on http://%s/debug/odr (Prometheus at /metrics, pprof at /debug/pprof/)", ds.Addr())
 	}
 
 	// Graceful shutdown: close the listener so Accept unblocks, stop the
@@ -143,15 +187,18 @@ func main() {
 		if hub != nil {
 			hub.Stop() // logs its own summary via Logf
 		}
-		summary, err := json.Marshal(reg.Snapshot())
-		if err != nil {
+		// One line per instrument, sorted by canonical name — the same
+		// ordering /metrics exports.
+		var b strings.Builder
+		if err := reg.WriteSummary(&b); err != nil {
 			log.Printf("final stats: <unserializable: %v>", err)
 			return
 		}
-		log.Printf("final stats: %s", summary)
+		log.Printf("final stats:\n%s", strings.TrimRight(b.String(), "\n"))
 	}
 	defer finish()
 
+	var connSeq int
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -171,10 +218,12 @@ func main() {
 			continue
 		}
 		log.Printf("client connected: %s", conn.RemoteAddr())
+		connSeq++
 		srv := odr.NewStreamServer(conn, odr.StreamServerConfig{
 			Width: *width, Height: *height, Policy: kind, TargetFPS: *fps,
-			Codec:   odr.CodecOptions{Bands: *bands},
-			Metrics: reg,
+			Codec:        odr.CodecOptions{Bands: *bands},
+			Metrics:      reg,
+			SessionLabel: fmt.Sprintf("s%d", connSeq),
 		})
 		id := sessions.add(srv)
 		start := time.Now()

@@ -26,6 +26,14 @@
 //     exported tile counters must agree with the frame counters —
 //     tiles_coded is exactly frames_encoded x tiles-per-frame, and
 //     tiles_dirty never exceeds tiles_coded
+//
+// The run also scrapes its own /metrics endpoint (the Prometheus surface
+// odrserver exposes) through internal/obs/scrape and asserts metric
+// predicates against the parsed samples: frame conservation across the
+// pipeline counters, agreement between the Prometheus and /debug/odr JSON
+// views of the registry, tile-outcome accounting of the labeled
+// odr_tiles_outcome_total series, bounded per-session series cardinality
+// with zero label-set evictions, and non-negative per-session energy.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -44,9 +53,24 @@ import (
 	"odr"
 	"odr/internal/chaos"
 	"odr/internal/codec"
+	"odr/internal/obs/scrape"
 	"odr/internal/stream"
 	"odr/internal/testutil"
 )
+
+// scrapeMetrics fetches and parses one exposition document from url.
+func scrapeMetrics(url string) (*scrape.Scrape, error) {
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return scrape.Parse(resp.Body)
+}
 
 // refTable lazily renders the deterministic reference frames and memoizes
 // their hashes by render sequence number.
@@ -121,6 +145,13 @@ func main() {
 	hub := odr.NewHub(hubCfg)
 	go hub.Run()
 
+	// The run scrapes its own Prometheus surface for the metric-predicate
+	// invariants — the same endpoint odrserver -debug-addr exposes.
+	debug, err := odr.ServeDebugWithMetrics("127.0.0.1:0", metrics, nil)
+	if err != nil {
+		log.Fatalf("odrsoak: debug listener: %v", err)
+	}
+
 	// The watchdog catches a full wedge: if the run (including drain and
 	// shutdown) takes 3x its nominal length plus a minute, something is
 	// deadlocked — dump every stack and fail hard.
@@ -180,6 +211,11 @@ func main() {
 		sc.cli.Stop() // idempotent; frees a hung client's conn if any
 	}
 	watchdog.Stop()
+	// Scrape the Prometheus surface while the counters are final (hub
+	// drained), then close the listener so its goroutines are gone before
+	// the leak check runs.
+	scraped, scrapeErr := scrapeMetrics("http://" + debug.Addr() + "/metrics")
+	debug.Close()
 	leakErr := base.Check(5 * time.Second)
 
 	// ----- Invariant report -------------------------------------------------
@@ -236,6 +272,46 @@ func main() {
 	check("tile-accounting",
 		encoded > 0 && tilesCoded == encoded*perFrame && tilesDirty > 0 && tilesDirty <= tilesCoded,
 		fmt.Sprintf("%d frames x %d tiles = %d coded, %d dirty", encoded, perFrame, tilesCoded, tilesDirty))
+
+	// ----- Scrape-driven metric predicates ---------------------------------
+	// The same surface a Prometheus server or odrtop would read; the hub is
+	// drained, so the counters are final and the two views must agree.
+	check("metrics-scrape", scrapeErr == nil, fmt.Sprintf("GET /metrics parsed: %v", scrapeErr))
+	if scrapeErr == nil {
+		s := scraped
+		renderedP := s.Number("odr_frames_rendered_total")
+		encodedP := s.Number("odr_frames_encoded_total")
+		displayedP := s.Number("odr_frames_displayed_total")
+		check("prom-frame-conservation",
+			encodedP > 0 && displayedP <= encodedP && renderedP > 0,
+			fmt.Sprintf("rendered=%.0f, encoded=%.0f >= displayed=%.0f", renderedP, encodedP, displayedP))
+		check("prom-vs-json",
+			int64(encodedP) == encoded && int64(s.Number("odr_tiles_coded_total")) == tilesCoded,
+			fmt.Sprintf("/metrics encoded=%.0f tiles=%.0f vs /debug/odr %d/%d",
+				encodedP, s.Number("odr_tiles_coded_total"), encoded, tilesCoded))
+		dirtyOut := s.Number("odr_tiles_outcome_total", scrape.Label{Name: "tile_outcome", Value: "dirty"})
+		cleanOut := s.Number("odr_tiles_outcome_total", scrape.Label{Name: "tile_outcome", Value: "clean"})
+		check("prom-tile-outcomes",
+			int64(dirtyOut+cleanOut) == tilesCoded && int64(dirtyOut) == tilesDirty,
+			fmt.Sprintf("dirty=%.0f + clean=%.0f = %.0f, want %d coded / %d dirty",
+				dirtyOut, cleanOut, dirtyOut+cleanOut, tilesCoded, tilesDirty))
+		sessSeries := s.SeriesCount("odr_session_fps")
+		droppedSets := s.Number("obs_dropped_label_sets_total")
+		check("prom-session-cardinality",
+			sessSeries <= *clients+1 && droppedSets == 0,
+			fmt.Sprintf("%d live odr_session_fps series (<= %d viewers + shared), %.0f label sets evicted",
+				sessSeries, *clients, droppedSets))
+		renderJ := s.Number("odr_session_energy_joules",
+			scrape.Label{Name: "session", Value: "shared"}, scrape.Label{Name: "component", Value: "render"})
+		negEnergy := 0
+		for _, sm := range s.Series("odr_session_energy_joules") {
+			if sm.Value < 0 {
+				negEnergy++
+			}
+		}
+		check("prom-energy-sane", renderJ > 0 && negEnergy == 0,
+			fmt.Sprintf("shared render energy %.2f J, %d negative series", renderJ, negEnergy))
+	}
 
 	if fail > 0 {
 		log.Printf("odrsoak: FAIL (%d invariant(s) violated)", fail)

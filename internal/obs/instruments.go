@@ -1,5 +1,83 @@
 package obs
 
+// Canonical registry names follow odr_<subsystem>_<noun>_<unit>
+// (counters additionally end in _total, Prometheus-style). The pre-PR-6
+// free-form snake_case names survive as aliases for one release so that
+// existing /debug/odr consumers keep working; see Registry.Alias.
+const (
+	NameFramesRendered  = "odr_frames_rendered_total"
+	NameFramesEncoded   = "odr_frames_encoded_total"
+	NameFramesDisplayed = "odr_frames_displayed_total"
+	NameFramesDropped   = "odr_frames_dropped_total"
+	NameFramesPriority  = "odr_frames_priority_total"
+	NameInputs          = "odr_inputs_received_total"
+	NameTilesCoded      = "odr_tiles_coded_total"
+	NameTilesDirty      = "odr_tiles_dirty_total"
+	NameSessionsEvicted = "odr_sessions_evicted_total"
+
+	NameRenderUs     = "odr_render_us"
+	NameCopyUs       = "odr_copy_us"
+	NameEncodeUs     = "odr_encode_us"
+	NameTileEncodeUs = "odr_tile_encode_us"
+	NameTxUs         = "odr_tx_us"
+	NameDecodeUs     = "odr_decode_us"
+	NameMtPUs        = "odr_mtp_us"
+
+	NameRenderFPS  = "odr_render_fps"
+	NameClientFPS  = "odr_client_fps"
+	NameFPSGap     = "odr_fps_gap"
+	NameDirtyRatio = "odr_dirty_tile_ratio"
+)
+
+// frameAliases maps each legacy (pre-convention) name to its canonical
+// replacement.
+var frameAliases = map[string]string{
+	"frames_rendered":  NameFramesRendered,
+	"frames_encoded":   NameFramesEncoded,
+	"frames_displayed": NameFramesDisplayed,
+	"frames_dropped":   NameFramesDropped,
+	"priority_frames":  NameFramesPriority,
+	"inputs":           NameInputs,
+	"tiles_coded":      NameTilesCoded,
+	"tiles_dirty":      NameTilesDirty,
+	"sessions_evicted": NameSessionsEvicted,
+	"render_us":        NameRenderUs,
+	"copy_us":          NameCopyUs,
+	"encode_us":        NameEncodeUs,
+	"tile_encode_us":   NameTileEncodeUs,
+	"tx_us":            NameTxUs,
+	"decode_us":        NameDecodeUs,
+	"mtp_us":           NameMtPUs,
+	"render_fps":       NameRenderFPS,
+	"client_fps":       NameClientFPS,
+	"fps_gap":          NameFPSGap,
+	"dirty_tile_ratio": NameDirtyRatio,
+}
+
+// frameHelp is the # HELP text per canonical family.
+var frameHelp = map[string]string{
+	NameFramesRendered:  "Frames rendered by the 3D application.",
+	NameFramesEncoded:   "Frames encoded by the server proxy.",
+	NameFramesDisplayed: "Frames displayed (sent to the client, server side).",
+	NameFramesDropped:   "Frames dropped by latest-wins buffers or tail drop.",
+	NameFramesPriority:  "PriorityFrame promotions (input-triggered renders).",
+	NameInputs:          "User inputs received.",
+	NameTilesCoded:      "Tiles emitted by the v2 tile codec (dirty or clean).",
+	NameTilesDirty:      "Tiles that carried an encoded payload.",
+	NameSessionsEvicted: "Sessions cut for blowing a read or write deadline.",
+	NameRenderUs:        "Render step service time, microseconds.",
+	NameCopyUs:          "Framebuffer copy service time, microseconds.",
+	NameEncodeUs:        "Encode step service time, microseconds.",
+	NameTileEncodeUs:    "Per-tile slice of the encode step, microseconds.",
+	NameTxUs:            "Network transmit service time, microseconds.",
+	NameDecodeUs:        "Client decode service time, microseconds.",
+	NameMtPUs:           "Motion-to-photon latency, microseconds.",
+	NameRenderFPS:       "Render rate over the last monitoring window.",
+	NameClientFPS:       "Client display rate over the last monitoring window.",
+	NameFPSGap:          "Render FPS minus client FPS (excessive rendering).",
+	NameDirtyRatio:      "Dirty/total tile ratio of the last encoded frame.",
+}
+
 // FrameInstruments bundles the registry instruments the frame pipeline
 // records, under one shared naming vocabulary, so the simulator and the
 // real-time stream stack export identical /debug/odr snapshots. All
@@ -7,55 +85,63 @@ package obs
 // a no-op.
 type FrameInstruments struct {
 	// Counters (events since start).
-	Rendered  *Counter // frames_rendered
-	Encoded   *Counter // frames_encoded
-	Displayed *Counter // frames_displayed (sent, for the server side)
-	Dropped   *Counter // frames_dropped (MulBuf / latest-wins / tail drops)
-	Priority  *Counter // priority_frames (PriorityFrame promotions)
-	Inputs    *Counter // inputs received
+	Rendered  *Counter // odr_frames_rendered_total
+	Encoded   *Counter // odr_frames_encoded_total
+	Displayed *Counter // odr_frames_displayed_total (sent, for the server side)
+	Dropped   *Counter // odr_frames_dropped_total (MulBuf / latest-wins / tail drops)
+	Priority  *Counter // odr_frames_priority_total (PriorityFrame promotions)
+	Inputs    *Counter // odr_inputs_received_total
 
 	// Tile codec counters (v2 bitstream; see internal/codec/tile.go).
-	TilesCoded *Counter // tiles_coded (tiles of every encoded frame)
-	TilesDirty *Counter // tiles_dirty (tiles that actually carried a payload)
+	TilesCoded *Counter // odr_tiles_coded_total (tiles of every encoded frame)
+	TilesDirty *Counter // odr_tiles_dirty_total (tiles that actually carried a payload)
 
 	// Histograms of per-step service time, in microseconds.
-	Render     *Histogram // render_us
-	Copy       *Histogram // copy_us
-	Encode     *Histogram // encode_us
-	TileEncode *Histogram // tile_encode_us (per-tile slice of encode_us)
-	Tx         *Histogram // tx_us
-	Decode     *Histogram // decode_us
-	MtP        *Histogram // mtp_us (motion-to-photon)
+	Render     *Histogram // odr_render_us
+	Copy       *Histogram // odr_copy_us
+	Encode     *Histogram // odr_encode_us
+	TileEncode *Histogram // odr_tile_encode_us (per-tile slice of odr_encode_us)
+	Tx         *Histogram // odr_tx_us
+	Decode     *Histogram // odr_decode_us
+	MtP        *Histogram // odr_mtp_us (motion-to-photon)
 
 	// Gauges refreshed per monitoring window.
-	RenderFPS  *Gauge // render_fps
-	ClientFPS  *Gauge // client_fps
-	FPSGap     *Gauge // fps_gap
-	DirtyRatio *Gauge // dirty_tile_ratio (dirty/total of the last frame)
+	RenderFPS  *Gauge // odr_render_fps
+	ClientFPS  *Gauge // odr_client_fps
+	FPSGap     *Gauge // odr_fps_gap
+	DirtyRatio *Gauge // odr_dirty_tile_ratio
 }
 
 // NewFrameInstruments resolves the standard instrument set in r (nil r
-// yields all-nil, no-op instruments).
+// yields all-nil, no-op instruments), registering the legacy-name aliases
+// and help text as a side effect.
 func NewFrameInstruments(r *Registry) FrameInstruments {
-	return FrameInstruments{
-		Rendered:   r.Counter("frames_rendered"),
-		Encoded:    r.Counter("frames_encoded"),
-		Displayed:  r.Counter("frames_displayed"),
-		Dropped:    r.Counter("frames_dropped"),
-		Priority:   r.Counter("priority_frames"),
-		Inputs:     r.Counter("inputs"),
-		TilesCoded: r.Counter("tiles_coded"),
-		TilesDirty: r.Counter("tiles_dirty"),
-		Render:     r.Histogram("render_us"),
-		Copy:       r.Histogram("copy_us"),
-		Encode:     r.Histogram("encode_us"),
-		TileEncode: r.Histogram("tile_encode_us"),
-		Tx:         r.Histogram("tx_us"),
-		Decode:     r.Histogram("decode_us"),
-		MtP:        r.Histogram("mtp_us"),
-		RenderFPS:  r.Gauge("render_fps"),
-		ClientFPS:  r.Gauge("client_fps"),
-		FPSGap:     r.Gauge("fps_gap"),
-		DirtyRatio: r.Gauge("dirty_tile_ratio"),
+	for legacy, canon := range frameAliases {
+		r.Alias(legacy, canon)
 	}
+	ins := FrameInstruments{
+		Rendered:   r.Counter(NameFramesRendered),
+		Encoded:    r.Counter(NameFramesEncoded),
+		Displayed:  r.Counter(NameFramesDisplayed),
+		Dropped:    r.Counter(NameFramesDropped),
+		Priority:   r.Counter(NameFramesPriority),
+		Inputs:     r.Counter(NameInputs),
+		TilesCoded: r.Counter(NameTilesCoded),
+		TilesDirty: r.Counter(NameTilesDirty),
+		Render:     r.Histogram(NameRenderUs),
+		Copy:       r.Histogram(NameCopyUs),
+		Encode:     r.Histogram(NameEncodeUs),
+		TileEncode: r.Histogram(NameTileEncodeUs),
+		Tx:         r.Histogram(NameTxUs),
+		Decode:     r.Histogram(NameDecodeUs),
+		MtP:        r.Histogram(NameMtPUs),
+		RenderFPS:  r.Gauge(NameRenderFPS),
+		ClientFPS:  r.Gauge(NameClientFPS),
+		FPSGap:     r.Gauge(NameFPSGap),
+		DirtyRatio: r.Gauge(NameDirtyRatio),
+	}
+	for name, help := range frameHelp {
+		r.SetHelp(name, help)
+	}
+	return ins
 }

@@ -2,10 +2,12 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -197,6 +199,21 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return float64(h.Max())
 }
 
+// Buckets returns a copy of the raw log2 bucket counts: index 0 holds
+// values <= 0, index i >= 1 holds [2^(i-1), 2^i). The copy is not an
+// atomic snapshot across buckets — fine for export, not for invariants
+// against concurrent writers.
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // HistogramSnapshot is the exported view of a histogram.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
@@ -223,25 +240,93 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 }
 
-// Registry is a named collection of counters, gauges and histograms.
-// Instrument lookup (Counter/Gauge/Histogram) takes the registry lock and
-// is meant for setup time; the returned instruments are then recorded to
-// lock-free on hot paths. A nil *Registry is valid: it returns nil
-// instruments, whose methods are no-ops.
+// Registry is a named collection of counters, gauges, histograms and
+// their labeled vector counterparts. Instrument lookup (Counter/Gauge/
+// Histogram/...Vec) takes the registry lock and is meant for setup time;
+// the returned instruments are then recorded to lock-free on hot paths.
+// A nil *Registry is valid: it returns nil instruments, whose methods are
+// no-ops.
+//
+// Names follow the odr_<subsystem>_<noun>_<unit> convention (see Lint);
+// legacy names registered via Alias keep resolving and keep appearing in
+// JSON snapshots, so /debug/odr consumers survive one release of renames.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
+
+	help    map[string]string // family name -> help text
+	aliases map[string]string // legacy name -> canonical name
+
+	// dropped is the registry-wide obs_dropped_label_sets_total
+	// self-metric, shared by every vector for cardinality-overflow
+	// eviction accounting.
+	dropped *Counter
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+	r := &Registry{
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		histograms:  make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		histVecs:    make(map[string]*HistogramVec),
+		help:        make(map[string]string),
+		aliases:     make(map[string]string),
 	}
+	r.dropped = &Counter{}
+	r.counters[DroppedLabelSetsName] = r.dropped
+	r.help[DroppedLabelSetsName] = "Label sets evicted from vector instruments after hitting the cardinality bound."
+	return r
+}
+
+// resolve maps a legacy alias to its canonical name (lock held).
+func (r *Registry) resolve(name string) string {
+	if canon, ok := r.aliases[name]; ok {
+		return canon
+	}
+	return name
+}
+
+// Alias declares legacy as an alternate name for canonical: instrument
+// lookups under legacy resolve to the canonical instrument, and JSON
+// snapshots carry both keys with the same value. The Prometheus surface
+// exports canonical names only.
+func (r *Registry) Alias(legacy, canonical string) {
+	if r == nil || legacy == canonical {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aliases[legacy] = canonical
+}
+
+// SetHelp attaches help text to a family name; the Prometheus encoder
+// emits it as the # HELP line.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[r.resolve(name)] = help
+}
+
+// Help returns the help text for name ("" when unset).
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[r.resolve(name)]
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -251,6 +336,7 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	name = r.resolve(name)
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -266,6 +352,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	name = r.resolve(name)
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -281,6 +368,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	name = r.resolve(name)
 	h := r.histograms[name]
 	if h == nil {
 		h = newHistogram()
@@ -289,9 +377,99 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// CounterVec returns the named labeled counter family, creating it on
+// first use with the given label names (at most MaxLabels; later lookups
+// ignore the labels argument).
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name = r.resolve(name)
+	v := r.counterVecs[name]
+	if v == nil {
+		v = newVec(name, help, labels, 0, r.dropped, func() *Counter { return &Counter{} })
+		r.counterVecs[name] = v
+		if help != "" {
+			r.help[name] = help
+		}
+	}
+	return v
+}
+
+// GaugeVec returns the named labeled gauge family, creating it on first
+// use.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name = r.resolve(name)
+	v := r.gaugeVecs[name]
+	if v == nil {
+		v = newVec(name, help, labels, 0, r.dropped, func() *Gauge { return &Gauge{} })
+		r.gaugeVecs[name] = v
+		if help != "" {
+			r.help[name] = help
+		}
+	}
+	return v
+}
+
+// HistogramVec returns the named labeled histogram family, creating it on
+// first use.
+func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name = r.resolve(name)
+	v := r.histVecs[name]
+	if v == nil {
+		v = newVec(name, help, labels, 0, r.dropped, newHistogram)
+		r.histVecs[name] = v
+		if help != "" {
+			r.help[name] = help
+		}
+	}
+	return v
+}
+
+// DroppedLabelSets returns the cardinality-overflow self-metric.
+func (r *Registry) DroppedLabelSets() *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.dropped
+}
+
+// seriesKey renders a labeled series as name{l1="v1",l2="v2"} for JSON
+// snapshots — the same shape the Prometheus surface exports.
+func seriesKey(name string, labels, values []string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // Snapshot returns a point-in-time copy of every instrument, keyed by
 // name. Counter and gauge values appear directly; histograms appear as
-// HistogramSnapshot.
+// HistogramSnapshot; vector series appear under name{label="value"} keys.
+// Legacy aliases appear alongside their canonical names with the same
+// value.
 func (r *Registry) Snapshot() map[string]any {
 	out := make(map[string]any)
 	if r == nil {
@@ -307,6 +485,40 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	for name, h := range r.histograms {
 		out[name] = h.Snapshot()
+	}
+	for name, v := range r.counterVecs {
+		for _, s := range v.Series() {
+			out[seriesKey(name, v.Labels(), s.Values)] = s.Inst.Value()
+		}
+	}
+	for name, v := range r.gaugeVecs {
+		for _, s := range v.Series() {
+			out[seriesKey(name, v.Labels(), s.Values)] = s.Inst.Value()
+		}
+	}
+	for name, v := range r.histVecs {
+		for _, s := range v.Series() {
+			out[seriesKey(name, v.Labels(), s.Values)] = s.Inst.Snapshot()
+		}
+	}
+	for legacy, canon := range r.aliases {
+		if v, ok := out[canon]; ok {
+			out[legacy] = v
+		}
+	}
+	return out
+}
+
+// AliasNames returns the registered legacy->canonical alias map.
+func (r *Registry) AliasNames() map[string]string {
+	out := make(map[string]string)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.aliases {
+		out[k] = v
 	}
 	return out
 }
@@ -327,4 +539,43 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// WriteSummary writes a line-per-instrument plain-text summary sorted by
+// name — the diff-friendly form the odrserver SIGINT handler logs. It
+// reuses the same sorted export path as the Prometheus encoder, so two
+// runs of the same build list instruments in the same order. Alias names
+// are skipped: the summary speaks canonical names only.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	aliases := r.AliasNames()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		if _, isAlias := aliases[n]; isAlias {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var err error
+		switch v := snap[n].(type) {
+		case HistogramSnapshot:
+			_, err = fmt.Fprintf(w, "%s count=%d sum=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d\n",
+				n, v.Count, v.Sum, v.Mean, v.P50, v.P95, v.P99, v.Max)
+		case float64:
+			_, err = fmt.Fprintf(w, "%s %s\n", n, FormatValue(v))
+		case int64:
+			_, err = fmt.Fprintf(w, "%s %d\n", n, v)
+		default:
+			_, err = fmt.Fprintf(w, "%s %v\n", n, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -152,8 +152,15 @@ func TestRegistrySnapshotJSON(t *testing.T) {
 	if !ok || hist["count"] != float64(1) {
 		t.Fatalf("histogram snapshot = %v", snap["render_us"])
 	}
+	// The self-metric obs_dropped_label_sets_total is always registered.
 	names := r.Names()
-	if len(names) != 3 || names[0] != "fps" || names[1] != "frames" || names[2] != "render_us" {
+	want := []string{"fps", "frames", obs.DroppedLabelSetsName, "render_us"}
+	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
 	}
 }

@@ -1,0 +1,41 @@
+package scrape
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse drives arbitrary documents through the parser. Inputs that
+// parse must canonicalize to a fixed point: Write -> Parse -> Write is
+// byte-identical — the property the soak harness and odrtop rely on when
+// they re-read what a server (or a previous scrape) emitted.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(doc))
+	f.Add([]byte("m 1\n"))
+	f.Add([]byte("# HELP m help text\n# TYPE m counter\nm 1 123\n"))
+	f.Add([]byte("m{a=\"x\\\\y\\\"z\\nw\"} +Inf\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n"))
+	f.Add([]byte("m{ a = \"1\" , } 2.5e-3 -7\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseBytes(data)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		var once bytes.Buffer
+		if err := s.Write(&once); err != nil {
+			t.Fatalf("Write of parsed document failed: %v", err)
+		}
+		s2, err := ParseBytes(once.Bytes())
+		if err != nil {
+			t.Fatalf("re-parsing our own output %q: %v", once.String(), err)
+		}
+		var twice bytes.Buffer
+		if err := s2.Write(&twice); err != nil {
+			t.Fatalf("second Write failed: %v", err)
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("canonical form not a fixed point:\nin:    %q\nonce:  %q\ntwice: %q",
+				data, once.String(), twice.String())
+		}
+	})
+}

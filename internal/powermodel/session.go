@@ -1,0 +1,118 @@
+package powermodel
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-byte transmit energy for the network component: NIC, DMA and
+// protocol-stack cost per byte moved, in the 10-50 nJ/byte range measured
+// for server NICs; 30 nJ/byte sits mid-range. The CPU share of a blocked
+// send is billed separately from busy time.
+const nanojoulesPerByte = 30
+
+// txCPUShare scales the CPU package swing attributed to time the sender
+// spends inside a write: the core is mostly waiting on the NIC, not
+// executing, so only a fraction of the package swing is billed.
+const txCPUShare = 0.2
+
+// SessionMeter attributes estimated energy to one streaming session,
+// split into the render, encode and network components the paper's
+// consolidation analysis distinguishes. It is the live-path counterpart
+// of Model (which integrates whole-node utilization in the simulator):
+// instead of utilization windows, it bills marginal watts against the
+// busy time each pipeline step actually measured.
+//
+// Accounting is in microjoules on atomics, so the three pipeline loops
+// (render, encode, send) can bill concurrently without locks and a
+// metrics flush can read totals from any goroutine.
+type SessionMeter struct {
+	renderW float64 // marginal render watts while the GPU is busy
+	encodeW float64 // marginal encode watts while a core is busy
+	txW     float64 // marginal CPU watts while blocked in a send
+
+	renderUJ  atomic.Int64
+	encodeUJ  atomic.Int64
+	networkUJ atomic.Int64
+}
+
+// NewSessionMeter returns a meter for one session. cfg zero-fields pick
+// the calibrated defaults; gpuIntensity is the workload's 0..1 GPU power
+// intensity (the same knob Model applies cubically — a UI stream swings
+// far fewer watts per busy-second than a VR benchmark).
+func NewSessionMeter(cfg Config, gpuIntensity float64) *SessionMeter {
+	def := DefaultConfig()
+	if cfg.CPUMaxWatts == 0 {
+		cfg.CPUMaxWatts = def.CPUMaxWatts
+	}
+	if cfg.GPUMaxWatts == 0 {
+		cfg.GPUMaxWatts = def.GPUMaxWatts
+	}
+	i := clamp01(gpuIntensity)
+	return &SessionMeter{
+		renderW: cfg.GPUMaxWatts * i * i * i,
+		encodeW: cfg.CPUMaxWatts,
+		txW:     cfg.CPUMaxWatts * txCPUShare,
+	}
+}
+
+// addUJ converts busy seconds at watts into microjoules.
+func addUJ(acc *atomic.Int64, watts float64, busy time.Duration) {
+	if busy <= 0 {
+		return
+	}
+	acc.Add(int64(watts * busy.Seconds() * 1e6))
+}
+
+// AddRender bills GPU-busy render time.
+func (m *SessionMeter) AddRender(busy time.Duration) {
+	if m == nil {
+		return
+	}
+	addUJ(&m.renderUJ, m.renderW, busy)
+}
+
+// AddEncode bills CPU-busy encode (and framebuffer copy) time.
+func (m *SessionMeter) AddEncode(busy time.Duration) {
+	if m == nil {
+		return
+	}
+	addUJ(&m.encodeUJ, m.encodeW, busy)
+}
+
+// AddSend bills one transmitted frame: per-byte NIC/DMA energy plus the
+// CPU share of the time the sender was inside the write.
+func (m *SessionMeter) AddSend(bytes int, busy time.Duration) {
+	if m == nil {
+		return
+	}
+	uj := int64(bytes) * nanojoulesPerByte / 1e3
+	if busy > 0 {
+		uj += int64(m.txW * busy.Seconds() * 1e6)
+	}
+	if uj > 0 {
+		m.networkUJ.Add(uj)
+	}
+}
+
+// EnergySplit is a meter's cumulative per-component energy in joules.
+type EnergySplit struct {
+	RenderJ  float64
+	EncodeJ  float64
+	NetworkJ float64
+}
+
+// TotalJ returns the summed components.
+func (e EnergySplit) TotalJ() float64 { return e.RenderJ + e.EncodeJ + e.NetworkJ }
+
+// Totals reads the cumulative split (safe from any goroutine).
+func (m *SessionMeter) Totals() EnergySplit {
+	if m == nil {
+		return EnergySplit{}
+	}
+	return EnergySplit{
+		RenderJ:  float64(m.renderUJ.Load()) / 1e6,
+		EncodeJ:  float64(m.encodeUJ.Load()) / 1e6,
+		NetworkJ: float64(m.networkUJ.Load()) / 1e6,
+	}
+}

@@ -1,0 +1,120 @@
+package powermodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSessionMeterComponents(t *testing.T) {
+	m := NewSessionMeter(Config{CPUMaxWatts: 100, GPUMaxWatts: 200}, 1)
+	m.AddRender(time.Second)  // 200 W * 1 s
+	m.AddEncode(time.Second)  // 100 W * 1 s
+	m.AddSend(0, time.Second) // 20 W * 1 s (txCPUShare of 100 W)
+	s := m.Totals()
+	if math.Abs(s.RenderJ-200) > 1e-3 || math.Abs(s.EncodeJ-100) > 1e-3 || math.Abs(s.NetworkJ-20) > 1e-3 {
+		t.Fatalf("split = %+v", s)
+	}
+	if math.Abs(s.TotalJ()-320) > 1e-2 {
+		t.Fatalf("total = %v", s.TotalJ())
+	}
+}
+
+func TestSessionMeterPerByteEnergy(t *testing.T) {
+	m := NewSessionMeter(Config{}, 0)
+	// 1 MB at 30 nJ/byte = 30 mJ, no CPU-busy component.
+	m.AddSend(1_000_000, 0)
+	s := m.Totals()
+	if math.Abs(s.NetworkJ-0.030) > 1e-6 {
+		t.Fatalf("NetworkJ = %v, want 0.030", s.NetworkJ)
+	}
+	if s.RenderJ != 0 || s.EncodeJ != 0 {
+		t.Fatalf("unrelated components moved: %+v", s)
+	}
+}
+
+// TestSessionMeterIntensityCubic pins the cubic GPU-intensity knob shared
+// with Model: halving intensity cuts render watts 8x.
+func TestSessionMeterIntensityCubic(t *testing.T) {
+	full := NewSessionMeter(Config{GPUMaxWatts: 320}, 1.0)
+	half := NewSessionMeter(Config{GPUMaxWatts: 320}, 0.5)
+	full.AddRender(time.Second)
+	half.AddRender(time.Second)
+	f, h := full.Totals().RenderJ, half.Totals().RenderJ
+	if math.Abs(f-320) > 1e-3 {
+		t.Fatalf("full intensity = %v J", f)
+	}
+	if math.Abs(f/h-8) > 0.01 {
+		t.Fatalf("full/half = %v, want 8 (cubic)", f/h)
+	}
+}
+
+func TestSessionMeterDefaultsAndClamp(t *testing.T) {
+	def := DefaultConfig()
+	m := NewSessionMeter(Config{}, 2.0) // intensity clamps to 1
+	m.AddRender(time.Second)
+	if got := m.Totals().RenderJ; math.Abs(got-def.GPUMaxWatts) > 1e-3 {
+		t.Fatalf("RenderJ = %v, want default GPUMaxWatts %v", got, def.GPUMaxWatts)
+	}
+	m2 := NewSessionMeter(Config{}, 0)
+	m2.AddRender(time.Second)
+	if got := m2.Totals().RenderJ; got != 0 {
+		t.Fatalf("zero intensity should bill no render energy, got %v", got)
+	}
+}
+
+func TestSessionMeterIgnoresNonPositive(t *testing.T) {
+	m := NewSessionMeter(Config{}, 1)
+	m.AddRender(-time.Second)
+	m.AddEncode(0)
+	m.AddSend(0, -time.Millisecond)
+	m.AddSend(-10, 0)
+	if s := m.Totals(); s.TotalJ() != 0 {
+		t.Fatalf("non-positive inputs billed energy: %+v", s)
+	}
+}
+
+func TestSessionMeterNilSafe(t *testing.T) {
+	var m *SessionMeter
+	m.AddRender(time.Second)
+	m.AddEncode(time.Second)
+	m.AddSend(100, time.Second)
+	if s := m.Totals(); s != (EnergySplit{}) {
+		t.Fatalf("nil meter = %+v", s)
+	}
+}
+
+// TestSessionMeterConcurrent exercises the lock-free contract: the three
+// pipeline loops bill concurrently and the sum must come out exact.
+func TestSessionMeterConcurrent(t *testing.T) {
+	m := NewSessionMeter(Config{CPUMaxWatts: 100, GPUMaxWatts: 100}, 1)
+	var wg sync.WaitGroup
+	const n = 1000
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				switch w {
+				case 0:
+					m.AddRender(time.Millisecond)
+				case 1:
+					m.AddEncode(time.Millisecond)
+				case 2:
+					m.AddSend(1000, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Totals()
+	wantRender := 100 * 0.001 * n // watts * seconds * n
+	if math.Abs(s.RenderJ-wantRender) > 1e-6 || math.Abs(s.EncodeJ-wantRender) > 1e-6 {
+		t.Fatalf("split = %+v, want render/encode %v", s, wantRender)
+	}
+	wantNet := float64(n) * 1000 * 30 / 1e9 // n sends * 1000 B * 30 nJ
+	if math.Abs(s.NetworkJ-wantNet) > 1e-6 {
+		t.Fatalf("NetworkJ = %v, want %v", s.NetworkJ, wantNet)
+	}
+}

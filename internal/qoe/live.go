@@ -1,0 +1,153 @@
+package qoe
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// liveRingSize bounds how many frame events a LiveWindow retains. At 240
+// FPS a 2 s window needs 480 slots; 1024 covers every rate this system
+// streams at with headroom. Power of two so the ring index is a mask.
+const liveRingSize = 1024
+
+// liveEvent is one delivered frame: when it was sent and, when the frame
+// answered a user input, its motion-to-photon sample.
+type liveEvent struct {
+	at    time.Duration // session clock
+	mtpUs int64         // 0 = no MtP sample on this frame
+}
+
+// LiveStats is one window's objective QoE summary — the live counterpart
+// of the offline Observation the simulated user-study panel consumes.
+type LiveStats struct {
+	FPS       float64 // delivered frames per second over the window
+	MeanMtPMs float64 // mean motion-to-photon latency, ms (0 when unsampled)
+	P99MtPMs  float64 // tail motion-to-photon latency, ms
+	Stutter   float64 // 0..1 inter-frame-time instability (StutterIndexFrom)
+	Frames    int     // frames inside the window
+}
+
+// LiveWindow turns a stream of frame-delivery events into sliding-window
+// QoE stats on the serving path. OnSend is O(1) and allocation-free (the
+// hot-path half); Stats sorts into preallocated scratch (the ~1 Hz flush
+// half). It is single-goroutine: the owner is the session's send loop.
+type LiveWindow struct {
+	window time.Duration
+	ring   [liveRingSize]liveEvent
+	head   int // next write position
+	n      int // live events (<= liveRingSize)
+
+	// scratch buffers reused across Stats calls so steady state stays
+	// allocation-free.
+	gaps []float64
+	mtps []float64
+}
+
+// NewLiveWindow returns a window evaluator (window <= 0 picks 2s).
+func NewLiveWindow(window time.Duration) *LiveWindow {
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	return &LiveWindow{
+		window: window,
+		gaps:   make([]float64, 0, liveRingSize),
+		mtps:   make([]float64, 0, liveRingSize),
+	}
+}
+
+// Window returns the configured window length.
+func (w *LiveWindow) Window() time.Duration { return w.window }
+
+// OnSend records one delivered frame at session-clock time at; mtpUs is
+// the frame's motion-to-photon sample in microseconds (0 when the frame
+// answered no input).
+func (w *LiveWindow) OnSend(at time.Duration, mtpUs int64) {
+	if w == nil {
+		return
+	}
+	w.ring[w.head] = liveEvent{at: at, mtpUs: mtpUs}
+	w.head = (w.head + 1) & (liveRingSize - 1)
+	if w.n < liveRingSize {
+		w.n++
+	}
+}
+
+// Stats evaluates the window ending at now.
+func (w *LiveWindow) Stats(now time.Duration) LiveStats {
+	if w == nil {
+		return LiveStats{}
+	}
+	cutoff := now - w.window
+	w.gaps = w.gaps[:0]
+	w.mtps = w.mtps[:0]
+	var frames int
+	var last time.Duration
+	var haveLast bool
+	// Walk oldest -> newest so inter-frame gaps come out in order.
+	start := (w.head - w.n + liveRingSize) & (liveRingSize - 1)
+	for i := 0; i < w.n; i++ {
+		ev := w.ring[(start+i)&(liveRingSize-1)]
+		if ev.at < cutoff {
+			continue
+		}
+		frames++
+		if haveLast {
+			w.gaps = append(w.gaps, float64(ev.at-last)/float64(time.Millisecond))
+		}
+		last, haveLast = ev.at, true
+		if ev.mtpUs > 0 {
+			w.mtps = append(w.mtps, float64(ev.mtpUs)/1e3)
+		}
+	}
+	st := LiveStats{Frames: frames}
+	span := w.window
+	if span > now {
+		span = now // early in the session the window is still filling
+	}
+	if span > 0 {
+		st.FPS = float64(frames) / span.Seconds()
+	}
+	if len(w.mtps) > 0 {
+		sort.Float64s(w.mtps)
+		var sum float64
+		for _, v := range w.mtps {
+			sum += v
+		}
+		st.MeanMtPMs = sum / float64(len(w.mtps))
+		st.P99MtPMs = percentileSorted(w.mtps, 99)
+	}
+	if len(w.gaps) >= 2 {
+		sort.Float64s(w.gaps)
+		var sum float64
+		for _, v := range w.gaps {
+			sum += v
+		}
+		mean := sum / float64(len(w.gaps))
+		var varsum float64
+		for _, v := range w.gaps {
+			d := v - mean
+			varsum += d * d
+		}
+		std := math.Sqrt(varsum / float64(len(w.gaps)))
+		median := percentileSorted(w.gaps, 50)
+		p99 := percentileSorted(w.gaps, 99)
+		st.Stutter = StutterIndexFrom(mean, std, median, p99)
+	}
+	return st
+}
+
+// percentileSorted reads the p-th percentile from an ascending slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,133 @@
+package qoe
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLiveWindowSteadyRate(t *testing.T) {
+	w := NewLiveWindow(0)
+	if w.Window() != 2*time.Second {
+		t.Fatalf("default window = %v", w.Window())
+	}
+	// 60 FPS for 3 s with a constant 20 ms MtP sample on every frame.
+	const gap = time.Second / 60
+	var at time.Duration
+	for at = gap; at <= 3*time.Second; at += gap {
+		w.OnSend(at, 20_000)
+	}
+	st := w.Stats(3 * time.Second)
+	if st.FPS < 58 || st.FPS > 62 {
+		t.Errorf("FPS = %v, want ~60", st.FPS)
+	}
+	if st.MeanMtPMs < 19.9 || st.MeanMtPMs > 20.1 {
+		t.Errorf("MeanMtPMs = %v, want 20", st.MeanMtPMs)
+	}
+	if st.P99MtPMs < 19.9 || st.P99MtPMs > 20.1 {
+		t.Errorf("P99MtPMs = %v, want 20", st.P99MtPMs)
+	}
+	if st.Stutter > 0.05 {
+		t.Errorf("Stutter = %v for perfectly even pacing", st.Stutter)
+	}
+	if st.Frames < 118 || st.Frames > 121 {
+		t.Errorf("Frames = %d, want ~120 in a 2s window", st.Frames)
+	}
+}
+
+func TestLiveWindowSlidesOutOldFrames(t *testing.T) {
+	w := NewLiveWindow(time.Second)
+	w.OnSend(100*time.Millisecond, 5_000)
+	st := w.Stats(5 * time.Second) // frame is 4.9s old: outside the window
+	if st.Frames != 0 || st.FPS != 0 || st.MeanMtPMs != 0 {
+		t.Fatalf("stale frame leaked into the window: %+v", st)
+	}
+}
+
+func TestLiveWindowEarlySession(t *testing.T) {
+	// 10 frames in the first 100 ms of a session: the window has not filled
+	// yet, so FPS must divide by elapsed time, not the full window.
+	w := NewLiveWindow(2 * time.Second)
+	for i := 1; i <= 10; i++ {
+		w.OnSend(time.Duration(i)*10*time.Millisecond, 0)
+	}
+	st := w.Stats(100 * time.Millisecond)
+	if st.FPS < 90 || st.FPS > 110 {
+		t.Errorf("early-session FPS = %v, want ~100", st.FPS)
+	}
+}
+
+func TestLiveWindowUnevenPacingStutters(t *testing.T) {
+	even := NewLiveWindow(2 * time.Second)
+	uneven := NewLiveWindow(2 * time.Second)
+	var at time.Duration
+	for i := 0; i < 100; i++ {
+		at += 16 * time.Millisecond
+		even.OnSend(at, 0)
+	}
+	at = 0
+	for i := 0; i < 100; i++ {
+		// Alternate 2 ms / 100 ms gaps: same mean-ish rate, violent jitter.
+		if i%2 == 0 {
+			at += 2 * time.Millisecond
+		} else {
+			at += 100 * time.Millisecond
+		}
+		uneven.OnSend(at, 0)
+	}
+	se, su := even.Stats(at), uneven.Stats(at)
+	if su.Stutter <= se.Stutter {
+		t.Errorf("uneven stutter %v should exceed even stutter %v", su.Stutter, se.Stutter)
+	}
+}
+
+func TestLiveWindowMtPOnlyFromSampledFrames(t *testing.T) {
+	w := NewLiveWindow(2 * time.Second)
+	w.OnSend(10*time.Millisecond, 0) // no input answered: no MtP sample
+	w.OnSend(20*time.Millisecond, 30_000)
+	w.OnSend(30*time.Millisecond, 0)
+	st := w.Stats(40 * time.Millisecond)
+	if st.Frames != 3 {
+		t.Fatalf("Frames = %d", st.Frames)
+	}
+	if st.MeanMtPMs != 30 {
+		t.Errorf("MeanMtPMs = %v, want 30 (only the sampled frame counts)", st.MeanMtPMs)
+	}
+}
+
+func TestLiveWindowRingWraps(t *testing.T) {
+	// Window longer than the ring span: capacity, not time, is the bound.
+	w := NewLiveWindow(2 * time.Second)
+	const gap = time.Millisecond
+	var at time.Duration
+	for i := 0; i < 3*liveRingSize; i++ {
+		at += gap
+		w.OnSend(at, 1_000)
+	}
+	st := w.Stats(at)
+	if st.Frames != liveRingSize {
+		t.Errorf("Frames = %d, want ring capacity %d (1ms gaps span 1.02s < 2s window)", st.Frames, liveRingSize)
+	}
+}
+
+func TestLiveWindowStatsAllocFree(t *testing.T) {
+	w := NewLiveWindow(time.Second)
+	var at time.Duration
+	for i := 0; i < 500; i++ {
+		at += 2 * time.Millisecond
+		w.OnSend(at, int64(i))
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		w.OnSend(at, 5)
+		_ = w.Stats(at)
+	}); n != 0 {
+		t.Errorf("OnSend+Stats allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestLiveWindowNilSafe(t *testing.T) {
+	var w *LiveWindow
+	w.OnSend(time.Second, 1)
+	if st := w.Stats(time.Second); st != (LiveStats{}) {
+		t.Fatalf("nil window stats = %+v", st)
+	}
+}

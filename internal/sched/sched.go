@@ -28,8 +28,10 @@ type Options struct {
 	// Cache, when non-nil, serves cacheable cells from disk and persists
 	// fresh results (see Cache and CellKey).
 	Cache *Cache
-	// Metrics, when non-nil, receives the sched_cells_run,
-	// sched_cache_hits, sched_cache_misses and sched_cache_stores counters.
+	// Metrics, when non-nil, receives the odr_sched_cells_run_total,
+	// odr_sched_cache_hits_total, odr_sched_cache_misses_total and
+	// odr_sched_cache_stores_total counters (legacy sched_* names resolve
+	// as aliases for one release).
 	Metrics *obs.Registry
 }
 
@@ -38,10 +40,10 @@ type Runner struct {
 	workers int
 	cache   *Cache
 
-	cellsRun *obs.Counter // sched_cells_run
-	hits     *obs.Counter // sched_cache_hits
-	misses   *obs.Counter // sched_cache_misses
-	stores   *obs.Counter // sched_cache_stores
+	cellsRun *obs.Counter // odr_sched_cells_run_total
+	hits     *obs.Counter // odr_sched_cache_hits_total
+	misses   *obs.Counter // odr_sched_cache_misses_total
+	stores   *obs.Counter // odr_sched_cache_stores_total
 }
 
 // New returns a runner over o.
@@ -54,13 +56,25 @@ func New(o Options) *Runner {
 		// Stats() must count even when the caller doesn't export metrics.
 		o.Metrics = obs.NewRegistry()
 	}
+	for legacy, canon := range map[string]string{
+		"sched_cells_run":    "odr_sched_cells_run_total",
+		"sched_cache_hits":   "odr_sched_cache_hits_total",
+		"sched_cache_misses": "odr_sched_cache_misses_total",
+		"sched_cache_stores": "odr_sched_cache_stores_total",
+	} {
+		o.Metrics.Alias(legacy, canon)
+	}
+	o.Metrics.SetHelp("odr_sched_cells_run_total", "Experiment cells executed (cache misses included).")
+	o.Metrics.SetHelp("odr_sched_cache_hits_total", "Experiment cells served from the result cache.")
+	o.Metrics.SetHelp("odr_sched_cache_misses_total", "Result-cache lookups that missed.")
+	o.Metrics.SetHelp("odr_sched_cache_stores_total", "Fresh results persisted to the result cache.")
 	return &Runner{
 		workers:  w,
 		cache:    o.Cache,
-		cellsRun: o.Metrics.Counter("sched_cells_run"),
-		hits:     o.Metrics.Counter("sched_cache_hits"),
-		misses:   o.Metrics.Counter("sched_cache_misses"),
-		stores:   o.Metrics.Counter("sched_cache_stores"),
+		cellsRun: o.Metrics.Counter("odr_sched_cells_run_total"),
+		hits:     o.Metrics.Counter("odr_sched_cache_hits_total"),
+		misses:   o.Metrics.Counter("odr_sched_cache_misses_total"),
+		stores:   o.Metrics.Counter("odr_sched_cache_stores_total"),
 	}
 }
 

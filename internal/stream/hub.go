@@ -2,6 +2,7 @@ package stream
 
 import (
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,9 +55,12 @@ type Hub struct {
 	// evictCtr mirrors evicted into the metrics registry (nil-safe).
 	evictCtr *obs.Counter
 
-	// Observability (nil-safe; see HubConfig.Trace/Metrics).
-	tr  *obs.Tracer
-	ins obs.FrameInstruments
+	// Observability (nil-safe; see HubConfig.Trace/Metrics). The hub-level
+	// probe carries the shared renderer's energy under session="shared";
+	// per-viewer probes live on each hubSession.
+	tr    *obs.Tracer
+	ins   obs.FrameInstruments
+	probe *sessionProbe
 }
 
 // HubConfig configures a Hub.
@@ -133,6 +137,9 @@ type hubSession struct {
 	carriedMu sync.Mutex
 	carried   []frame.InputStamp
 
+	// probe publishes this viewer's live QoE/energy series (nil-safe).
+	probe *sessionProbe
+
 	closeOnce sync.Once
 }
 
@@ -151,8 +158,9 @@ func NewHub(cfg HubConfig) *Hub {
 		draining: make(chan struct{}),
 		tr:       cfg.Trace,
 		ins:      obs.NewFrameInstruments(cfg.Metrics),
-		evictCtr: cfg.Metrics.Counter("sessions_evicted"),
+		evictCtr: cfg.Metrics.Counter(obs.NameSessionsEvicted),
 	}
+	h.probe = newSessionProbe(cfg.Metrics, "shared")
 	h.game.ExtraCost = cfg.RenderCost
 	if h.tr != nil {
 		h.pace.OnDelay = func(end, d time.Duration) {
@@ -200,6 +208,8 @@ func (h *Hub) Run() {
 		h.tr.Span(obs.TrackRender, "render", f.Seq, f.RenderStart, f.RenderEnd)
 		h.ins.Rendered.Inc()
 		h.ins.Render.ObserveDuration(f.RenderEnd - f.RenderStart)
+		h.probe.onRender(f.RenderEnd - f.RenderStart)
+		h.probe.maybeFlush(h.dom.Now())
 		if f.Priority {
 			h.tr.Instant(obs.TrackRender, "priority-frame", f.Seq, f.RenderStart)
 			h.ins.Priority.Inc()
@@ -424,6 +434,8 @@ func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
 		h:         hh,
 		payload:   make([]byte, frameHeaderLen, frameHeaderLen+w*hh/2),
 	}
+	s.probe = newSessionProbe(h.cfg.Metrics, "h"+strconv.FormatUint(uint64(s.id), 10))
+	recordSessionStart(h.cfg.Metrics, "Hub", h.cfg.Codec)
 	h.sessions[s.id] = s
 	h.mu.Unlock()
 
@@ -436,6 +448,7 @@ func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
 		h.mu.Lock()
 		delete(h.sessions, s.id)
 		h.mu.Unlock()
+		s.probe.close(h.dom.Now(), true)
 		sent := atomic.LoadInt64(&s.sent)
 		droppedN := atomic.LoadInt64(&s.dropped)
 		atomic.AddInt64(&h.served, 1)
@@ -493,10 +506,12 @@ func (s *hubSession) encodeAndSendLoop() {
 		s.hub.tr.Span(obs.TrackProxy, "encode", f.Seq, start, encEnd)
 		s.hub.ins.Encoded.Inc()
 		s.hub.ins.Encode.ObserveDuration(encEnd - start)
+		s.probe.onEncode(encEnd - start)
 		if tiles, dirty := s.enc.TileStats(); tiles > 0 {
 			s.hub.ins.TilesCoded.Add(int64(tiles))
 			s.hub.ins.TilesDirty.Add(int64(dirty))
 			s.hub.ins.DirtyRatio.Set(float64(dirty) / float64(tiles))
+			s.probe.onTiles(tiles, dirty)
 			for _, ns := range s.enc.TileNanos() {
 				s.hub.ins.TileEncode.Observe(ns / 1e3)
 			}
@@ -547,6 +562,14 @@ func (s *hubSession) encodeAndSendLoop() {
 		s.hub.tr.Span(obs.TrackNetwork, "tx", f.Seq, txStart, txEnd)
 		s.hub.ins.Displayed.Inc()
 		s.hub.ins.Tx.ObserveDuration(txEnd - txStart)
+		var mtpUs int64
+		if inputID != 0 {
+			mtpUs = s.probe.mtpEstimate(txEnd)
+			if mtpUs > 0 {
+				s.hub.ins.MtP.Observe(mtpUs)
+			}
+		}
+		s.probe.onSend(txEnd, len(payload), txEnd-txStart, mtpUs)
 		if !f.Priority {
 			if d := s.pace.PaceAfterObserved(start, s.hub.dom.Now()); d > 0 {
 				w.Sleep(d)
@@ -580,6 +603,7 @@ func (s *hubSession) inputLoop() {
 			atomic.AddInt64(&s.hub.inputs, 1)
 			s.hub.tr.Instant(obs.TrackInput, "input", id, s.hub.dom.Now())
 			s.hub.ins.Inputs.Inc()
+			s.probe.onInput(s.hub.dom.Now())
 			s.hub.box.OnInput(packInput(s.id, id), time.Duration(nanos))
 		case msgKeyReq:
 			// Each session owns its encoder — but the encode loop owns it

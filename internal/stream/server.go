@@ -85,6 +85,9 @@ type ServerConfig struct {
 	// the obs.FrameInstruments names (shared with the simulator), for the
 	// -debug-addr /debug/odr endpoint. Nil disables it at nil-check cost.
 	Metrics *obs.Registry
+	// SessionLabel names this session in the labeled live series
+	// (odr_session_fps{session=...} and friends). Empty picks "default".
+	SessionLabel string
 }
 
 func (c *ServerConfig) applyDefaults() {
@@ -184,13 +187,17 @@ type Server struct {
 	payloadFree chan []byte
 
 	// Observability (nil-safe; see ServerConfig.Trace/Metrics).
-	tr  *obs.Tracer
-	ins obs.FrameInstruments
+	tr    *obs.Tracer
+	ins   obs.FrameInstruments
+	probe *sessionProbe
 }
 
 // NewServer prepares a server for conn; call Run to start streaming.
 func NewServer(conn net.Conn, cfg ServerConfig) *Server {
 	cfg.applyDefaults()
+	if cfg.SessionLabel == "" {
+		cfg.SessionLabel = "default"
+	}
 	dom := realrt.NewDomain()
 	s := &Server{
 		cfg:      cfg,
@@ -206,8 +213,10 @@ func NewServer(conn net.Conn, cfg ServerConfig) *Server {
 		drained:  make(chan struct{}),
 		tr:       cfg.Trace,
 		ins:      obs.NewFrameInstruments(cfg.Metrics),
-		evictCtr: cfg.Metrics.Counter("sessions_evicted"),
+		evictCtr: cfg.Metrics.Counter(obs.NameSessionsEvicted),
 	}
+	s.probe = newSessionProbe(cfg.Metrics, cfg.SessionLabel)
+	recordSessionStart(cfg.Metrics, cfg.Policy.String(), cfg.Codec)
 	s.game.ExtraCost = cfg.RenderCost
 	s.quantShift = int64(cfg.Codec.QuantShift)
 	size := s.game.FrameBytes()
@@ -282,6 +291,7 @@ func (s *Server) Run() error {
 	err := <-errCh
 	s.Stop()
 	s.wg.Wait()
+	s.probe.close(s.dom.Now(), false)
 	if err != nil && !isClosedErr(err) {
 		return err
 	}
@@ -412,6 +422,7 @@ func (s *Server) appLoop() {
 		s.tr.Span(obs.TrackRender, "render", f.Seq, f.RenderStart, f.RenderEnd)
 		s.ins.Rendered.Inc()
 		s.ins.Render.ObserveDuration(f.RenderEnd - f.RenderStart)
+		s.probe.onRender(f.RenderEnd - f.RenderStart)
 		if f.Priority {
 			atomic.AddInt64(&s.stats.Priority, 1)
 			s.tr.Instant(obs.TrackRender, "priority-frame", f.Seq, f.RenderStart)
@@ -448,6 +459,7 @@ func (s *Server) renderFinalFrame(seq uint64) {
 	core.Tag(f, stamps)
 	s.tr.Span(obs.TrackRender, "render", f.Seq, f.RenderStart, f.RenderEnd)
 	s.ins.Rendered.Inc()
+	s.probe.onRender(f.RenderEnd - f.RenderStart)
 	atomic.AddInt64(&s.stats.Rendered, 1)
 	for _, d := range s.buf1.PutPriority(f) {
 		s.addCarried(d.Inputs)
@@ -602,6 +614,13 @@ func (s *Server) encodeLoop(errCh chan<- error) {
 		s.ins.Encoded.Inc()
 		s.ins.Copy.ObserveDuration(f.CopyEnd - start)
 		s.ins.Encode.ObserveDuration(f.EncodeEnd - f.EncodeStart)
+		s.probe.onEncode(f.EncodeEnd - start)
+		if tiles, dirty := s.enc.TileStats(); tiles > 0 {
+			s.ins.TilesCoded.Add(int64(tiles))
+			s.ins.TilesDirty.Add(int64(dirty))
+			s.ins.DirtyRatio.Set(float64(dirty) / float64(tiles))
+			s.probe.onTiles(tiles, dirty)
+		}
 
 		if s.cfg.Policy == ODRRegulation {
 			if f.Priority {
@@ -662,6 +681,14 @@ func (s *Server) sendLoop(errCh chan<- error) {
 		s.tr.Span(obs.TrackNetwork, "tx", f.Seq, txStart, txEnd)
 		s.ins.Displayed.Inc()
 		s.ins.Tx.ObserveDuration(txEnd - txStart)
+		var mtpUs int64
+		if f.Input != 0 {
+			mtpUs = s.probe.mtpEstimate(txEnd)
+			if mtpUs > 0 {
+				s.ins.MtP.Observe(mtpUs)
+			}
+		}
+		s.probe.onSend(txEnd, f.Bytes, txEnd-txStart, mtpUs)
 		s.putPayload(f)
 		return nil
 	}
@@ -726,6 +753,7 @@ func (s *Server) inputLoop(errCh chan<- error) {
 			atomic.AddInt64(&s.stats.Inputs, 1)
 			s.tr.Instant(obs.TrackInput, "input", id, s.dom.Now())
 			s.ins.Inputs.Inc()
+			s.probe.onInput(s.dom.Now())
 			s.box.OnInput(frame.InputID(id), time.Duration(nanos))
 		case msgKeyReq:
 			atomic.AddInt64(&s.stats.KeyReqs, 1)

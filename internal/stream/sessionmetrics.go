@@ -1,0 +1,297 @@
+package stream
+
+import (
+	"sync/atomic"
+	"time"
+
+	"odr/internal/codec"
+	"odr/internal/obs"
+	"odr/internal/powermodel"
+	"odr/internal/qoe"
+)
+
+// Canonical names of the live per-session series. They join the
+// obs.FrameInstruments names on the same registry, so one /metrics scrape
+// carries both the aggregate pipeline counters and the labeled QoE/energy
+// view the paper's evaluation reads per session.
+const (
+	// NameSessionFPS is the delivered frame rate over the live QoE window.
+	NameSessionFPS = "odr_session_fps"
+	// NameSessionMtPMs is the mean server-side motion-to-photon estimate.
+	NameSessionMtPMs = "odr_session_mtp_ms"
+	// NameSessionMtPP99Ms is the tail of the same estimate.
+	NameSessionMtPP99Ms = "odr_session_mtp_p99_ms"
+	// NameSessionSmoothness is 1−stutter over the window (1 = perfectly
+	// even frame pacing).
+	NameSessionSmoothness = "odr_session_smoothness"
+	// NameSessionWatts is the session's estimated draw since the last flush.
+	NameSessionWatts = "odr_session_watts"
+	// NameSessionEnergy is cumulative estimated joules split by component
+	// (render, encode, network).
+	NameSessionEnergy = "odr_session_energy_joules"
+	// NameTilesOutcome counts encoded tiles by outcome (dirty = coded,
+	// clean = skipped by change detection).
+	NameTilesOutcome = "odr_tiles_outcome_total"
+	// NameSessionsStarted counts sessions by regulation policy and
+	// bitstream generation.
+	NameSessionsStarted = "odr_sessions_started_total"
+)
+
+// sessionFlushInterval paces gauge publication: the send loop records every
+// frame into the window, but series only move at this cadence so the flush
+// cost (sorting the window) stays off the per-frame path.
+const sessionFlushInterval = 500 * time.Millisecond
+
+// defaultGPUIntensity is the workload GPU power intensity assumed for live
+// sessions; the synthetic game sits mid-field between a UI stream and a VR
+// benchmark (the simulator varies this per workload, the live path cannot).
+const defaultGPUIntensity = 0.5
+
+// codecVersionLabel names the bitstream generation for the codec_version
+// label (mirrors codec.Options: 0 means the v2 default).
+func codecVersionLabel(o codec.Options) string {
+	if o.Version == 1 {
+		return "1"
+	}
+	return "2"
+}
+
+// recordSessionStart counts one real client session by policy and codec
+// generation (nil-safe).
+func recordSessionStart(reg *obs.Registry, policy string, o codec.Options) {
+	if reg == nil {
+		return
+	}
+	registerLiveVecs(reg)
+	reg.CounterVec(NameSessionsStarted, "", "policy", "codec_version").
+		With2(policy, codecVersionLabel(o)).Inc()
+}
+
+// liveVecs bundles the labeled families of the live per-session surface.
+type liveVecs struct {
+	fps, mtp, mtpP99, smooth, watts, energy *obs.GaugeVec
+	outcome                                 *obs.CounterVec
+}
+
+// registerLiveVecs idempotently registers every live-session family in reg.
+func registerLiveVecs(reg *obs.Registry) liveVecs {
+	reg.CounterVec(NameSessionsStarted,
+		"Streaming sessions started, by regulation policy and bitstream generation.",
+		"policy", "codec_version")
+	return liveVecs{
+		fps: reg.GaugeVec(NameSessionFPS,
+			"Delivered frames per second over the live QoE window.", "session"),
+		mtp: reg.GaugeVec(NameSessionMtPMs,
+			"Mean server-side motion-to-photon estimate over the window, ms (input arrival to frame tx-end; the client-clock MtP is measured client-side).", "session"),
+		mtpP99: reg.GaugeVec(NameSessionMtPP99Ms,
+			"p99 server-side motion-to-photon estimate over the window, ms.", "session"),
+		smooth: reg.GaugeVec(NameSessionSmoothness,
+			"Frame-pacing smoothness over the window (1 − stutter index; 1 = perfectly even).", "session"),
+		watts: reg.GaugeVec(NameSessionWatts,
+			"Estimated session power draw since the previous flush, watts.", "session"),
+		energy: reg.GaugeVec(NameSessionEnergy,
+			"Cumulative estimated session energy, joules, split by pipeline component.", "session", "component"),
+		outcome: reg.CounterVec(NameTilesOutcome,
+			"Tiles inspected by the encoder, by outcome (dirty = coded, clean = skipped unchanged).", "tile_outcome"),
+	}
+}
+
+// RegisterLiveMetrics pre-registers the full live-session metric surface in
+// reg without creating any series, so a startup lint (odrserver
+// -metrics-lint, make metrics-check) can validate every family this package
+// will ever export before the first client connects. Nil-safe.
+func RegisterLiveMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	registerLiveVecs(reg)
+}
+
+// sessionProbe feeds one session's frame lifecycle into the live QoE window
+// (internal/qoe) and the energy meter (internal/powermodel) and publishes
+// the results as labeled gauges. The recording half (onRender/onEncode/
+// onSend) is allocation-free; gauges move on the ~2 Hz flush.
+//
+// Ownership: onSend, maybeFlush and close belong to one goroutine (the
+// session's send loop, or the renderer for a hub's shared probe). onRender,
+// onEncode, onTiles and onInput may run on other loops — they only touch
+// atomics and counter handles.
+type sessionProbe struct {
+	session string
+	live    *qoe.LiveWindow
+	meter   *powermodel.SessionMeter
+
+	fps, mtp, mtpP99, smooth, watts *obs.Gauge
+	energyRender                    *obs.Gauge
+	energyEncode                    *obs.Gauge
+	energyNetwork                   *obs.Gauge
+	tilesDirty, tilesClean          *obs.Counter
+
+	// vec handles kept for Delete on close (bounding series churn).
+	fpsVec, mtpVec, mtpP99Vec, smoothVec, wattsVec, energyVec *obs.GaugeVec
+
+	lastFlushAt time.Duration
+	lastTotalJ  float64
+
+	// lastInputAt is the session-clock arrival time of the most recent
+	// client input (written by the input loop, read by the send loop for
+	// the server-side MtP estimate).
+	lastInputAt atomic.Int64
+}
+
+// newSessionProbe registers the live series for one session label. Returns
+// nil (all methods no-ops) when reg is nil.
+func newSessionProbe(reg *obs.Registry, session string) *sessionProbe {
+	if reg == nil {
+		return nil
+	}
+	v := registerLiveVecs(reg)
+	p := &sessionProbe{
+		session:   session,
+		live:      qoe.NewLiveWindow(0),
+		meter:     powermodel.NewSessionMeter(powermodel.Config{}, defaultGPUIntensity),
+		fpsVec:    v.fps,
+		mtpVec:    v.mtp,
+		mtpP99Vec: v.mtpP99,
+		smoothVec: v.smooth,
+		wattsVec:  v.watts,
+		energyVec: v.energy,
+	}
+	p.fps = v.fps.With1(session)
+	p.mtp = v.mtp.With1(session)
+	p.mtpP99 = v.mtpP99.With1(session)
+	p.smooth = v.smooth.With1(session)
+	p.watts = v.watts.With1(session)
+	p.energyRender = v.energy.With2(session, "render")
+	p.energyEncode = v.energy.With2(session, "encode")
+	p.energyNetwork = v.energy.With2(session, "network")
+	p.tilesDirty = v.outcome.With1("dirty")
+	p.tilesClean = v.outcome.With1("clean")
+	return p
+}
+
+// onRender bills GPU-busy render time.
+func (p *sessionProbe) onRender(busy time.Duration) {
+	if p == nil {
+		return
+	}
+	p.meter.AddRender(busy)
+}
+
+// onEncode bills CPU-busy copy+encode time.
+func (p *sessionProbe) onEncode(busy time.Duration) {
+	if p == nil {
+		return
+	}
+	p.meter.AddEncode(busy)
+}
+
+// onTiles counts one frame's tile outcomes.
+func (p *sessionProbe) onTiles(tiles, dirty int) {
+	if p == nil || tiles <= 0 {
+		return
+	}
+	p.tilesDirty.Add(int64(dirty))
+	p.tilesClean.Add(int64(tiles - dirty))
+}
+
+// onInput stamps a client input's arrival on the session clock.
+func (p *sessionProbe) onInput(now time.Duration) {
+	if p == nil {
+		return
+	}
+	p.lastInputAt.Store(int64(now))
+}
+
+// mtpEstimate returns the server-side motion-to-photon estimate in
+// microseconds for a frame that answered an input and finished transmitting
+// at txEnd: the delta from the latest input arrival. It under-reports when
+// a newer input arrived while the answering frame was in flight — it is a
+// live approximation; the authoritative MtP is measured on the client clock.
+func (p *sessionProbe) mtpEstimate(txEnd time.Duration) int64 {
+	if p == nil {
+		return 0
+	}
+	arr := p.lastInputAt.Load()
+	if arr <= 0 || int64(txEnd) <= arr {
+		return 0
+	}
+	return (int64(txEnd) - arr) / 1e3
+}
+
+// onSend records one delivered frame (send-loop goroutine only): network
+// energy, the QoE window event, and a gauge flush when due.
+func (p *sessionProbe) onSend(at time.Duration, bytes int, busy time.Duration, mtpUs int64) {
+	if p == nil {
+		return
+	}
+	p.meter.AddSend(bytes, busy)
+	p.live.OnSend(at, mtpUs)
+	p.maybeFlush(at)
+}
+
+// maybeFlush publishes the gauges when a flush interval has elapsed
+// (owner goroutine only).
+func (p *sessionProbe) maybeFlush(now time.Duration) {
+	if p == nil || now-p.lastFlushAt < sessionFlushInterval {
+		return
+	}
+	p.flush(now)
+}
+
+// flush publishes the window stats and energy split (owner goroutine only).
+func (p *sessionProbe) flush(now time.Duration) {
+	if p == nil {
+		return
+	}
+	st := p.live.Stats(now)
+	p.fps.Set(st.FPS)
+	p.mtp.Set(st.MeanMtPMs)
+	p.mtpP99.Set(st.P99MtPMs)
+	smooth := 1 - st.Stutter
+	if smooth < 0 {
+		smooth = 0
+	}
+	p.smooth.Set(smooth)
+	split := p.meter.Totals()
+	p.energyRender.Set(split.RenderJ)
+	p.energyEncode.Set(split.EncodeJ)
+	p.energyNetwork.Set(split.NetworkJ)
+	total := split.TotalJ()
+	if dt := now - p.lastFlushAt; dt > 0 && p.lastFlushAt > 0 {
+		p.watts.Set((total - p.lastTotalJ) / dt.Seconds())
+	}
+	p.lastFlushAt = now
+	p.lastTotalJ = total
+}
+
+// EnergyTotals reads the probe's cumulative energy split.
+func (p *sessionProbe) EnergyTotals() powermodel.EnergySplit {
+	if p == nil {
+		return powermodel.EnergySplit{}
+	}
+	return p.meter.Totals()
+}
+
+// close publishes a final flush; when deleteSeries is set it also retires
+// the session's label sets so a churning hub does not accumulate one set of
+// series per viewer ever attached (the LRU bound is the backstop, this is
+// the orderly path). Counter series (tile outcomes, session starts) are
+// unlabeled by session and stay.
+func (p *sessionProbe) close(now time.Duration, deleteSeries bool) {
+	if p == nil {
+		return
+	}
+	p.flush(now)
+	if !deleteSeries {
+		return
+	}
+	p.fpsVec.Delete(p.session)
+	p.mtpVec.Delete(p.session)
+	p.mtpP99Vec.Delete(p.session)
+	p.smoothVec.Delete(p.session)
+	p.wattsVec.Delete(p.session)
+	p.energyVec.Delete(p.session, "render")
+	p.energyVec.Delete(p.session, "encode")
+	p.energyVec.Delete(p.session, "network")
+}

@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/codec"
+	"odr/internal/obs"
+)
+
+func TestCodecVersionLabel(t *testing.T) {
+	if got := codecVersionLabel(codec.Options{}); got != "2" {
+		t.Errorf("default version label = %q, want 2", got)
+	}
+	if got := codecVersionLabel(codec.Options{Version: 1}); got != "1" {
+		t.Errorf("v1 label = %q", got)
+	}
+	if got := codecVersionLabel(codec.Options{Version: 2}); got != "2" {
+		t.Errorf("v2 label = %q", got)
+	}
+}
+
+func TestRegisterLiveMetricsIsLintClean(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterLiveMetrics(reg)
+	obs.NewFrameInstruments(reg)
+	if errs := obs.Lint(reg); len(errs) != 0 {
+		t.Fatalf("full metric surface fails lint: %v", errs)
+	}
+	RegisterLiveMetrics(nil) // nil-safe
+}
+
+func TestRecordSessionStart(t *testing.T) {
+	reg := obs.NewRegistry()
+	recordSessionStart(reg, "ODR", codec.Options{})
+	recordSessionStart(reg, "ODR", codec.Options{})
+	recordSessionStart(reg, "Hub", codec.Options{Version: 1})
+	v := reg.CounterVec(NameSessionsStarted, "", "policy", "codec_version")
+	if got := v.With2("ODR", "2").Value(); got != 2 {
+		t.Errorf("ODR/2 starts = %d, want 2", got)
+	}
+	if got := v.With2("Hub", "1").Value(); got != 1 {
+		t.Errorf("Hub/1 starts = %d, want 1", got)
+	}
+	recordSessionStart(nil, "ODR", codec.Options{}) // nil-safe
+}
+
+func TestSessionProbeLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := newSessionProbe(reg, "s1")
+	now := time.Duration(0)
+
+	// Simulate ~1 s of a 50 FPS session answering an input every frame.
+	for i := 0; i < 50; i++ {
+		now += 20 * time.Millisecond
+		p.onRender(5 * time.Millisecond)
+		p.onEncode(2 * time.Millisecond)
+		p.onTiles(3, 2)
+		p.onInput(now - 15*time.Millisecond)
+		mtp := p.mtpEstimate(now)
+		if mtp <= 0 {
+			t.Fatalf("frame %d: mtpEstimate = %d", i, mtp)
+		}
+		p.onSend(now, 10_000, time.Millisecond, mtp)
+	}
+	p.close(now, false)
+
+	fps := reg.GaugeVec(NameSessionFPS, "", "session").With1("s1").Value()
+	if fps < 45 || fps > 55 {
+		t.Errorf("fps gauge = %v, want ~50", fps)
+	}
+	mtp := reg.GaugeVec(NameSessionMtPMs, "", "session").With1("s1").Value()
+	if mtp < 14 || mtp > 16 {
+		t.Errorf("mtp gauge = %v ms, want ~15", mtp)
+	}
+	smooth := reg.GaugeVec(NameSessionSmoothness, "", "session").With1("s1").Value()
+	if smooth < 0.9 || smooth > 1 {
+		t.Errorf("smoothness = %v for even pacing", smooth)
+	}
+	ev := reg.GaugeVec(NameSessionEnergy, "", "session", "component")
+	render := ev.With2("s1", "render").Value()
+	encode := ev.With2("s1", "encode").Value()
+	network := ev.With2("s1", "network").Value()
+	if render <= 0 || encode <= 0 || network <= 0 {
+		t.Errorf("energy split = %v/%v/%v, want all positive", render, encode, network)
+	}
+	// 50 frames x 5 ms GPU-busy at defaultGPUIntensity^3 * GPUMaxWatts.
+	split := p.EnergyTotals()
+	if split.RenderJ != render || split.EncodeJ != encode || split.NetworkJ != network {
+		t.Errorf("EnergyTotals %+v disagrees with gauges %v/%v/%v", split, render, encode, network)
+	}
+	ov := reg.CounterVec(NameTilesOutcome, "", "tile_outcome")
+	if d, c := ov.With1("dirty").Value(), ov.With1("clean").Value(); d != 100 || c != 50 {
+		t.Errorf("tile outcomes = %d dirty / %d clean, want 100/50", d, c)
+	}
+}
+
+// TestSessionProbeMtPEstimate pins the estimate semantics: no input seen
+// means no sample, and a frame finishing before the input cannot sample.
+func TestSessionProbeMtPEstimate(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := newSessionProbe(reg, "s1")
+	if got := p.mtpEstimate(time.Second); got != 0 {
+		t.Errorf("estimate before any input = %d", got)
+	}
+	p.onInput(2 * time.Second)
+	if got := p.mtpEstimate(time.Second); got != 0 {
+		t.Errorf("tx-end before input arrival = %d", got)
+	}
+	if got := p.mtpEstimate(2*time.Second + 30*time.Millisecond); got != 30_000 {
+		t.Errorf("estimate = %d us, want 30000", got)
+	}
+}
+
+func TestSessionProbeCloseDeletesSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := newSessionProbe(reg, "h7")
+	p.onSend(sessionFlushInterval+time.Millisecond, 1000, time.Millisecond, 0)
+
+	fpsVec := reg.GaugeVec(NameSessionFPS, "", "session")
+	if fpsVec.Len() != 1 {
+		t.Fatalf("series before close = %d", fpsVec.Len())
+	}
+	p.close(time.Second, true)
+	if fpsVec.Len() != 0 {
+		t.Errorf("fps series survived close: %d", fpsVec.Len())
+	}
+	if got := reg.GaugeVec(NameSessionEnergy, "", "session", "component").Len(); got != 0 {
+		t.Errorf("energy series survived close: %d", got)
+	}
+	if got := reg.DroppedLabelSets().Value(); got != 0 {
+		t.Errorf("orderly close counted as cardinality drop: %d", got)
+	}
+}
+
+func TestSessionProbeNilIsInert(t *testing.T) {
+	p := newSessionProbe(nil, "s1")
+	if p != nil {
+		t.Fatal("nil registry should yield nil probe")
+	}
+	p.onRender(time.Millisecond)
+	p.onEncode(time.Millisecond)
+	p.onTiles(3, 1)
+	p.onInput(time.Second)
+	_ = p.mtpEstimate(2 * time.Second)
+	p.onSend(time.Second, 100, time.Millisecond, 0)
+	p.maybeFlush(time.Second)
+	p.close(time.Second, true)
+	if s := p.EnergyTotals(); s.TotalJ() != 0 {
+		t.Fatalf("nil probe energy = %+v", s)
+	}
+}
+
+// TestSessionProbeRecordingAllocFree pins the hot-path contract: recording
+// a frame through the probe (the per-frame half, not the flush) must not
+// allocate.
+func TestSessionProbeRecordingAllocFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := newSessionProbe(reg, "s1")
+	at := time.Duration(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		at += time.Millisecond // stay inside one flush interval per run
+		p.onRender(time.Millisecond)
+		p.onEncode(time.Millisecond)
+		p.onTiles(3, 1)
+		p.onInput(at)
+		p.onSend(at, 1000, time.Microsecond, p.mtpEstimate(at))
+	}); n > 0.1 {
+		t.Errorf("probe recording allocates %.2f/op, want 0", n)
+	}
+}

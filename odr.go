@@ -368,6 +368,14 @@ func ServeDebug(addr string, snapshot func() any) (*DebugServer, error) {
 	return obs.ServeDebug(addr, snapshot)
 }
 
+// ServeDebugWithMetrics is ServeDebug plus a Prometheus surface: /metrics
+// serves reg's instruments (labeled series included, plus Go runtime stats
+// and odr_build_info) in text exposition format 0.0.4 — scrapeable by
+// Prometheus, cmd/odrtop and the internal/obs/scrape harness.
+func ServeDebugWithMetrics(addr string, reg *MetricsRegistry, snapshot func() any) (*DebugServer, error) {
+	return obs.ServeDebugRegistry(addr, reg, snapshot)
+}
+
 // ThrottleConfig shapes a connection like a wide-area path (bandwidth cap,
 // propagation delay, bounded buffering).
 type ThrottleConfig = stream.ThrottleConfig
