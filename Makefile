@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-codec bench-codec-check bench-go report artifacts fidelity examples trace soak fuzz metrics-check clean
+.PHONY: all build test race bench bench-codec bench-codec-check bench-hub bench-hub-check bench-go report artifacts fidelity examples trace soak soak-hub fuzz metrics-check clean
 
 all: build test
 
@@ -20,6 +20,13 @@ race:
 # fault schedule, with the race detector and a pass/fail invariant report.
 soak:
 	$(GO) run -race ./cmd/odrsoak -clients 16 -schedule flaky -seed 1 -duration 20s
+
+# Encode-once fan-out soak: 1000 same-resolution viewers share one lane
+# encoder, one in 16 churning through chaos reconnects; invariants assert
+# O(frames) encoding, spliced catch-up keyframes, byte-identical pixels and
+# flat per-viewer memory. Runs under the race detector.
+soak-hub:
+	$(GO) run -race ./cmd/odrsoak -fanout 1000 -width 48 -height 27 -fps 10 -schedule flaky -seed 1 -duration 15s
 
 # Fuzz smoke over the wire framing, the chaos schedule parser, the codec
 # bitstream decoders (v1 + v2 tile), and the metrics scrape parser.
@@ -53,6 +60,16 @@ bench-codec:
 # drops more than 20% below the committed BENCH_codec.json baseline.
 bench-codec-check:
 	$(GO) run ./cmd/odrbench -codec-check BENCH_codec.json
+
+# Hub fan-out suite -> BENCH_hub.json: 1/4/16/64 viewers sharing one lane
+# encoder; reports encode and delivery rates plus sends_per_encode.
+bench-hub:
+	$(GO) run ./cmd/odrbench -hub -hub-out BENCH_hub.json
+
+# Regression gate: re-run the hub suite and fail when any cell's
+# sends_per_encode ratio drops more than 35% below the committed baseline.
+bench-hub-check:
+	$(GO) run ./cmd/odrbench -hub-check BENCH_hub.json
 
 # The full Go benchmark suite with allocation reporting.
 bench-go:

@@ -20,11 +20,23 @@
 //     nonzero when any speedup-vs-v1 ratio regresses more than -codec-tol
 //     below the committed baseline.
 //
+// The hub fan-out suite (hubsuite.go) measures the encode-once hub:
+//
+//   - `odrbench -hub` streams to 1/4/16/64 same-resolution viewers sharing
+//     one lane encoder and writes encode and delivery rates plus the
+//     sends_per_encode amplification to BENCH_hub.json;
+//   - `odrbench -hub-check BENCH_hub.json` re-runs the suite and exits
+//     nonzero when any cell's sends_per_encode ratio falls more than
+//     -hub-tol below the committed baseline (the ratio is machine-portable;
+//     it collapses only if the hub regresses toward per-viewer encoding).
+//
 // Usage:
 //
 //	odrbench [-o BENCH_sched.json] [-duration 10s] [-cells 24]
 //	odrbench -codec [-codec-out BENCH_codec.json] [-codec-budget 250ms]
 //	odrbench -codec-check BENCH_codec.json [-codec-tol 0.20]
+//	odrbench -hub [-hub-out BENCH_hub.json] [-hub-measure 2s]
+//	odrbench -hub-check BENCH_hub.json [-hub-tol 0.35]
 package main
 
 import (
@@ -204,8 +216,32 @@ func main() {
 	codecCheck := flag.String("codec-check", "", "baseline BENCH_codec.json: re-run the codec suite and fail on ratio regression")
 	codecBudget := flag.Duration("codec-budget", 250*time.Millisecond, "minimum measurement time per codec suite cell")
 	codecTol := flag.Float64("codec-tol", 0.20, "allowed fractional drop in speedup_vs_v1 before -codec-check fails")
+	hubRun := flag.Bool("hub", false, "run only the hub fan-out suite and write -hub-out")
+	hubOut := flag.String("hub-out", "BENCH_hub.json", "output file for the hub fan-out suite")
+	hubCheck := flag.String("hub-check", "", "baseline BENCH_hub.json: re-run the hub suite and fail on sends/encode regression")
+	hubMeasure := flag.Duration("hub-measure", 2*time.Second, "measurement window per hub suite cell")
+	hubTol := flag.Float64("hub-tol", 0.35, "allowed fractional drop in sends_per_encode before -hub-check fails")
 	flag.Parse()
 
+	if *hubCheck != "" {
+		if err := checkHubRegression(*hubCheck, *hubMeasure, *hubTol); err != nil {
+			fmt.Fprintln(os.Stderr, "odrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *hubRun {
+		rep, err := hubSuite(*hubMeasure)
+		if err == nil {
+			err = writeHubReport(rep, *hubOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "odrbench: %d hub cells -> %s\n", len(rep.Cells), *hubOut)
+		return
+	}
 	if *codecCheck != "" {
 		if err := checkCodecRegression(*codecCheck, *codecBudget, *codecTol); err != nil {
 			fmt.Fprintln(os.Stderr, "odrbench:", err)

@@ -8,8 +8,10 @@
 //	          [-width 640] [-height 360] [-once] [-hub]
 //	          [-debug-addr :8099]
 //
-// With -hub, all connected clients share one rendered game (each with its
-// own encoder and pacing); without it, each client gets a private session.
+// With -hub, all connected clients share one rendered game: clients at the
+// same resolution also share one encoder (each frame is encoded once and
+// fanned out; late joiners get spliced catch-up keyframes) while pacing
+// stays per-client. Without it, each client gets a private session.
 //
 // With -debug-addr, the server exposes live observability over HTTP:
 // /debug/odr (JSON snapshot of the regulation state and telemetry

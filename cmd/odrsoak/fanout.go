@@ -1,0 +1,241 @@
+package main
+
+// Fan-out mode (-fanout N): the encode-once scale test. N viewers — far more
+// than the classic churn run — attach to one hub at the same resolution, so
+// they all share a single lane encoder. A slice of them (every churnEvery-th)
+// reconnects through chaos-wrapped connections for the whole run, forcing
+// attach/detach churn and mid-stream rejoins that exercise the spliced-
+// keyframe path at scale.
+//
+// The invariants are the ones that define the architecture:
+//
+//   - encode-once: odr_frames_encoded_total stays bounded by frames rendered
+//     (the encoder runs per frame, not per viewer x frame), while
+//     odr_frames_displayed_total fans out to many times that
+//   - spliced keyframes: late joiners and resyncing churners are served
+//     catch-up keyframes spliced from shared encoder state, never by forcing
+//     a keyframe into every viewer's stream
+//   - pixel identity: splicing is byte-exact — every decoded frame from
+//     every viewer must hash-match the deterministic reference render
+//   - flat memory: per-viewer heap stays bounded (no per-session encoder
+//     state), measured after a forced GC while all viewers are attached
+//   - liveness, graceful drain, no goroutine leaks: same bar as the classic
+//     run, at 100x the session count
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"odr"
+	"odr/internal/chaos"
+	"odr/internal/obs/scrape"
+	"odr/internal/testutil"
+)
+
+// churnEvery picks which viewers reconnect through chaos: one in every
+// churnEvery attaches via a fault-injected, reconnecting client.
+const churnEvery = 16
+
+// fanoutViewer is one shared-lane viewer and its outcome counters.
+type fanoutViewer struct {
+	idx        int
+	churn      bool
+	cli        *odr.StreamClient
+	runErr     chan error
+	sessions   int64
+	mismatches int64
+	finalErr   error
+	hung       bool
+}
+
+// fanoutBytesPerViewer bounds steady-state heap per attached viewer. The
+// budget covers both ends of a pipe — decoder state, display buffer and read
+// buffer client-side; session bookkeeping, latest-wins buffer and splice
+// scratch hub-side — with headroom for allocator slack. What it must NOT
+// cover is a per-session encoder: that is the regression this bound exists
+// to catch.
+const fanoutBytesPerViewer = 256 << 10
+
+func runFanout(viewers int, sched chaos.Schedule, seed int64, duration time.Duration,
+	fps float64, width, height, retry int, verbose bool) {
+	log.Printf("odrsoak: fan-out mode, %d viewers (1 in %d chaos-churned, schedule %q), seed %d, %v at %dx%d@%.0ffps",
+		viewers, churnEvery, sched.String(), seed, duration, width, height, fps)
+
+	base := testutil.Snapshot()
+	ref := newRefTable(width, height)
+	metrics := odr.NewMetricsRegistry()
+	hub := odr.NewHub(odr.HubConfig{
+		Width: width, Height: height, TargetFPS: fps,
+		// Lossless so the pixel-identity invariant holds bit-for-bit.
+		Codec:   odr.CodecOptions{QuantShift: 0},
+		Metrics: metrics,
+	})
+	go hub.Run()
+	debug, err := odr.ServeDebugWithMetrics("127.0.0.1:0", metrics, nil)
+	if err != nil {
+		log.Fatalf("odrsoak: debug listener: %v", err)
+	}
+
+	watchdog := time.AfterFunc(3*duration+2*time.Minute, func() {
+		buf := make([]byte, 1<<21)
+		n := runtime.Stack(buf, true)
+		fmt.Fprintf(os.Stderr, "odrsoak: WATCHDOG: fan-out run wedged; goroutine dump:\n%s\n", buf[:n])
+		os.Exit(2)
+	})
+
+	// Heap baseline before any viewer exists: the per-viewer cost is the
+	// delta at steady state divided by the viewer count.
+	runtime.GC()
+	var heapBase runtime.MemStats
+	runtime.ReadMemStats(&heapBase)
+
+	views := make([]*fanoutViewer, viewers)
+	for i := range views {
+		v := &fanoutViewer{idx: i, churn: i%churnEvery == churnEvery-1, runErr: make(chan error, 1)}
+		views[i] = v
+		if v.churn {
+			dial := func() (net.Conn, error) {
+				session := atomic.AddInt64(&v.sessions, 1)
+				hubEnd, clientEnd := net.Pipe()
+				connSeed := seed + int64(v.idx)*1009 + session*101
+				hub.Attach(odr.WrapChaos(hubEnd, sched, connSeed), 0, nil)
+				return clientEnd, nil
+			}
+			v.cli = odr.NewReconnectingStreamClient(dial, odr.ReconnectPolicy{
+				MaxAttempts: retry,
+				BaseDelay:   5 * time.Millisecond,
+				MaxDelay:    100 * time.Millisecond,
+				IdleTimeout: 2 * time.Second,
+				Seed:        seed + int64(v.idx),
+			})
+		} else {
+			hubEnd, clientEnd := net.Pipe()
+			hub.Attach(hubEnd, 0, nil)
+			v.sessions = 1
+			v.cli = odr.NewStreamClient(clientEnd)
+		}
+		v.cli.OnFrame(func(seq uint64, pix []byte) {
+			if seq == 0 {
+				return
+			}
+			if sha256.Sum256(pix) != ref.hash(seq) {
+				atomic.AddInt64(&v.mismatches, 1)
+			}
+		})
+		go func(v *fanoutViewer) { v.runErr <- v.cli.Run() }(v)
+		// Stagger attachment across the first frames so a real share of
+		// viewers joins mid-stream and must be served a spliced keyframe.
+		if i%64 == 63 {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	time.Sleep(duration)
+
+	// Steady-state memory, measured while every viewer is still attached.
+	runtime.GC()
+	var heapNow runtime.MemStats
+	runtime.ReadMemStats(&heapNow)
+	var perViewer int64
+	if heapNow.HeapAlloc > heapBase.HeapAlloc {
+		perViewer = int64(heapNow.HeapAlloc-heapBase.HeapAlloc) / int64(viewers)
+	}
+
+	drainErr := hub.Drain(60 * time.Second)
+
+	timeout := make(chan struct{})
+	time.AfterFunc(60*time.Second, func() { close(timeout) })
+	for _, v := range views {
+		select {
+		case v.finalErr = <-v.runErr:
+		case <-timeout:
+			v.hung = true
+		}
+		v.cli.Stop()
+	}
+	watchdog.Stop()
+	scraped, scrapeErr := scrapeMetrics("http://" + debug.Addr() + "/metrics")
+	debug.Close()
+	leakErr := base.Check(15 * time.Second)
+
+	// ----- Invariant report -------------------------------------------------
+	var frames, mismatches, reconnects, hung, errored int64
+	for _, v := range views {
+		rep := v.cli.Report()
+		frames += rep.Frames
+		reconnects += rep.Reconnects
+		mismatches += atomic.LoadInt64(&v.mismatches)
+		if v.hung {
+			hung++
+		}
+		if v.finalErr != nil {
+			errored++
+		}
+		if verbose && v.churn {
+			log.Printf("churner %4d: frames=%5d resyncs=%d reconnects=%d sessions=%d err=%v hung=%v",
+				v.idx, rep.Frames, rep.Resyncs, rep.Reconnects,
+				atomic.LoadInt64(&v.sessions), v.finalErr, v.hung)
+		}
+	}
+	log.Printf("totals: viewers=%d frames=%d reconnects=%d evicted=%d detached-with-error=%d heap/viewer=%dB",
+		viewers, frames, reconnects, hub.Evicted(), errored, perViewer)
+
+	fail := 0
+	check := func(name string, ok bool, detail string) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+			fail++
+		}
+		log.Printf("%s  %-24s %s", verdict, name, detail)
+	}
+	check("liveness", hung == 0, fmt.Sprintf("%d/%d viewer loops exited", int64(viewers)-hung, viewers))
+	check("pixel-identity", mismatches == 0,
+		fmt.Sprintf("%d decoded frames, %d mismatched the reference", frames, mismatches))
+	check("frames-delivered", frames > int64(viewers),
+		fmt.Sprintf("%d frames across %d viewers", frames, viewers))
+	check("graceful-drain", drainErr == nil, fmt.Sprintf("hub.Drain: %v", drainErr))
+	leakDetail := "goroutines returned to baseline"
+	if leakErr != nil {
+		leakDetail = strings.SplitN(leakErr.Error(), "\n", 2)[0]
+	}
+	check("no-goroutine-leaks", leakErr == nil, leakDetail)
+	check("flat-memory", perViewer < fanoutBytesPerViewer,
+		fmt.Sprintf("%d B/viewer steady-state heap (bound %d)", perViewer, fanoutBytesPerViewer))
+
+	check("metrics-scrape", scrapeErr == nil, fmt.Sprintf("GET /metrics parsed: %v", scrapeErr))
+	if scrapeErr == nil {
+		s := scraped
+		rendered := s.Number("odr_frames_rendered_total")
+		encoded := s.Number("odr_frames_encoded_total")
+		displayed := s.Number("odr_frames_displayed_total")
+		sharedEnc := s.Number(odr.NameHubSharedEncodes, scrape.Label{Name: "lane", Value: "1"})
+		splicedKeys := s.Number(odr.NameHubSplicedKeyframes, scrape.Label{Name: "lane", Value: "1"})
+
+		// The architectural invariant: encode work is O(frames). One shared
+		// encode per encoded frame, bounded by the render count, while
+		// deliveries fan out to a large multiple of it.
+		check("encode-once",
+			encoded > 0 && sharedEnc == encoded && encoded <= rendered,
+			fmt.Sprintf("rendered=%.0f >= encoded=%.0f == shared-lane encodes=%.0f",
+				rendered, encoded, sharedEnc))
+		check("fanout-amplification", displayed >= 10*encoded,
+			fmt.Sprintf("displayed=%.0f >= 10x encoded=%.0f across %d viewers",
+				displayed, encoded, viewers))
+		check("spliced-keyframes", splicedKeys > 0,
+			fmt.Sprintf("%.0f catch-up keyframes spliced for joiners/resyncs", splicedKeys))
+	}
+
+	if fail > 0 {
+		log.Printf("odrsoak: FAIL (%d invariant(s) violated)", fail)
+		os.Exit(1)
+	}
+	log.Printf("odrsoak: PASS")
+}

@@ -135,6 +135,15 @@ type Encoder struct {
 	curQ        []byte // per-frame task inputs, set before the tile Map
 	curKey      bool
 
+	// Splice state (splice.go): tileChangedAt[i] is the encode index
+	// (Frames() value) of the last frame whose tile i was dirty, and the
+	// splice* slices memoize intra-coded tile payloads cut from e.prev so
+	// repeated splices of a static tile cost one RLE pass, not N.
+	tileChangedAt []int64
+	spliceRLE     [][]byte
+	spliceCRC     []uint32
+	spliceAt      []int64
+
 	frames int64
 	bytes  int64
 }
@@ -257,13 +266,14 @@ type Decoder struct {
 
 	// v2 tile state (tile.go): parsed directory scratches plus the
 	// optional decode pool (nil = serial decoding).
-	group    *wpool.Group
-	workers  int
-	tileOff  []int
-	tileLen  []int
-	tileCRC  []uint32
-	tileGood []bool
-	tileErr  []error
+	group     *wpool.Group
+	workers   int
+	tileOff   []int
+	tileLen   []int
+	tileCRC   []uint32
+	tileGood  []bool
+	tileIntra []bool
+	tileErr   []error
 	decTask  func(int)
 	// per-frame decode task inputs
 	curBS      []byte

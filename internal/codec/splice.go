@@ -1,0 +1,113 @@
+package codec
+
+// Bitstream splicing: cutting a per-session resync frame out of a shared
+// encoder's state without disturbing that encoder's delta chain.
+//
+// A hub that encodes once and fans out to N viewers has a problem the
+// per-session-encoder design never had: a late joiner (or a viewer whose
+// delta chain broke) needs absolute content, but forcing a keyframe on the
+// shared encoder would cost every healthy viewer a full-frame payload.
+// AppendSplice solves it with the v2 per-tile directory — the encoder knows,
+// per tile, the last encode whose content moved (tileChangedAt), so it can
+// emit a frame containing absolute ("intra") payloads for exactly the tiles
+// the session is missing and zero-byte clean entries for the rest:
+//
+//   - parent == 0: a full key frame cut from e.prev. Decodable with no prior
+//     state; what a late joiner gets.
+//   - parent > 0: a delta frame whose changed-since-parent tiles carry the
+//     dirty|intra flags with absolute content. A session that last displayed
+//     encode index `parent` decodes it into exactly the shared encoder's
+//     current reconstruction; unchanged tiles are byte-identical on both
+//     sides already (deltas are byte-exact), so they ship as clean.
+//
+// Either way the session lands on e.prev — the same reconstruction every
+// verbatim subscriber holds — so the shared stream's next delta applies
+// cleanly and the splice never forks the chain.
+//
+// Intra payloads are memoized per tile (spliceRLE/spliceCRC, valid while the
+// tile hasn't changed since it was cut), so a churn of joiners against a
+// mostly-static scene re-uses one RLE pass per tile instead of paying
+// O(joiners × frame) encode work.
+//
+// Concurrency: AppendSplice reads e.prev/tileChangedAt and writes the
+// memo slices; callers must serialize it against EncodeAppend and against
+// other AppendSplice calls (the hub holds one mutex per shared encoder).
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// ErrNoSpliceState is returned by AppendSplice before the encoder has
+// encoded its first frame (there is no reconstruction to cut tiles from).
+var ErrNoSpliceState = errors.New("codec: splice before first encoded frame")
+
+// errSpliceVersion marks AppendSplice on a v1 encoder (no tile directory).
+var errSpliceVersion = errors.New("codec: splice requires the v2 tile bitstream")
+
+// AppendSplice appends a resync frame for a session whose reconstruction is
+// the shared stream at encode index parent (a past Frames() value), or a
+// full key frame when parent <= 0. The spliced frame brings the session to
+// the encoder's current reconstruction without touching the encoder's own
+// key/delta cadence. The encoder's streaming counters (Frames, Bytes) are
+// not advanced: a splice is a per-session repair, not a shared-stream frame.
+func (e *Encoder) AppendSplice(dst []byte, parent int64) ([]byte, error) {
+	if e.version != 2 {
+		return nil, errSpliceVersion
+	}
+	if e.prev == nil || e.frames == 0 {
+		return nil, ErrNoSpliceState
+	}
+	nt := tileCount(e.h, e.tileRows)
+	e.ensureTileState(nt)
+	isKey := parent <= 0
+
+	var hdr [hdr2Len]byte
+	hdr[0] = magic2
+	hdr[1] = version2
+	if isKey {
+		hdr[2] = frameKey
+	} else {
+		hdr[2] = frameDelta
+	}
+	hdr[3] = byte(e.opts.QuantShift)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.w))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(e.h))
+	binary.LittleEndian.PutUint16(hdr[12:], uint16(e.tileRows))
+	binary.LittleEndian.PutUint16(hdr[14:], uint16(nt))
+	out := append(dst, hdr[:]...)
+
+	var ent [dirEntryLen]byte
+	for i := 0; i < nt; i++ {
+		ent = [dirEntryLen]byte{}
+		if isKey || e.tileChangedAt[i] > parent {
+			e.ensureIntraTile(i)
+			ent[0] = tileFlagDirty
+			if !isKey {
+				ent[0] |= tileFlagIntra
+			}
+			binary.LittleEndian.PutUint32(ent[1:], uint32(len(e.spliceRLE[i])))
+			binary.LittleEndian.PutUint32(ent[5:], e.spliceCRC[i])
+		}
+		out = append(out, ent[:]...)
+	}
+	for i := 0; i < nt; i++ {
+		if isKey || e.tileChangedAt[i] > parent {
+			out = append(out, e.spliceRLE[i]...)
+		}
+	}
+	return out, nil
+}
+
+// ensureIntraTile refreshes tile i's memoized intra payload when the tile
+// changed since it was last cut from e.prev.
+func (e *Encoder) ensureIntraTile(i int) {
+	if e.spliceAt[i] > 0 && e.spliceAt[i] >= e.tileChangedAt[i] {
+		return
+	}
+	s, end := tileRange(e.w, e.h, e.tileRows, i)
+	e.spliceRLE[i] = rleAppend(e.spliceRLE[i][:0], e.prev[s:end])
+	e.spliceCRC[i] = crc32.Checksum(e.spliceRLE[i], castagnoli)
+	e.spliceAt[i] = e.frames
+}

@@ -18,7 +18,8 @@ package codec
 //	bytes 12-13:  tile height in pixel rows (uint16)
 //	bytes 14-15:  tile count (uint16; must equal ceil(height/tileRows))
 //	then per tile, 9 bytes of directory:
-//	    byte 0:     flags (bit 0 = dirty; clean tiles carry no payload)
+//	    byte 0:     flags (bit 0 = dirty; bit 1 = intra; clean tiles carry
+//	                no payload)
 //	    bytes 1-4:  payload length (uint32)
 //	    bytes 5-8:  CRC32-Castagnoli of the payload
 //	then the tile payloads, concatenated in tile order.
@@ -26,6 +27,13 @@ package codec
 // Each payload is the RLE coding (codec.go tokens) of the tile's quantized
 // content (key frames) or of its byte-wise delta against the previous
 // frame (delta frames). Key frames mark every tile dirty.
+//
+// The intra flag (splice.go) marks a dirty tile of a *delta* frame whose
+// payload is absolute content rather than a delta: the decoder copies it
+// into place instead of adding it. Spliced frames use it to repair exactly
+// the tiles a session's reconstruction is missing while every other tile
+// ships as a zero-byte clean entry. Intra is illegal on clean tiles and on
+// key frames (whose tiles are all absolute already).
 //
 // Determinism: workers encode tiles into per-tile scratch buffers and the
 // assembly loop concatenates them in fixed tile order, so the bitstream is
@@ -55,6 +63,7 @@ const (
 	maxTileCount    = 1<<16 - 1
 
 	tileFlagDirty = 0x01
+	tileFlagIntra = 0x02
 )
 
 // castagnoli is the per-tile CRC polynomial (hardware-accelerated on
@@ -108,6 +117,10 @@ func (e *Encoder) ensureTileState(nt int) {
 	e.tileCRC = make([]uint32, nt)
 	e.tileDirty = make([]bool, nt)
 	e.tileNanos = make([]int64, nt)
+	e.tileChangedAt = make([]int64, nt)
+	e.spliceRLE = make([][]byte, nt)
+	e.spliceCRC = make([]uint32, nt)
+	e.spliceAt = make([]int64, nt)
 }
 
 // encodeTile codes one tile of the in-flight frame (e.curQ against e.prev)
@@ -169,12 +182,17 @@ func (e *Encoder) encodeTiles(dst, pix []byte) ([]byte, error) {
 	out := append(dst, hdr[:]...)
 
 	dirty := 0
+	encIdx := e.frames + 1
 	var ent [dirEntryLen]byte
 	for i := 0; i < nt; i++ {
 		ent[0] = 0
 		if e.tileDirty[i] {
 			ent[0] = tileFlagDirty
 			dirty++
+			// Key frames code every tile whether its content moved or not,
+			// so this is conservative there — a splice may intra-code a tile
+			// that did not really change, which costs bytes, never pixels.
+			e.tileChangedAt[i] = encIdx
 		}
 		binary.LittleEndian.PutUint32(ent[1:], uint32(len(e.tilePayload[i])))
 		binary.LittleEndian.PutUint32(ent[5:], e.tileCRC[i])
@@ -214,6 +232,7 @@ func (d *Decoder) ensureTileState(nt int) {
 	d.tileLen = make([]int, nt)
 	d.tileCRC = make([]uint32, nt)
 	d.tileGood = make([]bool, nt)
+	d.tileIntra = make([]bool, nt)
 	d.tileErr = make([]error, nt)
 }
 
@@ -252,7 +271,13 @@ func (d *Decoder) decodeTile(i int) {
 	}
 	d.tileErr[i] = nil
 	if !d.curKeyF {
-		addInto(d.cur[s:end], dst)
+		if d.tileIntra[i] {
+			// Intra tile of a delta frame: absolute content replaces the
+			// tile instead of adding to it (spliced resync frames).
+			copy(d.cur[s:end], dst)
+		} else {
+			addInto(d.cur[s:end], dst)
+		}
 	}
 }
 
@@ -300,14 +325,21 @@ func (d *Decoder) decodeTiles(bs []byte) ([]byte, error) {
 	for i := 0; i < nt; i++ {
 		ent := bs[hdr2Len+i*dirEntryLen:]
 		flags := ent[0]
-		if flags&^tileFlagDirty != 0 {
+		if flags&^(tileFlagDirty|tileFlagIntra) != 0 {
 			return nil, ErrCorrupt
 		}
 		plen := int(binary.LittleEndian.Uint32(ent[1:]))
 		dirtyTile := flags&tileFlagDirty != 0
+		intraTile := flags&tileFlagIntra != 0
 		if !dirtyTile && (plen != 0 || isKey) {
 			// Clean tiles carry no payload, and key frames have no clean
 			// tiles — every tile of a keyframe is self-contained content.
+			return nil, ErrCorrupt
+		}
+		if intraTile && (!dirtyTile || isKey) {
+			// Intra marks absolute content inside a delta frame; it is
+			// meaningless on a clean tile and redundant-therefore-illegal
+			// on a key frame.
 			return nil, ErrCorrupt
 		}
 		if plen > len(bs)-off {
@@ -316,6 +348,7 @@ func (d *Decoder) decodeTiles(bs []byte) ([]byte, error) {
 		d.tileOff[i], d.tileLen[i] = off, plen
 		d.tileCRC[i] = binary.LittleEndian.Uint32(ent[5:])
 		d.tileGood[i] = dirtyTile
+		d.tileIntra[i] = intraTile
 		off += plen
 	}
 	if off != len(bs) {

@@ -93,11 +93,21 @@ func (b *MultiBuffer) TryPut(f *frame.Frame) bool {
 // before f, delaying it). It never blocks. It returns the dropped frames so
 // the caller can account for them (e.g. carry their input stamps forward).
 func (b *MultiBuffer) PutPriority(f *frame.Frame) []*frame.Frame {
+	_, dropped := b.PutPriorityStored(f)
+	return dropped
+}
+
+// PutPriorityStored is PutPriority with an explicit stored report: it returns
+// whether f was accepted (false only when the buffer is closed) alongside the
+// dropped frames. Callers that reference-count frame payloads need the
+// distinction — PutPriority's nil result is ambiguous between "stored with no
+// drops" and "buffer closed, frame discarded".
+func (b *MultiBuffer) PutPriorityStored(f *frame.Frame) (stored bool, droppedFrames []*frame.Frame) {
 	mu := b.dom.Locker()
 	mu.Lock()
 	defer mu.Unlock()
 	if b.closed {
-		return nil
+		return false, nil
 	}
 	var dropped []*frame.Frame
 	if b.back != nil {
@@ -119,7 +129,7 @@ func (b *MultiBuffer) PutPriority(f *frame.Frame) []*frame.Frame {
 		b.OnDrop(len(dropped), dropped[len(dropped)-1].Seq)
 	}
 	b.changed.Broadcast()
-	return dropped
+	return true, dropped
 }
 
 // Acquire returns the front-buffer frame for processing, blocking the

@@ -63,6 +63,19 @@ type Frame struct {
 	// stack only (the simulator models frames without content).
 	Pixels []byte
 
+	// Retire, when non-nil, is called exactly once by the frame's final
+	// consumer when it is done with Pixels, letting producers recycle the
+	// pixel buffer. A frame fanned out to several consumers carries a
+	// reference-counted closure here.
+	Retire func()
+
+	// Encoded carries an already-encoded representation of the frame when a
+	// shared encoder sits upstream of per-session buffers (the stream hub's
+	// encode-once fan-out path); consumers that find it non-nil must not
+	// touch Pixels. Typed as any to keep package frame free of codec
+	// dependencies.
+	Encoded any
+
 	// Per-step service costs sampled by the workload model (before
 	// contention scaling); filled by the simulator only.
 	CostRender time.Duration

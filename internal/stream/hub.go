@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"encoding/binary"
 	"net"
 	"strconv"
 	"sync"
@@ -17,21 +18,31 @@ import (
 // Hub streams one game to many clients — the "render once, view many" shape
 // of spectating and co-streaming. The shared game renders on demand under a
 // single ODR pacer (inputs from any client cancel its delay, PriorityFrame
-// style); every attached client gets its own encoder, its own Mul-Buf
-// latest-wins slot and its own pacer, so a slow or slower-paced client never
-// stalls the game or its peers — its obsolete frames are simply dropped
-// before encoding, which is exactly ODR's on-demand principle applied per
-// viewer.
+// style); each frame is then encoded once per resolution lane and the
+// resulting artifact fans out to every viewer on the lane. Every client
+// keeps its own Mul-Buf latest-wins slot and its own pacer, so a slow or
+// slower-paced client never stalls the game or its peers — its obsolete
+// artifacts are simply dropped before transmission, which is ODR's on-demand
+// principle applied per viewer. A viewer whose delta chain skipped frames
+// (or a late joiner needing a keyframe) is repaired by splicing intra-coded
+// tiles out of the shared encoder's state, never by forcing a keyframe on
+// everyone; see encLane and codec.AppendSplice.
 type Hub struct {
-	cfg  HubConfig
-	dom  *realrt.Domain
-	game *Game
-	box  *core.InputBox
-	pace *core.Pacer
+	cfg   HubConfig
+	dom   *realrt.Domain
+	epoch time.Time // shared epoch; lane and session domains align to it
+	game  *Game
+	box   *core.InputBox
+	pace  *core.Pacer
 
-	mu       sync.Mutex
-	sessions map[uint32]*hubSession
-	nextID   uint32
+	// Lanes (one shared encoder per downscale divisor) are created lazily
+	// under laneMu and published copy-on-write; the render loop reads the
+	// slice lock-free every frame.
+	laneMu sync.Mutex
+	lanes  atomic.Pointer[[]*encLane]
+	laneWG sync.WaitGroup
+
+	nextID atomic.Uint32
 
 	rendered int64
 	inputs   int64
@@ -46,18 +57,27 @@ type Hub struct {
 	stopping chan struct{}
 	renderWG sync.WaitGroup
 
-	// Drain sequencing: Drain closes draining; the renderer retires, every
-	// session flushes its queued frame and seals with msgBye, then the hub
-	// stops.
+	// Drain sequencing: Drain closes draining; the renderer retires, each
+	// lane flushes its queued frame, every session flushes its queued
+	// artifacts and seals with msgBye, then the hub stops.
 	drainOnce sync.Once
 	draining  chan struct{}
+
+	// pixFree recycles render pixel buffers, returned by frame retirement
+	// once every lane is done with a frame.
+	pixMu   sync.Mutex
+	pixFree [][]byte
+
+	// sendErr, when non-nil, is consulted by every session before sending
+	// (test hook: fault injection on the send path without breaking conns).
+	sendErr atomic.Pointer[func(sessionID uint32) error]
 
 	// evictCtr mirrors evicted into the metrics registry (nil-safe).
 	evictCtr *obs.Counter
 
 	// Observability (nil-safe; see HubConfig.Trace/Metrics). The hub-level
-	// probe carries the shared renderer's energy under session="shared";
-	// per-viewer probes live on each hubSession.
+	// probe carries the shared renderer's and shared encoders' energy under
+	// session="shared"; per-viewer probes live on each hubSession.
 	tr    *obs.Tracer
 	ins   obs.FrameInstruments
 	probe *sessionProbe
@@ -69,7 +89,7 @@ type HubConfig struct {
 	Width, Height int
 	// TargetFPS paces the shared renderer (default 60).
 	TargetFPS float64
-	// Codec configures each client's encoder.
+	// Codec configures the shared per-lane encoders.
 	Codec codec.Options
 	// RenderCost optionally emulates a heavier GPU.
 	RenderCost func() time.Duration
@@ -109,29 +129,52 @@ func (c *HubConfig) applyDefaults() {
 
 // hubSession is one attached client.
 type hubSession struct {
-	id        uint32
-	hub       *Hub
-	conn      net.Conn
-	buf       *core.MultiBuffer
-	enc       *codec.Encoder
+	id   uint32
+	hub  *Hub
+	lane *encLane
+	conn net.Conn
+
+	// dom is the session's own wait domain (hub-epoch aligned), so a
+	// blocked viewer never contends on a lock shared with the renderer,
+	// the lane, or any other viewer.
+	dom *realrt.Domain
+	buf *core.MultiBuffer
+
 	pace      *core.Pacer
 	downscale int // 1 = full resolution; n = 1/n width and height
 	w, h      int // this session's output dimensions
 
-	// payload is the session's reusable frame-message buffer (header +
-	// bitstream); encodeAndSendLoop is the only writer, so one buffer
-	// keeps the send path allocation-free in steady state.
+	// Verbatim-chain state (send-loop goroutine only): the shared seq and
+	// encoder index of the last frame this viewer displayed. An artifact
+	// whose parentSeq matches lastSentSeq forwards verbatim; anything else
+	// is bridged with a spliced catch-up frame.
+	lastSentSeq uint64
+	lastEncIdx  int64
+
+	// vectored marks a transport with real writev (TCP/Unix): verbatim
+	// sends batch the private header with the shared bitstream and never
+	// copy the payload. Other transports (pipes, wrappers) get the
+	// classic contiguous two-write framing instead — net.Buffers would
+	// degrade to one syscall per slice there, changing write boundaries
+	// for no gain.
+	vectored bool
+
+	// payload is the session's reusable splice buffer (header + bitstream);
+	// verbatim sends never copy the shared bitstream — they writev the
+	// header and the artifact's bytes in one batch via iov/head below.
 	payload []byte
+	head    [5 + frameHeaderLen]byte
+	iov     net.Buffers
+	iovArr  [2][]byte
 
 	sent    int64
 	dropped int64
 
-	// wantKey is set by inputLoop on msgKeyReq and consumed by
-	// encodeAndSendLoop before the next encode — the encoder itself is
-	// owned exclusively by the encode loop.
+	// wantKey is set by inputLoop on msgKeyReq and consumed by the send
+	// loop before the next transmit.
 	wantKey atomic.Bool
 
-	// carried holds the input stamps of frames this session dropped
+	// carried holds the input stamps of artifacts this session dropped
 	// (latest-wins) before sending; the next frame it does send answers
 	// them, so the issuing client still gets its MtP sample.
 	carriedMu sync.Mutex
@@ -146,14 +189,15 @@ type hubSession struct {
 // NewHub returns a hub ready to Run.
 func NewHub(cfg HubConfig) *Hub {
 	cfg.applyDefaults()
-	dom := realrt.NewDomain()
+	epoch := time.Now()
+	dom := realrt.NewDomainAt(epoch)
 	h := &Hub{
 		cfg:      cfg,
 		dom:      dom,
+		epoch:    epoch,
 		game:     NewGame(cfg.Width, cfg.Height),
 		box:      core.NewInputBox(dom),
 		pace:     core.NewPacer(cfg.TargetFPS),
-		sessions: make(map[uint32]*hubSession),
 		stopping: make(chan struct{}),
 		draining: make(chan struct{}),
 		tr:       cfg.Trace,
@@ -172,13 +216,47 @@ func NewHub(cfg HubConfig) *Hub {
 
 // Clients returns the number of attached clients.
 func (h *Hub) Clients() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.sessions)
+	n := 0
+	if ls := h.lanes.Load(); ls != nil {
+		for _, ln := range *ls {
+			for i := range ln.shards {
+				sh := &ln.shards[i]
+				sh.mu.Lock()
+				n += len(sh.m)
+				sh.mu.Unlock()
+			}
+		}
+	}
+	return n
 }
 
 // Rendered returns the number of frames the shared game has rendered.
 func (h *Hub) Rendered() int64 { return atomic.LoadInt64(&h.rendered) }
+
+// hubPixFreeCap bounds the render-buffer free list: the renderer plus one
+// in-flight frame per lane is the realistic ceiling.
+const hubPixFreeCap = 4
+
+// pixGet takes a recycled render buffer or allocates the first few.
+func (h *Hub) pixGet() []byte {
+	h.pixMu.Lock()
+	if n := len(h.pixFree); n > 0 {
+		b := h.pixFree[n-1]
+		h.pixFree = h.pixFree[:n-1]
+		h.pixMu.Unlock()
+		return b
+	}
+	h.pixMu.Unlock()
+	return make([]byte, h.game.FrameBytes())
+}
+
+func (h *Hub) pixPut(b []byte) {
+	h.pixMu.Lock()
+	if len(h.pixFree) < hubPixFreeCap {
+		h.pixFree = append(h.pixFree, b)
+	}
+	h.pixMu.Unlock()
+}
 
 // Run renders the shared game until Stop; it drives all attached sessions.
 func (h *Hub) Run() {
@@ -199,7 +277,7 @@ func (h *Hub) Run() {
 		for range stamps {
 			h.game.OnInput()
 		}
-		pix := make([]byte, h.game.FrameBytes())
+		pix := h.pixGet()
 		h.game.Render(pix)
 		seq++
 		f := &frame.Frame{Seq: seq, Pixels: pix, RenderStart: start, RenderEnd: h.dom.Now()}
@@ -215,23 +293,28 @@ func (h *Hub) Run() {
 			h.ins.Priority.Inc()
 		}
 
-		// Broadcast: latest-wins per client; a slow client's un-encoded
-		// frame is obsolete the moment a newer one exists.
-		h.mu.Lock()
-		for _, s := range h.sessions {
-			dropped := s.buf.PutPriority(f)
-			if len(dropped) > 0 {
-				atomic.AddInt64(&s.dropped, int64(len(dropped)))
-				h.tr.Instant(obs.TrackProxy, "mulbuf-drop", f.Seq, h.dom.Now())
-				h.ins.Dropped.Add(int64(len(dropped)))
-				s.carriedMu.Lock()
-				for _, d := range dropped {
-					s.carried = append(s.carried, d.Inputs...)
+		// Offer the frame to every lane: each encodes it once (latest-wins,
+		// so a lane still busy with an older frame drops it) and fans the
+		// artifact out to its viewers. The pixel buffer recycles once the
+		// last lane retires the frame.
+		var lanes []*encLane
+		if lsP := h.lanes.Load(); lsP != nil {
+			lanes = *lsP
+		}
+		if len(lanes) == 0 {
+			h.pixPut(pix)
+		} else {
+			var rc atomic.Int32
+			rc.Store(int32(len(lanes)))
+			f.Retire = func() {
+				if rc.Add(-1) == 0 {
+					h.pixPut(pix)
 				}
-				s.carriedMu.Unlock()
+			}
+			for _, ln := range lanes {
+				ln.offer(f)
 			}
 		}
-		h.mu.Unlock()
 
 		// ODR pacing with PriorityFrame: an input arrival cancels the
 		// render delay.
@@ -245,6 +328,24 @@ func (h *Hub) Run() {
 	}
 }
 
+// allSessions snapshots every attached session across lanes and shards.
+func (h *Hub) allSessions() []*hubSession {
+	var sessions []*hubSession
+	if ls := h.lanes.Load(); ls != nil {
+		for _, ln := range *ls {
+			for i := range ln.shards {
+				sh := &ln.shards[i]
+				sh.mu.Lock()
+				for _, s := range sh.m {
+					sessions = append(sessions, s)
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}
+	return sessions
+}
+
 // Stop shuts down the hub and detaches every client. If HubConfig.Logf is
 // set, Stop logs a final stats summary once the renderer has quiesced.
 func (h *Hub) Stop() {
@@ -252,16 +353,21 @@ func (h *Hub) Stop() {
 		close(h.stopping)
 		// Wake the renderer if it is inside DelayInterruptible.
 		h.box.OnInput(0, 0)
-		h.mu.Lock()
-		sessions := make([]*hubSession, 0, len(h.sessions))
-		for _, s := range h.sessions {
-			sessions = append(sessions, s)
+		// Taking laneMu orders this sweep after any in-flight lane creation;
+		// Attach re-checks stopping under the shard lock, so a racing attach
+		// either lands in this sweep or refuses itself.
+		h.laneMu.Lock()
+		if ls := h.lanes.Load(); ls != nil {
+			for _, ln := range *ls {
+				ln.buf.Close()
+			}
 		}
-		h.mu.Unlock()
-		for _, s := range sessions {
+		h.laneMu.Unlock()
+		for _, s := range h.allSessions() {
 			s.close()
 		}
 		h.renderWG.Wait()
+		h.laneWG.Wait()
 		if h.cfg.Logf != nil {
 			snap := h.Snapshot()
 			h.cfg.Logf("hub stopped: rendered=%v inputs=%v sessions_served=%v sent=%v dropped=%v",
@@ -270,27 +376,35 @@ func (h *Hub) Stop() {
 	})
 }
 
-// Drain ends the hub gracefully: the renderer retires, every attached
-// session flushes the frame it already has queued and receives an orderly
-// msgBye before its connection closes. Drain returns nil once all sessions
-// have detached, or ErrDrainTimeout if some were still attached when the
-// timeout passed; either way the hub is stopped when it returns.
+// Drain ends the hub gracefully: the renderer retires, each lane encodes the
+// frame it already has queued, every attached session flushes its queued
+// artifacts and receives an orderly msgBye before its connection closes.
+// Drain returns nil once all sessions have detached, or ErrDrainTimeout if
+// some were still attached when the timeout passed; either way the hub is
+// stopped when it returns.
 func (h *Hub) Drain(timeout time.Duration) error {
 	h.drainOnce.Do(func() { close(h.draining) })
 	// Wake the renderer out of a pacing delay so it observes draining.
 	h.box.OnInput(0, 0)
 	h.renderWG.Wait()
+	// Renderer gone: close lane buffers so each lane flushes its final
+	// queued frame and exits. lane() refuses creation once draining is
+	// closed, and takes laneMu to publish, so this sweep under laneMu sees
+	// every lane that will ever exist.
+	h.laneMu.Lock()
+	if ls := h.lanes.Load(); ls != nil {
+		for _, ln := range *ls {
+			ln.buf.Close()
+		}
+	}
+	h.laneMu.Unlock()
+	h.laneWG.Wait()
 	deadline := time.Now().Add(timeout)
 	for {
-		// Close session buffers (not conns): each encodeAndSendLoop drains
-		// what is buffered, writes msgBye, then tears the session down.
-		// Re-closing every poll round covers sessions that raced Attach.
-		h.mu.Lock()
-		sessions := make([]*hubSession, 0, len(h.sessions))
-		for _, s := range h.sessions {
-			sessions = append(sessions, s)
-		}
-		h.mu.Unlock()
+		// Close session buffers (not conns): each send loop drains what is
+		// buffered, writes msgBye, then tears the session down. Re-closing
+		// every poll round covers sessions that raced Attach.
+		sessions := h.allSessions()
 		if len(sessions) == 0 {
 			h.Stop()
 			return nil
@@ -330,10 +444,10 @@ func (h *Hub) evictSession() {
 // counters of every client still attached. Safe to call concurrently with
 // Run.
 func (h *Hub) Snapshot() map[string]any {
-	h.mu.Lock()
-	live := make([]map[string]any, 0, len(h.sessions))
+	sessions := h.allSessions()
+	live := make([]map[string]any, 0, len(sessions))
 	var liveSent, liveDropped int64
-	for _, s := range h.sessions {
+	for _, s := range sessions {
 		sent := atomic.LoadInt64(&s.sent)
 		dropped := atomic.LoadInt64(&s.dropped)
 		liveSent += sent
@@ -347,7 +461,6 @@ func (h *Hub) Snapshot() map[string]any {
 			"height":    s.h,
 		})
 	}
-	h.mu.Unlock()
 	served := atomic.LoadInt64(&h.served)
 	return map[string]any{
 		"target_fps":      h.cfg.TargetFPS,
@@ -373,37 +486,46 @@ type AttachOptions struct {
 	ClientFPS float64
 	// Downscale divides the stream resolution for this viewer (0 or 1 =
 	// full resolution; 2 = quarter-area thumbnail, and so on). The hub
-	// renders once at full resolution; the session box-filters before
-	// encoding, so thumbnails cost a fraction of the encode work and
-	// bandwidth.
+	// renders once at full resolution; each distinct divisor gets one
+	// shared lane encoder that box-filters before encoding, so thumbnails
+	// cost a fraction of the encode work and bandwidth.
 	Downscale int
 	// Detach is invoked with the session's counters when it ends.
 	Detach func(SessionStats)
 }
 
-// Attach adds a client connection to the hub with its own encoder and
-// pacing target (0 = the hub's rate). It returns immediately; the session
-// runs until the connection fails or the hub stops. detach is invoked when
-// the session ends.
+// Attach adds a client connection to the hub with its own pacing target
+// (0 = the hub's rate). It returns immediately; the session runs until the
+// connection fails or the hub stops. detach is invoked when the session
+// ends.
 func (h *Hub) Attach(conn net.Conn, clientFPS float64, detach func(SessionStats)) {
 	h.AttachWithOptions(conn, AttachOptions{ClientFPS: clientFPS, Detach: detach})
 }
 
+// allocID returns the next session id, skipping 0 on wrap (0 is the "no
+// session" sentinel in packed input ids).
+func (h *Hub) allocID() uint32 {
+	for {
+		if id := h.nextID.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
 // AttachWithOptions is Attach with per-viewer resolution control.
 func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
+	refuse := func() {
+		conn.Close()
+		if opts.Detach != nil {
+			opts.Detach(SessionStats{})
+		}
+	}
 	select {
 	case <-h.stopping:
-		// Refused: the hub is gone; end the session immediately.
-		conn.Close()
-		if opts.Detach != nil {
-			opts.Detach(SessionStats{})
-		}
+		refuse()
 		return
 	case <-h.draining:
-		conn.Close()
-		if opts.Detach != nil {
-			opts.Detach(SessionStats{})
-		}
+		refuse()
 		return
 	default:
 	}
@@ -411,43 +533,69 @@ func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
 	if div < 1 {
 		div = 1
 	}
-	w := h.cfg.Width / div
-	hh := h.cfg.Height / div
-	if w < 1 {
-		w = 1
+	ln := h.lane(div)
+	if ln == nil {
+		// Raced a Stop or Drain past the check above.
+		refuse()
+		return
 	}
-	if hh < 1 {
-		hh = 1
-	}
-	detach := opts.Detach
-	h.mu.Lock()
-	h.nextID++
+	id := h.allocID()
 	s := &hubSession{
-		id:        h.nextID,
+		id:        id,
 		hub:       h,
+		lane:      ln,
 		conn:      conn,
-		buf:       core.NewMultiBuffer(h.dom),
-		enc:       codec.NewEncoder(w, hh, h.cfg.Codec),
+		dom:       realrt.NewDomainAt(h.epoch),
 		pace:      core.NewPacer(opts.ClientFPS),
 		downscale: div,
-		w:         w,
-		h:         hh,
-		payload:   make([]byte, frameHeaderLen, frameHeaderLen+w*hh/2),
+		w:         ln.w,
+		h:         ln.h,
+		payload:   make([]byte, frameHeaderLen, frameHeaderLen+ln.w*ln.h/2),
+		vectored:  supportsVectoredWrites(conn),
 	}
-	s.probe = newSessionProbe(h.cfg.Metrics, "h"+strconv.FormatUint(uint64(s.id), 10))
+	s.buf = core.NewMultiBuffer(s.dom)
+	sh := ln.shard(id)
+	sh.mu.Lock()
+	select {
+	case <-h.stopping:
+		// A Stop between the entry check and here has already snapshotted
+		// (or will not see) this session; registering now would leak it
+		// past Stop's sweep. Refuse instead — under the same lock Stop's
+		// sweep serializes against.
+		sh.mu.Unlock()
+		refuse()
+		return
+	default:
+	}
+	sh.m[id] = s
+	sh.rebuildLocked()
+	sh.mu.Unlock()
+	s.probe = newSessionProbe(h.cfg.Metrics, "h"+strconv.FormatUint(uint64(id), 10))
 	recordSessionStart(h.cfg.Metrics, "Hub", h.cfg.Codec)
-	h.sessions[s.id] = s
-	h.mu.Unlock()
+	detach := opts.Detach
 
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); s.encodeAndSendLoop() }()
+	go func() { defer wg.Done(); s.sendLoop() }()
 	go func() { defer wg.Done(); s.inputLoop() }()
 	go func() {
 		wg.Wait()
-		h.mu.Lock()
-		delete(h.sessions, s.id)
-		h.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.m, s.id)
+		sh.rebuildLocked()
+		sh.mu.Unlock()
+		// Release artifacts still queued in the (now closed) buffer so
+		// their bitstream buffers recycle.
+		for {
+			f := s.buf.TryAcquire()
+			if f == nil {
+				break
+			}
+			if a, ok := f.Encoded.(*encArtifact); ok {
+				a.release()
+			}
+			s.buf.Release()
+		}
 		s.probe.close(h.dom.Now(), true)
 		sent := atomic.LoadInt64(&s.sent)
 		droppedN := atomic.LoadInt64(&s.dropped)
@@ -468,114 +616,210 @@ func (s *hubSession) close() {
 	})
 }
 
-// encodeAndSendLoop encodes the latest shared frame for this client and
-// transmits it, applying the client's own pacing.
-func (s *hubSession) encodeAndSendLoop() {
+// sealOnDrain writes the orderly msgBye when the hub is draining, so the
+// client sees a graceful end instead of an abrupt close. Every send-loop
+// exit path routes through here — including send errors — because a client
+// that still has a working read half deserves the bye even if the last
+// frame write failed.
+func (s *hubSession) sealOnDrain() {
+	if !s.hub.drainRequested() {
+		return
+	}
+	if wt := s.hub.cfg.WriteTimeout; wt > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	writeMsg(s.conn, msgBye, nil)
+}
+
+// sendLoop transmits shared-lane artifacts to this client, applying the
+// client's own pacing; it owns all per-session chain state.
+func (s *hubSession) sendLoop() {
 	defer s.close()
-	w := realrt.NewWaiter(s.hub.dom)
-	scratch := make([]byte, s.w*s.h*4)
-	var lastEncoded uint64 // parent-chain tag: seq of the last encoded frame
+	w := realrt.NewWaiter(s.dom)
 	for {
 		f := s.buf.Acquire(w)
 		if f == nil {
-			// Buffer closed: a hub Drain flushes ends with an orderly bye.
-			if s.hub.drainRequested() {
-				if s.hub.cfg.WriteTimeout > 0 {
-					s.conn.SetWriteDeadline(time.Now().Add(s.hub.cfg.WriteTimeout))
-				}
-				writeMsg(s.conn, msgBye, nil)
-			}
+			// Buffer closed: a hub Drain flush ends with an orderly bye.
+			s.sealOnDrain()
 			return
 		}
-		start := s.hub.dom.Now()
-		if s.downscale > 1 {
-			downsample(f.Pixels, s.hub.cfg.Width, scratch, s.w, s.h, s.downscale)
-		} else {
-			copy(scratch, f.Pixels)
-		}
-		if s.wantKey.Swap(false) {
-			s.enc.ForceKeyframe()
-		}
-		payload, err := s.enc.EncodeAppend(s.payload[:frameHeaderLen], scratch)
-		encEnd := s.hub.dom.Now()
-		if err != nil {
-			s.buf.Release()
-			return
-		}
-		s.payload = payload
-		s.hub.tr.Span(obs.TrackProxy, "encode", f.Seq, start, encEnd)
-		s.hub.ins.Encoded.Inc()
-		s.hub.ins.Encode.ObserveDuration(encEnd - start)
-		s.probe.onEncode(encEnd - start)
-		if tiles, dirty := s.enc.TileStats(); tiles > 0 {
-			s.hub.ins.TilesCoded.Add(int64(tiles))
-			s.hub.ins.TilesDirty.Add(int64(dirty))
-			s.hub.ins.DirtyRatio.Set(float64(dirty) / float64(tiles))
-			s.probe.onTiles(tiles, dirty)
-			for _, ns := range s.enc.TileNanos() {
-				s.hub.ins.TileEncode.Observe(ns / 1e3)
-			}
-		}
-		// Only the stamp belonging to this session is echoed: MtP is
-		// measured on the issuing client's clock. Stamps carried from
-		// dropped older frames are answered by this frame too.
-		s.carriedMu.Lock()
-		stamps := append(s.carried, f.Inputs...)
-		s.carried = nil
-		s.carriedMu.Unlock()
-		var inputID uint64
-		var inputNanos int64
-		for _, st := range stamps {
-			if sessionOf(st.ID) == s.id {
-				inputID = uint64(st.ID)
-				inputNanos = int64(st.Issued)
-				break
-			}
-		}
-		bs := payload[frameHeaderLen:]
-		var parent uint64
-		if !codec.IsKeyframe(bs) {
-			parent = lastEncoded
-		}
-		lastEncoded = f.Seq
-		putFrameHeader(payload, frameMeta{
-			seq:         f.Seq,
-			parentSeq:   parent,
-			inputID:     inputID,
-			inputNanos:  inputNanos,
-			renderNanos: int64(f.RenderEnd),
-		}, bs)
-		txStart := s.hub.dom.Now()
-		if s.hub.cfg.WriteTimeout > 0 {
-			s.conn.SetWriteDeadline(time.Now().Add(s.hub.cfg.WriteTimeout))
-		}
-		err = writeMsg(s.conn, msgFrame, payload)
+		art := f.Encoded.(*encArtifact)
+		err := s.sendArtifact(w, f, art)
 		s.buf.Release()
+		art.release()
 		if err != nil {
 			if isTimeoutErr(err) {
 				s.hub.evictSession()
 			}
 			return
 		}
-		atomic.AddInt64(&s.sent, 1)
-		txEnd := s.hub.dom.Now()
-		s.hub.tr.Span(obs.TrackNetwork, "tx", f.Seq, txStart, txEnd)
-		s.hub.ins.Displayed.Inc()
-		s.hub.ins.Tx.ObserveDuration(txEnd - txStart)
-		var mtpUs int64
-		if inputID != 0 {
-			mtpUs = s.probe.mtpEstimate(txEnd)
-			if mtpUs > 0 {
-				s.hub.ins.MtP.Observe(mtpUs)
-			}
-		}
-		s.probe.onSend(txEnd, len(payload), txEnd-txStart, mtpUs)
-		if !f.Priority {
-			if d := s.pace.PaceAfterObserved(start, s.hub.dom.Now()); d > 0 {
-				w.Sleep(d)
-			}
+	}
+}
+
+// sendArtifact delivers one shared encode to this viewer: verbatim when the
+// viewer's chain is intact (writev of its private header + the shared
+// bitstream, zero copies), spliced from the lane encoder's state when the
+// chain skipped frames, the viewer just joined, or it requested a keyframe.
+func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArtifact) error {
+	h := s.hub
+	if hk := h.sendErr.Load(); hk != nil {
+		if err := (*hk)(s.id); err != nil {
+			s.sealOnDrain()
+			return err
 		}
 	}
+	if art.seq <= s.lastSentSeq {
+		// Stale artifact (the viewer already advanced past it via a
+		// splice): carry its stamps so their MtP samples still answer.
+		if len(f.Inputs) > 0 {
+			s.carriedMu.Lock()
+			s.carried = append(s.carried, f.Inputs...)
+			s.carriedMu.Unlock()
+		}
+		return nil
+	}
+	start := h.dom.Now()
+	wantKey := s.wantKey.Swap(false)
+	verbatim := art.key ||
+		(!wantKey && s.lastSentSeq != 0 && art.parentSeq == s.lastSentSeq)
+
+	// Only the stamp belonging to this session is echoed: MtP is measured
+	// on the issuing client's clock. Stamps carried from dropped older
+	// artifacts are answered by this frame too.
+	s.carriedMu.Lock()
+	stamps := append(s.carried, f.Inputs...)
+	s.carried = nil
+	s.carriedMu.Unlock()
+	var inputID uint64
+	var inputNanos int64
+	for _, st := range stamps {
+		if sessionOf(st.ID) == s.id {
+			inputID = uint64(st.ID)
+			inputNanos = int64(st.Issued)
+			break
+		}
+	}
+
+	var sentBytes int
+	var frameSeq uint64
+	txStart := h.dom.Now()
+	if verbatim {
+		var parentSeq uint64
+		if !art.key {
+			parentSeq = art.parentSeq
+		}
+		meta := frameMeta{
+			seq:         art.seq,
+			parentSeq:   parentSeq,
+			inputID:     inputID,
+			inputNanos:  inputNanos,
+			renderNanos: art.renderNanos,
+		}
+		if wt := h.cfg.WriteTimeout; wt > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		if s.vectored {
+			// One writev batches the 49-byte private head with the shared
+			// bitstream: the encoded payload is never copied per viewer.
+			s.head[0] = msgFrame
+			binary.LittleEndian.PutUint32(s.head[1:], uint32(frameHeaderLen+len(art.bs)))
+			putFrameHeaderCRC(s.head[5:], meta, art.crc)
+			s.iovArr[0] = s.head[:]
+			s.iovArr[1] = art.bs
+			s.iov = s.iovArr[:]
+			if _, err := s.iov.WriteTo(s.conn); err != nil {
+				s.sealOnDrain()
+				return err
+			}
+		} else {
+			payload := append(s.payload[:frameHeaderLen], art.bs...)
+			s.payload = payload
+			putFrameHeaderCRC(payload, meta, art.crc)
+			if err := writeMsg(s.conn, msgFrame, payload); err != nil {
+				s.sealOnDrain()
+				return err
+			}
+		}
+		sentBytes = frameHeaderLen + len(art.bs)
+		frameSeq = art.seq
+		s.lastSentSeq = art.seq
+		s.lastEncIdx = art.encIdx
+	} else {
+		// Chain broken (drops), fresh joiner, or keyframe request: splice a
+		// catch-up frame from the lane encoder's current state. parent = 0
+		// cuts a full key; otherwise only tiles changed since the viewer's
+		// last displayed encode ship, intra-coded.
+		ln := s.lane
+		var parent int64
+		if !wantKey && s.lastSentSeq != 0 {
+			parent = s.lastEncIdx
+		}
+		ln.encMu.Lock()
+		payload, err := ln.enc.AppendSplice(s.payload[:frameHeaderLen], parent)
+		seq := ln.lastSeq
+		encIdx := ln.enc.Frames()
+		renderNanos := ln.lastRenderNanos
+		ln.encMu.Unlock()
+		if err != nil {
+			// The shared encoder cannot produce this viewer's frame; end
+			// the session through the same drain-aware teardown as a
+			// buffer close so a draining hub still seals with msgBye.
+			s.sealOnDrain()
+			return err
+		}
+		s.payload = payload
+		spliceEnd := h.dom.Now()
+		s.probe.onEncode(spliceEnd - start) // splice work is this viewer's
+		var hdrParent uint64
+		if parent > 0 {
+			hdrParent = s.lastSentSeq
+		}
+		bs := payload[frameHeaderLen:]
+		putFrameHeader(payload, frameMeta{
+			seq:         seq,
+			parentSeq:   hdrParent,
+			inputID:     inputID,
+			inputNanos:  inputNanos,
+			renderNanos: renderNanos,
+		}, bs)
+		if wt := h.cfg.WriteTimeout; wt > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		txStart = h.dom.Now()
+		if err := writeMsg(s.conn, msgFrame, payload); err != nil {
+			s.sealOnDrain()
+			return err
+		}
+		if parent > 0 {
+			ln.splicedDeltas.Inc()
+		} else {
+			ln.splicedKeys.Inc()
+		}
+		sentBytes = len(payload)
+		frameSeq = seq
+		s.lastSentSeq = seq
+		s.lastEncIdx = encIdx
+	}
+
+	atomic.AddInt64(&s.sent, 1)
+	txEnd := h.dom.Now()
+	h.tr.Span(obs.TrackNetwork, "tx", frameSeq, txStart, txEnd)
+	h.ins.Displayed.Inc()
+	h.ins.Tx.ObserveDuration(txEnd - txStart)
+	var mtpUs int64
+	if inputID != 0 {
+		mtpUs = s.probe.mtpEstimate(txEnd)
+		if mtpUs > 0 {
+			h.ins.MtP.Observe(mtpUs)
+		}
+	}
+	s.probe.onSend(txEnd, sentBytes, txEnd-txStart, mtpUs)
+	if !f.Priority {
+		if d := s.pace.PaceAfterObserved(start, h.dom.Now()); d > 0 {
+			w.Sleep(d)
+		}
+	}
+	return nil
 }
 
 // inputLoop forwards this client's inputs into the shared game.
@@ -606,8 +850,8 @@ func (s *hubSession) inputLoop() {
 			s.probe.onInput(s.hub.dom.Now())
 			s.hub.box.OnInput(packInput(s.id, id), time.Duration(nanos))
 		case msgKeyReq:
-			// Each session owns its encoder — but the encode loop owns it
-			// exclusively, so only flag the request here.
+			// The lane encoder is shared; a per-viewer keyframe is spliced
+			// from its state by the send loop, so only flag the request.
 			s.wantKey.Store(true)
 		case msgBye:
 			return
@@ -615,15 +859,29 @@ func (s *hubSession) inputLoop() {
 	}
 }
 
-// packInput embeds the session id in the high bits of a client-local input
-// id so the responding frame is attributed to the right client.
+// supportsVectoredWrites reports whether the conn's underlying transport
+// implements vectored I/O (writev), making net.Buffers a genuine scatter
+// write rather than a loop of single writes.
+func supportsVectoredWrites(c net.Conn) bool {
+	switch c.(type) {
+	case *net.TCPConn, *net.UnixConn:
+		return true
+	}
+	return false
+}
+
+// packInput embeds the session id in the high 32 bits of a client-local
+// input id so the responding frame is attributed to the right client. The
+// local id is masked to 32 bits: clients allocate ids sequentially from 1,
+// so the truncated id stays unique within any realistic in-flight window,
+// and the hub only uses it as an opaque echo.
 func packInput(session uint32, local uint64) frame.InputID {
-	return frame.InputID(uint64(session)<<40 | (local & (1<<40 - 1)))
+	return frame.InputID(uint64(session)<<32 | (local & 0xFFFFFFFF))
 }
 
 // sessionOf extracts the session id from a packed input id.
 func sessionOf(id frame.InputID) uint32 {
-	return uint32(uint64(id) >> 40)
+	return uint32(uint64(id) >> 32)
 }
 
 // downsample box-filters src (srcW wide RGBA) into dst (dstW×dstH RGBA) with

@@ -59,8 +59,8 @@ func TestHubStreamsToMultipleClients(t *testing.T) {
 }
 
 func TestHubLateJoinerDecodesImmediately(t *testing.T) {
-	// Each session has its own encoder, so a mid-stream joiner's first
-	// frame is a keyframe — no resync dance needed.
+	// A mid-stream joiner's first frame is a keyframe spliced from shared
+	// lane-encoder state — no resync dance needed.
 	h, stop := startHub(t, HubConfig{Width: 48, Height: 27, TargetFPS: 90})
 	defer stop()
 	a, _, cleanA := attachClient(t, h, 0)
@@ -173,13 +173,23 @@ func TestHubRenderPacing(t *testing.T) {
 }
 
 func TestPackInputRoundTrip(t *testing.T) {
-	for _, s := range []uint32{1, 7, 1 << 20} {
-		for _, l := range []uint64{1, 99, 1<<40 - 1} {
+	// The boundary sessions pin the 2^24 truncation bug: the old 40-bit
+	// layout shifted a uint32 session id by 40, so ids >= 1<<24 overflowed
+	// uint64 and sessionOf misattributed the input to the wrong viewer.
+	for _, s := range []uint32{1, 7, 1 << 20, 1 << 24, 1<<24 + 1, ^uint32(0)} {
+		for _, l := range []uint64{1, 99, 1<<32 - 1} {
 			id := packInput(s, l)
 			if sessionOf(id) != s {
 				t.Fatalf("session %d/local %d: got session %d", s, l, sessionOf(id))
 			}
+			if got := uint64(id) & 0xFFFFFFFF; got != l {
+				t.Fatalf("session %d/local %d: local round-trips as %d", s, l, got)
+			}
 		}
+	}
+	// Locals above 32 bits are masked, never bleed into the session bits.
+	if got := sessionOf(packInput(3, 1<<40|5)); got != 3 {
+		t.Fatalf("masked local: session = %d, want 3", got)
 	}
 }
 

@@ -1,0 +1,371 @@
+package stream
+
+import (
+	"hash/crc32"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"odr/internal/codec"
+	"odr/internal/core"
+	"odr/internal/frame"
+	"odr/internal/obs"
+	"odr/internal/realrt"
+)
+
+// hubShards stripes each lane's session registry so attach/detach contend on
+// 1/hubShards of the map and the fan-out path reads copy-on-write snapshots
+// without taking any lock.
+const hubShards = 8
+
+// encArtifact is one shared encode fanned out to every session on a lane:
+// the bitstream bytes, their CRC (computed once, reused in every viewer's
+// frame header), and the chain coordinates a session needs to decide between
+// forwarding the artifact verbatim and splicing a catch-up frame.
+//
+// Artifacts are reference-counted: the lane holds one reference while fanning
+// out and each session buffer holds one per queued artifact. The final
+// release returns the bitstream buffer to the lane's free list, keeping the
+// steady-state fan-out path allocation-flat regardless of viewer count.
+type encArtifact struct {
+	lane *encLane
+
+	seq       uint64 // shared frame sequence number
+	parentSeq uint64 // seq this delta was encoded against; 0 for keyframes
+	encIdx    int64  // encoder Frames() index of this encode
+	key       bool
+
+	bs  []byte
+	crc uint32 // crc32.ChecksumIEEE(bs)
+
+	renderNanos int64
+	priority    bool
+
+	refs atomic.Int32
+}
+
+// release drops one reference; the last one recycles the bitstream buffer.
+func (a *encArtifact) release() {
+	if a.refs.Add(-1) == 0 {
+		a.lane.putBuf(a.bs)
+	}
+}
+
+// laneShard is one stripe of a lane's session registry. The map is the
+// source of truth (mutated under mu); snap is a copy-on-write slice the
+// fan-out path reads lock-free.
+type laneShard struct {
+	mu   sync.Mutex
+	m    map[uint32]*hubSession
+	snap atomic.Pointer[[]*hubSession]
+}
+
+// rebuildLocked refreshes the lock-free snapshot after a map mutation.
+func (sh *laneShard) rebuildLocked() {
+	snap := make([]*hubSession, 0, len(sh.m))
+	for _, s := range sh.m {
+		snap = append(snap, s)
+	}
+	sh.snap.Store(&snap)
+}
+
+// encLane is one shared encoder serving every session at one resolution
+// (downscale divisor). The hub's renderer offers each frame to every lane;
+// the lane encodes it exactly once and fans the artifact out to its
+// sessions' latest-wins buffers — encode work is O(frames), not
+// O(sessions × frames).
+type encLane struct {
+	hub  *Hub
+	div  int
+	w, h int
+
+	// dom is the lane's own wait domain (hub-epoch aligned) so the encode
+	// loop's blocking never contends with the renderer or any session.
+	dom *realrt.Domain
+	buf *core.MultiBuffer // renderer → encode loop, latest-wins
+
+	// encMu serializes the shared encoder between the lane's encode loop
+	// (EncodeAppend) and sessions splicing catch-up frames (AppendSplice).
+	encMu           sync.Mutex
+	enc             *codec.Encoder
+	lastSeq         uint64 // shared seq of the newest encode
+	lastRenderNanos int64
+
+	// carried holds input stamps of frames dropped before the shared encode
+	// (renderer outran the encoder); the next encode answers them.
+	carriedMu sync.Mutex
+	carried   []frame.InputStamp
+
+	scratch []byte // downsample target; encode-loop goroutine only
+
+	// free recycles retired artifact bitstream buffers.
+	freeMu sync.Mutex
+	free   [][]byte
+
+	shards [hubShards]laneShard
+
+	// Nil-safe labeled counters (label = downscale divisor).
+	sharedEncodes *obs.Counter
+	splicedKeys   *obs.Counter
+	splicedDeltas *obs.Counter
+}
+
+// lane returns the shared-encoder lane for a downscale divisor, creating it
+// on first use. It returns nil when the hub is stopping or draining — the
+// caller refuses the attach — and never creates a lane after Drain has begun
+// (Drain waits on laneWG; a late lane would strand it).
+func (h *Hub) lane(div int) *encLane {
+	if ls := h.lanes.Load(); ls != nil {
+		for _, ln := range *ls {
+			if ln.div == div {
+				return ln
+			}
+		}
+	}
+	h.laneMu.Lock()
+	defer h.laneMu.Unlock()
+	select {
+	case <-h.stopping:
+		return nil
+	case <-h.draining:
+		return nil
+	default:
+	}
+	cur := h.lanes.Load()
+	if cur != nil {
+		for _, ln := range *cur {
+			if ln.div == div {
+				return ln
+			}
+		}
+	}
+	w := h.cfg.Width / div
+	hh := h.cfg.Height / div
+	if w < 1 {
+		w = 1
+	}
+	if hh < 1 {
+		hh = 1
+	}
+	ln := &encLane{
+		hub: h,
+		div: div,
+		w:   w,
+		h:   hh,
+		dom: realrt.NewDomainAt(h.epoch),
+		enc: codec.NewEncoder(w, hh, h.cfg.Codec),
+	}
+	ln.buf = core.NewMultiBuffer(ln.dom)
+	if ln.div > 1 {
+		ln.scratch = make([]byte, w*hh*4)
+	}
+	for i := range ln.shards {
+		ln.shards[i].m = make(map[uint32]*hubSession)
+	}
+	if reg := h.cfg.Metrics; reg != nil {
+		v := registerLiveVecs(reg)
+		lane := strconv.Itoa(div)
+		ln.sharedEncodes = v.hubEncodes.With1(lane)
+		ln.splicedKeys = v.hubSplicedKeys.With1(lane)
+		ln.splicedDeltas = v.hubSplicedDeltas.With1(lane)
+	}
+	var next []*encLane
+	if cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, ln)
+	h.lanes.Store(&next)
+	h.laneWG.Add(1)
+	go func() {
+		defer h.laneWG.Done()
+		ln.run()
+	}()
+	return ln
+}
+
+// shard returns the registry stripe owning session id.
+func (ln *encLane) shard(id uint32) *laneShard { return &ln.shards[id%hubShards] }
+
+// getBuf takes a recycled bitstream buffer (or nil — EncodeAppend grows it).
+func (ln *encLane) getBuf() []byte {
+	ln.freeMu.Lock()
+	defer ln.freeMu.Unlock()
+	if n := len(ln.free); n > 0 {
+		b := ln.free[n-1]
+		ln.free = ln.free[:n-1]
+		return b
+	}
+	return nil
+}
+
+// laneFreeCap bounds the artifact free list: enough for the artifacts in
+// flight across a latest-wins fan-out (each session pins at most two), with
+// drops retiring excess buffers to the GC instead of hoarding them.
+const laneFreeCap = 8
+
+func (ln *encLane) putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	ln.freeMu.Lock()
+	if len(ln.free) < laneFreeCap {
+		ln.free = append(ln.free, b[:0])
+	}
+	ln.freeMu.Unlock()
+}
+
+// offer hands a rendered frame to the lane's latest-wins buffer (renderer
+// goroutine). Dropped frames retire immediately and their input stamps carry
+// into the next encode.
+func (ln *encLane) offer(f *frame.Frame) {
+	stored, dropped := ln.buf.PutPriorityStored(f)
+	for _, d := range dropped {
+		ln.hub.tr.Instant(obs.TrackProxy, "mulbuf-drop", d.Seq, ln.hub.dom.Now())
+		ln.hub.ins.Dropped.Inc()
+		if len(d.Inputs) > 0 {
+			ln.carriedMu.Lock()
+			ln.carried = append(ln.carried, d.Inputs...)
+			ln.carriedMu.Unlock()
+		}
+		if d.Retire != nil {
+			d.Retire()
+		}
+	}
+	if !stored {
+		if f.Retire != nil {
+			f.Retire()
+		}
+	}
+}
+
+// run is the lane's encode loop: acquire the latest rendered frame, encode
+// it once, fan the artifact out to every session on the lane.
+func (ln *encLane) run() {
+	h := ln.hub
+	w := realrt.NewWaiter(ln.dom)
+	for {
+		f := ln.buf.Acquire(w)
+		if f == nil {
+			return // lane buffer closed: hub stopping or drained
+		}
+		start := h.dom.Now()
+		src := f.Pixels
+		if ln.div > 1 {
+			downsample(f.Pixels, h.cfg.Width, ln.scratch, ln.w, ln.h, ln.div)
+			src = ln.scratch
+		}
+		buf := ln.getBuf()
+		ln.encMu.Lock()
+		bs, err := ln.enc.EncodeAppend(buf[:0], src)
+		if err != nil {
+			ln.encMu.Unlock()
+			ln.buf.Release()
+			if f.Retire != nil {
+				f.Retire()
+			}
+			ln.fail()
+			return
+		}
+		key := codec.IsKeyframe(bs)
+		art := &encArtifact{
+			lane:        ln,
+			seq:         f.Seq,
+			encIdx:      ln.enc.Frames(),
+			key:         key,
+			bs:          bs,
+			crc:         crc32.ChecksumIEEE(bs),
+			renderNanos: int64(f.RenderEnd),
+			priority:    f.Priority,
+		}
+		if !key {
+			art.parentSeq = ln.lastSeq
+		}
+		ln.lastSeq = f.Seq
+		ln.lastRenderNanos = int64(f.RenderEnd)
+		tiles, dirty := ln.enc.TileStats()
+		tileNanos := ln.enc.TileNanos()
+		ln.encMu.Unlock()
+		encEnd := h.dom.Now()
+
+		h.tr.Span(obs.TrackProxy, "encode", f.Seq, start, encEnd)
+		h.ins.Encoded.Inc()
+		h.ins.Encode.ObserveDuration(encEnd - start)
+		ln.sharedEncodes.Inc()
+		h.probe.onEncode(encEnd - start) // shared work bills the shared probe
+		if tiles > 0 {
+			h.ins.TilesCoded.Add(int64(tiles))
+			h.ins.TilesDirty.Add(int64(dirty))
+			h.ins.DirtyRatio.Set(float64(dirty) / float64(tiles))
+			h.probe.onTiles(tiles, dirty)
+			for _, ns := range tileNanos {
+				h.ins.TileEncode.Observe(ns / 1e3)
+			}
+		}
+
+		ln.carriedMu.Lock()
+		stamps := append(ln.carried, f.Inputs...)
+		ln.carried = nil
+		ln.carriedMu.Unlock()
+
+		ef := &frame.Frame{
+			Seq:       art.seq,
+			Priority:  art.priority,
+			Inputs:    stamps,
+			RenderEnd: f.RenderEnd,
+			Bytes:     len(bs),
+			Encoded:   art,
+		}
+		// The lane holds one reference while fanning out, so a fast session
+		// cannot release the artifact to zero mid-broadcast.
+		art.refs.Store(1)
+		for i := range ln.shards {
+			snapP := ln.shards[i].snap.Load()
+			if snapP == nil {
+				continue
+			}
+			for _, s := range *snapP {
+				art.refs.Add(1)
+				stored, dropped := s.buf.PutPriorityStored(ef)
+				for _, d := range dropped {
+					atomic.AddInt64(&s.dropped, 1)
+					h.ins.Dropped.Inc()
+					h.tr.Instant(obs.TrackProxy, "mulbuf-drop", d.Seq, h.dom.Now())
+					if len(d.Inputs) > 0 {
+						s.carriedMu.Lock()
+						s.carried = append(s.carried, d.Inputs...)
+						s.carriedMu.Unlock()
+					}
+					if da, ok := d.Encoded.(*encArtifact); ok {
+						da.release()
+					}
+				}
+				if !stored {
+					art.refs.Add(-1)
+				}
+			}
+		}
+		ln.buf.Release()
+		if f.Retire != nil {
+			f.Retire()
+		}
+		art.release()
+	}
+}
+
+// fail tears down every session on the lane after an encoder error; the
+// shared encoder's state is unusable, so the lane retires rather than
+// streaming wrong pixels.
+func (ln *encLane) fail() {
+	for i := range ln.shards {
+		sh := &ln.shards[i]
+		sh.mu.Lock()
+		sessions := make([]*hubSession, 0, len(sh.m))
+		for _, s := range sh.m {
+			sessions = append(sessions, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range sessions {
+			s.close()
+		}
+	}
+}

@@ -111,12 +111,19 @@ type frameMeta struct {
 // place, so hot paths can build header+bitstream in one recycled buffer.
 // bitstream must be the payload that follows the header (for the CRC).
 func putFrameHeader(dst []byte, m frameMeta, bitstream []byte) {
+	putFrameHeaderCRC(dst, m, crc32.ChecksumIEEE(bitstream))
+}
+
+// putFrameHeaderCRC is putFrameHeader with a precomputed bitstream CRC, for
+// fan-out paths that checksum a shared bitstream once and reuse it across
+// every viewer's header.
+func putFrameHeaderCRC(dst []byte, m frameMeta, crc uint32) {
 	binary.LittleEndian.PutUint64(dst[0:], m.seq)
 	binary.LittleEndian.PutUint64(dst[8:], m.parentSeq)
 	binary.LittleEndian.PutUint64(dst[16:], m.inputID)
 	binary.LittleEndian.PutUint64(dst[24:], uint64(m.inputNanos))
 	binary.LittleEndian.PutUint64(dst[32:], uint64(m.renderNanos))
-	binary.LittleEndian.PutUint32(dst[40:], crc32.ChecksumIEEE(bitstream))
+	binary.LittleEndian.PutUint32(dst[40:], crc)
 }
 
 // frameMsg encodes a frame message payload: header + bitstream.

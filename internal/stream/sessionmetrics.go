@@ -35,6 +35,17 @@ const (
 	// NameSessionsStarted counts sessions by regulation policy and
 	// bitstream generation.
 	NameSessionsStarted = "odr_sessions_started_total"
+	// NameHubSharedEncodes counts frames encoded once by a hub lane's shared
+	// encoder and fanned out to every same-resolution viewer. With N viewers
+	// it grows at the frame rate while frames_displayed grows at N× — the
+	// encode-once invariant soak and CI assert.
+	NameHubSharedEncodes = "odr_hub_shared_encodes_total"
+	// NameHubSplicedKeyframes counts per-session keyframes spliced from a
+	// shared encoder's state (late joiners and msgKeyReq resyncs).
+	NameHubSplicedKeyframes = "odr_hub_spliced_keyframes_total"
+	// NameHubSplicedDeltas counts per-session catch-up deltas spliced for
+	// viewers whose verbatim chain skipped frames (latest-wins drops).
+	NameHubSplicedDeltas = "odr_hub_spliced_deltas_total"
 )
 
 // sessionFlushInterval paces gauge publication: the send loop records every
@@ -71,6 +82,9 @@ func recordSessionStart(reg *obs.Registry, policy string, o codec.Options) {
 type liveVecs struct {
 	fps, mtp, mtpP99, smooth, watts, energy *obs.GaugeVec
 	outcome                                 *obs.CounterVec
+
+	// Hub fan-out families, labeled by lane (the downscale divisor).
+	hubEncodes, hubSplicedKeys, hubSplicedDeltas *obs.CounterVec
 }
 
 // registerLiveVecs idempotently registers every live-session family in reg.
@@ -79,6 +93,12 @@ func registerLiveVecs(reg *obs.Registry) liveVecs {
 		"Streaming sessions started, by regulation policy and bitstream generation.",
 		"policy", "codec_version")
 	return liveVecs{
+		hubEncodes: reg.CounterVec(NameHubSharedEncodes,
+			"Frames encoded once by a hub lane's shared encoder and fanned out to every viewer on the lane.", "lane"),
+		hubSplicedKeys: reg.CounterVec(NameHubSplicedKeyframes,
+			"Per-session keyframes spliced from a hub lane's shared encoder state (late joiners, keyframe requests).", "lane"),
+		hubSplicedDeltas: reg.CounterVec(NameHubSplicedDeltas,
+			"Per-session catch-up deltas spliced from a hub lane's shared encoder state after latest-wins drops.", "lane"),
 		fps: reg.GaugeVec(NameSessionFPS,
 			"Delivered frames per second over the live QoE window.", "session"),
 		mtp: reg.GaugeVec(NameSessionMtPMs,

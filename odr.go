@@ -322,8 +322,11 @@ func WrapChaos(conn net.Conn, sched ChaosSchedule, seed int64) *ChaosConn {
 	return chaos.Wrap(conn, sched, seed)
 }
 
-// Hub streams one shared game to many clients ("render once, view many"),
-// each with its own encoder and regulation; see stream.Hub.
+// Hub streams one shared game to many clients ("render once, encode once,
+// view many"): sessions at the same resolution share a lane encoder, each
+// frame is encoded once per lane and fanned out, and late joiners are served
+// catch-up keyframes spliced from shared encoder state. Pacing and
+// latest-wins regulation stay per-session; see stream.Hub.
 type (
 	Hub          = stream.Hub
 	HubConfig    = stream.HubConfig
@@ -334,6 +337,20 @@ type (
 
 // NewHub returns a multi-client streaming hub.
 func NewHub(cfg HubConfig) *Hub { return stream.NewHub(cfg) }
+
+// Hub fan-out metric names, exported by a hub built with a MetricsRegistry
+// as counters labeled by lane (downscale divisor).
+const (
+	// NameHubSharedEncodes counts frames encoded once on a shared lane
+	// encoder, however many viewers the artifact fanned out to.
+	NameHubSharedEncodes = stream.NameHubSharedEncodes
+	// NameHubSplicedKeyframes counts catch-up keyframes spliced from shared
+	// encoder state for late joiners and resyncing viewers.
+	NameHubSplicedKeyframes = stream.NameHubSplicedKeyframes
+	// NameHubSplicedDeltas counts catch-up deltas spliced for viewers a few
+	// frames behind the shared stream.
+	NameHubSplicedDeltas = stream.NameHubSplicedDeltas
+)
 
 // Observability re-exports: the frame-lifecycle tracer, the telemetry
 // registry, and the live debug endpoint. All are nil-safe — a nil *Tracer or
