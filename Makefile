@@ -29,13 +29,15 @@ soak-hub:
 	$(GO) run -race ./cmd/odrsoak -fanout 1000 -width 48 -height 27 -fps 10 -schedule flaky -seed 1 -duration 15s
 
 # Fuzz smoke over the wire framing, the chaos schedule parser, the codec
-# bitstream decoders (v1 + v2 tile), and the metrics scrape parser.
+# bitstream decoders (v1 + v2 tile), the content-addressed tile cache, and
+# the metrics scrape parser.
 fuzz:
 	$(GO) test -fuzz=FuzzReadMsg -fuzztime=10s -run '^$$' ./internal/stream
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run '^$$' ./internal/stream
 	$(GO) test -fuzz=FuzzParseSchedule -fuzztime=10s -run '^$$' ./internal/chaos
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run '^$$' ./internal/codec
 	$(GO) test -fuzz=FuzzV2RoundTrip -fuzztime=10s -run '^$$' ./internal/codec
+	$(GO) test -fuzz=FuzzTileCache -fuzztime=10s -run '^$$' ./internal/codec
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/obs/scrape
 
 # Metrics-surface lint: pre-register every family the server can export and
@@ -50,14 +52,18 @@ metrics-check:
 bench:
 	$(GO) run ./cmd/odrbench -o BENCH_sched.json
 
-# Tile-codec suite -> BENCH_codec.json: static/scrolling/noise content at
-# 720p/1080p/4K through the v1 serial coder and the v2 tile coder at 1-16
-# workers, with a parallel-equals-serial byte-identity check per cell group.
+# Tile-codec suite -> BENCH_codec.json: static/scrolling/mixed/noise content
+# at 720p/1080p/4K through the v1 serial coder and the v2 tile coder (keyframe
+# striping + shared tile cache, the hub configuration) at 1-16 workers, with a
+# parallel-equals-serial byte-identity check per cell group.
 bench-codec:
 	$(GO) run ./cmd/odrbench -codec -codec-out BENCH_codec.json
 
-# Regression gate: re-run the suite and fail when any speedup-vs-v1 ratio
-# drops more than 20% below the committed BENCH_codec.json baseline.
+# Regression gate: re-run the suite and fail when any (content, resolution)
+# group's median speedup-vs-v1 drops more than 25% below the committed
+# BENCH_codec.json baseline, any cell's bytes/frame grow >10%, a static
+# cell's cache hit ratio falls below 0.9, or a static cell shows a
+# keyframe-shaped latency spike.
 bench-codec-check:
 	$(GO) run ./cmd/odrbench -codec-check BENCH_codec.json
 

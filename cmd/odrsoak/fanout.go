@@ -231,6 +231,20 @@ func runFanout(viewers int, sched chaos.Schedule, seed int64, duration time.Dura
 				displayed, encoded, viewers))
 		check("spliced-keyframes", splicedKeys > 0,
 			fmt.Sprintf("%.0f catch-up keyframes spliced for joiners/resyncs", splicedKeys))
+
+		// Tile-cache conservation at fan-out scale: payload tiles coded by
+		// the shared encoder plus tiles included in spliced catch-up frames
+		// each did exactly one cache lookup — the identity survives hundreds
+		// of concurrent viewers churning through the splice path.
+		cacheHits := s.Number(odr.NameCodecTileCacheHits)
+		cacheMisses := s.Number(odr.NameCodecTileCacheMisses)
+		dirtyTiles := s.Number("odr_tiles_outcome_total", scrape.Label{Name: "tile_outcome", Value: "dirty"})
+		splicedTiles := s.Number(odr.NameHubSplicedTiles, scrape.Label{Name: "lane", Value: "1"})
+		check("cache-conservation",
+			cacheHits+cacheMisses > 0 && cacheHits+cacheMisses == dirtyTiles+splicedTiles,
+			fmt.Sprintf("hits=%.0f + misses=%.0f = %.0f, want dirty=%.0f + spliced=%.0f = %.0f",
+				cacheHits, cacheMisses, cacheHits+cacheMisses,
+				dirtyTiles, splicedTiles, dirtyTiles+splicedTiles))
 	}
 
 	if fail > 0 {

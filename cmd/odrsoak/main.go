@@ -310,6 +310,22 @@ func main() {
 			int64(dirtyOut+cleanOut) == tilesCoded && int64(dirtyOut) == tilesDirty,
 			fmt.Sprintf("dirty=%.0f + clean=%.0f = %.0f, want %d coded / %d dirty",
 				dirtyOut, cleanOut, dirtyOut+cleanOut, tilesCoded, tilesDirty))
+		// Tile-cache conservation: every payload tile the encoders coded and
+		// every tile a splice included did exactly one cache lookup, so after
+		// the drain the cache's hit+miss total must equal dirty tiles plus
+		// spliced tiles — a drift means lookups are being double-counted,
+		// skipped, or attributed to the wrong path.
+		cacheHits := s.Number(odr.NameCodecTileCacheHits)
+		cacheMisses := s.Number(odr.NameCodecTileCacheMisses)
+		var splicedTiles float64
+		for _, sm := range s.Series(odr.NameHubSplicedTiles) {
+			splicedTiles += sm.Value
+		}
+		check("prom-cache-conservation",
+			cacheHits+cacheMisses > 0 && cacheHits+cacheMisses == dirtyOut+splicedTiles,
+			fmt.Sprintf("hits=%.0f + misses=%.0f = %.0f, want dirty=%.0f + spliced=%.0f = %.0f",
+				cacheHits, cacheMisses, cacheHits+cacheMisses,
+				dirtyOut, splicedTiles, dirtyOut+splicedTiles))
 		sessSeries := s.SeriesCount("odr_session_fps")
 		droppedSets := s.Number("obs_dropped_label_sets_total")
 		check("prom-session-cardinality",

@@ -48,6 +48,33 @@ func benchEncode(b *testing.B, w, h int) {
 func BenchmarkEncode360p(b *testing.B) { benchEncode(b, 640, 360) }
 func BenchmarkEncode720p(b *testing.B) { benchEncode(b, 1280, 720) }
 
+// benchEncodeStriped runs the hub's v2 configuration — dirty-tile
+// prediction, keyframe striping and the content-addressed tile cache — over
+// scrolling content, the profile the codec round-2 work optimizes.
+func benchEncodeStriped(b *testing.B, w, h int) {
+	frames := animatedFrames(w, h, 8)
+	enc := NewEncoder(w, h, Options{
+		QuantShift: 2, StripeKeyframes: true, Cache: NewTileCache(0),
+	})
+	buf := make([]byte, 0, w*h)
+	var err error
+	for i := 0; i < 3*len(frames); i++ { // warm scratches, reference, cache
+		if buf, err = enc.EncodeAppend(buf[:0], frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(w * h * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = enc.EncodeAppend(buf[:0], frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeStriped720p(b *testing.B)  { benchEncodeStriped(b, 1280, 720) }
+func BenchmarkEncodeStriped1080p(b *testing.B) { benchEncodeStriped(b, 1920, 1080) }
+
 func BenchmarkDecode360p(b *testing.B) {
 	const w, h = 640, 360
 	frames := animatedFrames(w, h, 32)

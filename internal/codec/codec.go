@@ -85,7 +85,23 @@ type Options struct {
 	// Pool overrides the worker pool tiles are encoded on (nil = the
 	// process-wide wpool.Default()).
 	Pool *wpool.Pool
+	// Cache, when non-nil, memoizes encoded tile payloads content-addressed
+	// across frames, encoders and splices (v2 only; see cache.go). Sharing
+	// one cache between encoders is safe and changes no bitstream byte —
+	// payloads are pure functions of the coded content.
+	Cache *TileCache
+	// StripeKeyframes replaces the periodic full keyframe with temporal
+	// striping (v2 only): each delta frame intra-refreshes the tile stripe
+	// whose index matches the frame number mod KeyInterval, so every tile
+	// is re-anchored once per KeyInterval frames and per-frame encode time
+	// stays flat instead of spiking KeyInterval-periodically. The first
+	// frame (and any ForceKeyframe) still emits a full key.
+	StripeKeyframes bool
 }
+
+// BitstreamVersion returns the bitstream generation these options resolve
+// to (1 or 2), applying the same defaulting NewEncoder applies.
+func (o Options) BitstreamVersion() int { return o.version() }
 
 // version resolves the effective bitstream version for the options.
 func (o Options) version() int {
@@ -119,30 +135,47 @@ type Encoder struct {
 	bandIdx []int  // changed-band index scratch
 	bandRLE []byte // per-band RLE payload scratch
 
-	// v2 tile state (see tile.go): per-tile scratches persist across
-	// frames, and the wpool.Group embeds the submission bookkeeping, so
-	// the parallel path allocates nothing in steady state either.
+	// v2 tile state (see tile.go, predict.go): per-tile scratches persist
+	// across frames, and the wpool.Group embeds the submission bookkeeping,
+	// so the parallel path allocates nothing in steady state either. For
+	// v2, prev is a persistent quantized reference that dirty tiles fold
+	// into in place — it is never swapped or re-quantized whole.
 	tileRows    int
 	group       *wpool.Group
 	encTask     func(int)
-	tilePayload [][]byte // per-tile RLE payload scratch
+	predTask    func(int)
+	refValid    bool     // prev holds a decodable reference (v2)
+	prevRaw     []byte   // raw pixels behind prev, per tile (see predict.go)
+	tileRawOK   []bool   // prevRaw[tile] is a valid raw reference
+	tilePayload [][]byte // per-tile payload refs: tileScratch[i] or cache memory
+	tileScratch [][]byte // per-tile encoder-owned RLE scratch
+	tileQ       [][]byte // per-tile quantization scratch
 	tileDelta   [][]byte // per-tile delta scratch
 	tileCRC     []uint32
-	tileDirty   []bool
+	tileDirty   []bool // tile carries a payload this frame
+	tileChanged []bool // tile content differs from the reference
+	tileIntra   []bool // tile is this frame's keyframe stripe
 	tileNanos   []int64
+	workList    []int // tiles the pre-pass sent to the pool, ascending
 	lastTiles   int
 	lastDirty   int
-	curQ        []byte // per-frame task inputs, set before the tile Map
+	curPix      []byte // per-frame task input, set before the tile Maps
 	curKey      bool
+	curPhase    int // this delta frame's stripe phase, -1 when not striping
 
 	// Splice state (splice.go): tileChangedAt[i] is the encode index
 	// (Frames() value) of the last frame whose tile i was dirty, and the
 	// splice* slices memoize intra-coded tile payloads cut from e.prev so
 	// repeated splices of a static tile cost one RLE pass, not N.
 	tileChangedAt []int64
-	spliceRLE     [][]byte
+	spliceRLE     [][]byte // per-tile intra payload refs: spliceScratch[i], memo, or cache
+	spliceScratch [][]byte // per-tile encoder-owned splice RLE scratch (cache path)
 	spliceCRC     []uint32
 	spliceAt      []int64
+	// lastSpliceTiles is the tile count of the most recent AppendSplice
+	// (read under the caller's encoder lock; feeds cache conservation
+	// accounting).
+	lastSpliceTiles int
 
 	frames int64
 	bytes  int64
@@ -164,6 +197,7 @@ func NewEncoder(w, h int, opts Options) *Encoder {
 		}
 		e.group = wpool.NewGroup(opts.Pool)
 		e.encTask = e.encodeTile
+		e.predTask = e.predictTile
 	}
 	return e
 }
@@ -241,7 +275,15 @@ func (e *Encoder) quantizeInto(pix []byte) []byte {
 }
 
 // ForceKeyframe makes the next frame a keyframe (e.g. after a client joins).
-func (e *Encoder) ForceKeyframe() { e.count = 0; e.prev = nil }
+// For v2 the reference buffer is kept (the key frame overwrites every tile
+// anyway); only its validity is dropped.
+func (e *Encoder) ForceKeyframe() {
+	e.count = 0
+	e.refValid = false
+	if e.version != 2 {
+		e.prev = nil
+	}
+}
 
 // QuantShift returns the current quantization shift.
 func (e *Encoder) QuantShift() uint { return e.opts.QuantShift }

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"hash/crc32"
 	"testing"
 )
 
@@ -113,6 +114,56 @@ func FuzzRLERoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(dec, data) {
 			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzTileCache drives a deliberately tiny cache through fuzzer-chosen
+// hit/miss/evict interleavings and holds it to its two contracts: a hit
+// returns exactly RLE(content) with a matching CRC (never another entry's
+// payload), and the hit/miss counters account for every lookup. The seeds
+// cover repeat-until-admitted (hit), distinct contents (miss), and enough
+// distinct admissions to force evictions on the small budget.
+func FuzzTileCache(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 1})                                  // repeats: admit then hit
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})                      // all distinct: misses
+	f.Add([]byte{1, 1, 2, 2, 1, 3, 3, 2, 1, 4, 4, 3, 2, 1})    // interleaved reuse
+	f.Add(bytes.Repeat([]byte{9, 9, 8, 8, 7, 7, 6, 6, 5}, 40)) // churn: evictions
+	f.Fuzz(func(t *testing.T, script []byte) {
+		cache := NewTileCache(tcShards * 4096) // a few entries per shard
+		lookups := int64(0)
+		for _, op := range script {
+			// Each script byte selects one of 16 synthetic tile contents;
+			// the high bit varies the geometry so length mismatches are
+			// exercised alongside content mismatches.
+			n := 256
+			if op&0x80 != 0 {
+				n = 512
+			}
+			content := make([]byte, n)
+			for i := range content {
+				content[i] = (op & 0x0F) * byte(i>>3)
+			}
+			want := rleAppend(nil, content)
+			wantCRC := crc32.Checksum(want, castagnoli)
+			payload, crc, ok := cache.Lookup(content)
+			lookups++
+			if ok {
+				if crc != wantCRC || !bytes.Equal(payload, want) {
+					t.Fatalf("op %#x: hit returned wrong payload/CRC", op)
+				}
+			} else {
+				if canon := cache.Insert(content, want, wantCRC); canon != nil && !bytes.Equal(canon, want) {
+					t.Fatalf("op %#x: canonical payload differs from inserted", op)
+				}
+			}
+		}
+		hits, misses, evictions := cache.Stats()
+		if hits+misses != lookups {
+			t.Fatalf("stats leak: %d hits + %d misses != %d lookups", hits, misses, lookups)
+		}
+		if evictions < 0 || hits < 0 || misses < 0 {
+			t.Fatal("negative counter")
 		}
 	})
 }

@@ -78,11 +78,13 @@ func (e *Encoder) AppendSplice(dst []byte, parent int64) ([]byte, error) {
 	binary.LittleEndian.PutUint16(hdr[14:], uint16(nt))
 	out := append(dst, hdr[:]...)
 
+	included := 0
 	var ent [dirEntryLen]byte
 	for i := 0; i < nt; i++ {
 		ent = [dirEntryLen]byte{}
 		if isKey || e.tileChangedAt[i] > parent {
 			e.ensureIntraTile(i)
+			included++
 			ent[0] = tileFlagDirty
 			if !isKey {
 				ent[0] |= tileFlagIntra
@@ -97,12 +99,42 @@ func (e *Encoder) AppendSplice(dst []byte, parent int64) ([]byte, error) {
 			out = append(out, e.spliceRLE[i]...)
 		}
 	}
+	e.lastSpliceTiles = included
 	return out, nil
 }
 
-// ensureIntraTile refreshes tile i's memoized intra payload when the tile
-// changed since it was last cut from e.prev.
+// LastSpliceTiles returns how many tiles the most recent AppendSplice
+// included (payload-carrying entries). With a cache configured, each of
+// them did exactly one cache lookup — the accounting hubs publish for the
+// soak's cache conservation invariant. Read under the caller's encoder
+// lock, like AppendSplice itself.
+func (e *Encoder) LastSpliceTiles() int { return e.lastSpliceTiles }
+
+// ensureIntraTile refreshes tile i's intra payload cut from e.prev. With a
+// content-addressed cache the payload is looked up (and admitted) there —
+// a churn of joiners against tiles the frame path already coded absolute
+// (keys, stripe refreshes) shares those payload bytes outright, across
+// every lane and session on the cache. Without a cache the per-encoder
+// memo (spliceAt vs tileChangedAt) keeps the old one-RLE-pass-per-change
+// behavior.
 func (e *Encoder) ensureIntraTile(i int) {
+	if c := e.opts.Cache; c != nil {
+		s, end := tileRange(e.w, e.h, e.tileRows, i)
+		content := e.prev[s:end]
+		h := tileCacheHash(content)
+		if payload, crc, ok := c.lookupHashed(h, content); ok {
+			e.spliceRLE[i], e.spliceCRC[i] = payload, crc
+			return
+		}
+		p := rleAppend(e.spliceScratch[i][:0], content)
+		e.spliceScratch[i] = p
+		crc := crc32.Checksum(p, castagnoli)
+		if canon := c.insertHashed(h, content, p, crc); canon != nil {
+			p = canon
+		}
+		e.spliceRLE[i], e.spliceCRC[i] = p, crc
+		return
+	}
 	if e.spliceAt[i] > 0 && e.spliceAt[i] >= e.tileChangedAt[i] {
 		return
 	}

@@ -1,0 +1,209 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// frameIntraTiles parses a v2 bitstream's directory and returns which tiles
+// carry the intra flag (and whether the frame is a key frame).
+func frameIntraTiles(t *testing.T, bs []byte) (intra []int, isKey bool) {
+	t.Helper()
+	if len(bs) < hdr2Len || bs[0] != magic2 {
+		t.Fatalf("not a v2 bitstream")
+	}
+	isKey = bs[2] == frameKey
+	nt := int(uint16(bs[14]) | uint16(bs[15])<<8)
+	for i := 0; i < nt; i++ {
+		flags := bs[hdr2Len+i*dirEntryLen]
+		if flags&tileFlagIntra != 0 {
+			intra = append(intra, i)
+		}
+	}
+	return intra, isKey
+}
+
+// TestStripedStreamPixelIdentity is the striping contract: with
+// StripeKeyframes set the stream decodes to exactly the pixels the plain
+// keyframed stream decodes to, only the first frame is a key frame, and
+// every tile is intra-refreshed at least once per KeyInterval frames.
+func TestStripedStreamPixelIdentity(t *testing.T) {
+	const w, h, keyInt = 96, 96, 4 // 6 tiles, stripes wrap across the interval
+	frames := animatedFrames(w, h, 13)
+	plain := NewEncoder(w, h, Options{QuantShift: 2, KeyInterval: keyInt})
+	striped := NewEncoder(w, h, Options{QuantShift: 2, KeyInterval: keyInt, StripeKeyframes: true})
+	decPlain, decStriped := NewDecoder(), NewDecoder()
+	nt := tileCount(h, DefaultTileRows)
+
+	refreshed := make(map[int]int) // tile -> count of intra refreshes
+	for fi, f := range frames {
+		wantBS, err := plain.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBS, err := striped.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		intra, isKey := frameIntraTiles(t, gotBS)
+		if isKey != (fi == 0) {
+			t.Fatalf("frame %d: striped stream key=%v, want key only on frame 0", fi, isKey)
+		}
+		if fi > 0 {
+			phase := fi % keyInt
+			for _, i := range intra {
+				if i%keyInt != phase {
+					t.Fatalf("frame %d (phase %d): tile %d intra-coded outside its stripe", fi, phase, i)
+				}
+				refreshed[i]++
+			}
+		}
+		want, err := decPlain.Decode(wantBS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decStriped.Decode(gotBS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: striped pixels differ from keyframed pixels", fi)
+		}
+	}
+	// 12 delta frames at interval 4 = 3 full stripe cycles: every tile must
+	// have been re-anchored at least once (changed tiles ride their stripe
+	// too, as absolute content).
+	for i := 0; i < nt; i++ {
+		if refreshed[i] == 0 {
+			t.Fatalf("tile %d was never intra-refreshed across %d frames (interval %d)", i, len(frames), keyInt)
+		}
+	}
+}
+
+// TestStripedSpliceResync pins that splices keep working with striping on:
+// a viewer that stalled at encode index p is caught up by a spliced delta
+// and lands on the shared reconstruction.
+func TestStripedSpliceResync(t *testing.T) {
+	const w, h = 96, 96
+	cache := NewTileCache(0)
+	enc := NewEncoder(w, h, Options{QuantShift: 2, KeyInterval: 4, StripeKeyframes: true, Cache: cache})
+	frames := animatedFrames(w, h, 9)
+
+	viewer := NewDecoder()
+	shared := NewDecoder()
+	var parent int64
+	var lastShared []byte
+	for fi, f := range frames {
+		bs, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastShared, err = shared.Decode(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi < 3 { // viewer follows the verbatim chain, then stalls
+			if _, err := viewer.Decode(bs); err != nil {
+				t.Fatal(err)
+			}
+			parent = enc.Frames()
+		}
+	}
+	splice, err := enc.AppendSplice(nil, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := viewer.Decode(splice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, lastShared) {
+		t.Fatal("spliced catch-up did not land the stalled viewer on the shared reconstruction")
+	}
+	// A late joiner splices a full key from the same cache-backed state.
+	keyBS, err := enc.AppendSplice(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := NewDecoder()
+	jp, err := joiner.Decode(keyBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jp, lastShared) {
+		t.Fatal("spliced keyframe did not reproduce the shared reconstruction")
+	}
+}
+
+// TestStripedWorkerByteIdentity extends the determinism pin to the new
+// machinery: striping + a shared cache must stay byte-identical across
+// worker counts (cached payloads are position-independent bytes).
+func TestStripedWorkerByteIdentity(t *testing.T) {
+	const w, h = 128, 112
+	frames := animatedFrames(w, h, 6)
+	cache := NewTileCache(0)
+	mk := func(workers int) *Encoder {
+		return NewEncoder(w, h, Options{
+			QuantShift: 2, KeyInterval: 3, StripeKeyframes: true,
+			Cache: cache, Workers: workers,
+		})
+	}
+	serial, par4, par16 := mk(1), mk(4), mk(16)
+	for pass := 0; pass < 2; pass++ {
+		for fi, f := range frames {
+			want, err := serial.Encode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, enc := range []*Encoder{par4, par16} {
+				got, err := enc.Encode(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("pass %d frame %d: parallel striped bitstream differs from serial", pass, fi)
+				}
+			}
+		}
+	}
+}
+
+// TestStripedForceKeyframe pins that ForceKeyframe still yields a full key
+// under striping and the stream recovers its delta cadence after it.
+func TestStripedForceKeyframe(t *testing.T) {
+	const w, h = 64, 64
+	enc := NewEncoder(w, h, Options{QuantShift: 2, KeyInterval: 4, StripeKeyframes: true})
+	frames := animatedFrames(w, h, 6)
+	dec := NewDecoder()
+	for _, f := range frames[:3] {
+		bs, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc.ForceKeyframe()
+	fresh := NewDecoder() // keyframe must decode with no prior state
+	for fi, f := range frames[3:] {
+		bs, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key := IsKeyframe(bs); key != (fi == 0) {
+			t.Fatalf("post-ForceKeyframe frame %d: key=%v, want key only first", fi, key)
+		}
+		want, err := dec.Decode(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fresh.Decode(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("fresh decoder diverged from continuing decoder after forced key")
+		}
+	}
+}

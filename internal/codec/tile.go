@@ -41,7 +41,6 @@ package codec
 // TestV2SerialParallelByteIdentical guards this.
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -113,57 +112,129 @@ func (e *Encoder) ensureTileState(nt int) {
 		return
 	}
 	e.tilePayload = make([][]byte, nt)
+	e.tileScratch = make([][]byte, nt)
+	e.tileQ = make([][]byte, nt)
 	e.tileDelta = make([][]byte, nt)
 	e.tileCRC = make([]uint32, nt)
 	e.tileDirty = make([]bool, nt)
+	e.tileChanged = make([]bool, nt)
+	e.tileRawOK = make([]bool, nt)
+	e.tileIntra = make([]bool, nt)
 	e.tileNanos = make([]int64, nt)
+	e.workList = make([]int, 0, nt)
 	e.tileChangedAt = make([]int64, nt)
 	e.spliceRLE = make([][]byte, nt)
+	e.spliceScratch = make([][]byte, nt)
 	e.spliceCRC = make([]uint32, nt)
 	e.spliceAt = make([]int64, nt)
 }
 
-// encodeTile codes one tile of the in-flight frame (e.curQ against e.prev)
-// into the tile's own payload scratch. It runs concurrently with other
-// tiles: all shared inputs are read-only, all outputs are tile-indexed.
-func (e *Encoder) encodeTile(i int) {
+// encodeTile codes work-list slot k — one tile the pre-pass selected — into
+// the tile's own output slots. It runs concurrently with other tiles: the
+// only shared input it reads is its own disjoint slice of e.curPix/e.prev,
+// and all outputs are tile-indexed, so the tile regions never race.
+func (e *Encoder) encodeTile(k int) {
 	start := time.Now()
+	i := e.workList[k]
 	s, end := tileRange(e.w, e.h, e.tileRows, i)
-	q := e.curQ
-	if !e.curKey && bytes.Equal(q[s:end], e.prev[s:end]) {
-		e.tileDirty[i] = false
-		e.tilePayload[i] = e.tilePayload[i][:0]
-		e.tileCRC[i] = 0
+	if e.tileChanged[i] && !e.curKey && !e.tileIntra[i] {
+		// Changed tile shipping as a delta — the hot case. The fused kernel
+		// computes quantize(pix) - prev in one pass without materializing
+		// the quantized content, then the reference is re-quantized in
+		// place from the raw pixels (prev = pix & mask — the same bytes a
+		// materialized content copy would have landed; tile ranges are
+		// disjoint so concurrent workers never overlap). prevRaw is NOT
+		// refreshed here — the pre-pass dropped tileRawOK for this tile and
+		// rebuilds the raw reference the next time it classifies clean.
+		d := grow(e.tileDelta[i], end-s)
+		e.tileDelta[i] = d
+		maskSubInto(d, e.curPix[s:end], e.prev[s:end], 0xFF<<e.opts.QuantShift)
+		e.codeTilePayload(i, d)
+		if e.opts.QuantShift == 0 {
+			copy(e.prev[s:end], e.curPix[s:end])
+		} else {
+			maskInto(e.prev[s:end], e.curPix[s:end], 0xFF<<e.opts.QuantShift)
+		}
+		e.tileDirty[i] = true
 		e.tileNanos[i] = time.Since(start).Nanoseconds()
 		return
 	}
-	e.tileDirty[i] = true
-	src := q[s:end]
-	if !e.curKey {
-		d := grow(e.tileDelta[i], end-s)
-		e.tileDelta[i] = d
-		deltaInto(d, q[s:end], e.prev[s:end])
-		src = d
+	// Absolute-content cases: every tile of a key frame, and this frame's
+	// keyframe stripe (changed or not).
+	var content []byte
+	if e.tileChanged[i] {
+		q := grow(e.tileQ[i], end-s)
+		e.tileQ[i] = q
+		if e.opts.QuantShift == 0 {
+			copy(q, e.curPix[s:end])
+		} else {
+			maskInto(q, e.curPix[s:end], 0xFF<<e.opts.QuantShift)
+		}
+		content = q
+	} else {
+		// Stripe refresh of an unchanged tile: the reference already holds
+		// exactly its quantized content — no quantization work at all.
+		content = e.prev[s:end]
 	}
-	e.tilePayload[i] = rleAppend(e.tilePayload[i][:0], src)
-	e.tileCRC[i] = crc32.Checksum(e.tilePayload[i], castagnoli)
+	e.codeTilePayload(i, content)
+	e.tileDirty[i] = true
+	if e.tileChanged[i] {
+		// Fold the tile into the persistent reference; tile ranges are
+		// disjoint, so concurrent workers never overlap.
+		copy(e.prev[s:end], content)
+	}
 	e.tileNanos[i] = time.Since(start).Nanoseconds()
 }
 
-// encodeTiles appends one v2 frame to dst: quantize, fan the tiles across
-// the worker pool, then assemble header + directory + payloads in fixed
-// tile order.
+// codeTilePayload produces tile i's RLE payload and CRC for src, through
+// the content-addressed cache when one is configured. On a hit the payload
+// aliases immutable cache memory (never the tile's scratch), so one encoded
+// payload is shared across frames, encoders and hub lanes without copying;
+// a miss codes into the tile-owned scratch and offers the result for
+// admission. Cached or fresh, the bytes are identical — payload and CRC are
+// pure functions of src (see cache.go).
+func (e *Encoder) codeTilePayload(i int, src []byte) {
+	c := e.opts.Cache
+	var h uint64
+	if c != nil {
+		h = tileCacheHash(src)
+		if payload, crc, ok := c.lookupHashed(h, src); ok {
+			e.tilePayload[i], e.tileCRC[i] = payload, crc
+			return
+		}
+	}
+	p := rleAppend(e.tileScratch[i][:0], src)
+	e.tileScratch[i] = p
+	crc := crc32.Checksum(p, castagnoli)
+	if c != nil {
+		if canon := c.insertHashed(h, src, p, crc); canon != nil {
+			p = canon
+		}
+	}
+	e.tilePayload[i], e.tileCRC[i] = p, crc
+}
+
+// encodeTiles appends one v2 frame to dst: predict which tiles need work,
+// fan only those across the worker pool, then assemble header + directory +
+// payloads in fixed tile order.
 func (e *Encoder) encodeTiles(dst, pix []byte) ([]byte, error) {
 	nt := tileCount(e.h, e.tileRows)
 	if nt > maxTileCount {
 		return nil, fmt.Errorf("codec: %d tiles exceed the format limit %d", nt, maxTileCount)
 	}
-	q := e.quantizeInto(pix)
-	isKey := e.prev == nil || e.count%e.opts.KeyInterval == 0
-	e.count++
 	e.ensureTileState(nt)
-	e.curQ, e.curKey = q, isKey
-	e.group.Map(e.opts.Workers, nt, e.encTask)
+	if e.prev == nil {
+		e.prev = make([]byte, e.FrameSize())
+	}
+	if e.prevRaw == nil {
+		e.prevRaw = make([]byte, e.FrameSize())
+	}
+	isKey := !e.refValid || (!e.opts.StripeKeyframes && e.count%e.opts.KeyInterval == 0)
+	e.curPix, e.curKey = pix, isKey
+	e.predictTiles(nt, isKey)
+	e.count++
+	e.group.Map(e.opts.Workers, len(e.workList), e.encTask)
+	e.curPix = nil
 
 	base := len(dst)
 	var hdr [hdr2Len]byte
@@ -188,10 +259,18 @@ func (e *Encoder) encodeTiles(dst, pix []byte) ([]byte, error) {
 		ent[0] = 0
 		if e.tileDirty[i] {
 			ent[0] = tileFlagDirty
+			if !isKey && e.tileIntra[i] {
+				ent[0] |= tileFlagIntra
+			}
 			dirty++
-			// Key frames code every tile whether its content moved or not,
-			// so this is conservative there — a splice may intra-code a tile
-			// that did not really change, which costs bytes, never pixels.
+		}
+		if e.tileChanged[i] {
+			// Key frames mark every tile changed whether its content moved
+			// or not, so this is conservative there — a later splice may
+			// intra-code a tile that did not really change, which costs
+			// bytes, never pixels. Stripe refreshes of unchanged tiles do
+			// NOT advance the clock: their content is what it was, so
+			// splices stay minimal.
 			e.tileChangedAt[i] = encIdx
 		}
 		binary.LittleEndian.PutUint32(ent[1:], uint32(len(e.tilePayload[i])))
@@ -203,7 +282,7 @@ func (e *Encoder) encodeTiles(dst, pix []byte) ([]byte, error) {
 	}
 
 	e.lastTiles, e.lastDirty = nt, dirty
-	e.prev, e.qbuf = q, e.prev
+	e.refValid = true
 	e.frames++
 	e.bytes += int64(len(out) - base)
 	return out, nil
@@ -215,9 +294,21 @@ func (e *Encoder) encodeTiles(dst, pix []byte) ([]byte, error) {
 func (e *Encoder) TileStats() (tiles, dirty int) { return e.lastTiles, e.lastDirty }
 
 // TileNanos returns the per-tile encode durations (nanoseconds, tile order)
-// of the last encoded frame. The slice is reused by the next Encode; it is
-// empty for v1 encoders.
-func (e *Encoder) TileNanos() []int64 { return e.tileNanos[:e.lastTiles] }
+// of the last encoded frame, in a freshly allocated slice the caller owns;
+// it is empty for v1 encoders. Tiles the pre-pass skipped report 0.
+// Hot paths that sample every frame should use TileNanosAppend instead.
+func (e *Encoder) TileNanos() []int64 {
+	return append([]int64(nil), e.tileNanos[:e.lastTiles]...)
+}
+
+// TileNanosAppend appends the last frame's per-tile encode durations to dst
+// and returns the extended slice, so per-frame samplers can reuse one
+// buffer instead of allocating. Like all last-frame accessors it must be
+// called before the next Encode on this encoder (under the same lock that
+// serializes encoding).
+func (e *Encoder) TileNanosAppend(dst []int64) []int64 {
+	return append(dst, e.tileNanos[:e.lastTiles]...)
+}
 
 // ---------------------------------------------------------------------------
 // Decoder

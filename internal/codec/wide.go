@@ -1,6 +1,9 @@
 package codec
 
-import "encoding/binary"
+import (
+	"bytes"
+	"encoding/binary"
+)
 
 // Word-wide (SWAR) kernels for the frame hot path. The codec's inner loops
 // — quantization, temporal delta, delta application, and zero-run scanning
@@ -80,6 +83,65 @@ func maskInto(dst, src []byte, mask byte) {
 	for ; i < n; i++ {
 		dst[i] = src[i] & mask
 	}
+}
+
+// maskSubInto computes dst[i] = (a[i] & mask) - b[i] byte-wise: quantization
+// fused into the temporal delta, so a changed tile shipping as a delta never
+// materializes its quantized content — the reference catches up afterwards
+// by applying the delta (addInto), which reproduces the quantized bytes
+// exactly (mod-256 arithmetic).
+func maskSubInto(dst, a, b []byte, mask byte) {
+	m := uint64(mask) * swarLo
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:]) & m
+		y := binary.LittleEndian.Uint64(b[i:])
+		binary.LittleEndian.PutUint64(dst[i:], subBytes(x, y))
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i]&mask - b[i]
+	}
+}
+
+// maskedEqual reports whether a, masked byte-wise with mask, equals ref.
+// ref is expected to be pre-masked (a quantized reference frame), so the
+// comparison fuses quantization into the equality probe: the dirty-tile
+// pre-pass classifies a tile without materializing its quantized content.
+// The scan is read-only and exits on the first differing word, so dynamic
+// content costs a few bytes, not a tile.
+func maskedEqual(a, ref []byte, mask byte) bool {
+	if mask == 0xFF {
+		// No quantization: plain memory equality, which the runtime
+		// vectorizes far wider than any scalar loop.
+		return bytes.Equal(a, ref)
+	}
+	m := uint64(mask) * swarLo
+	n := len(a)
+	i := 0
+	// Four independent compares per iteration: the loads have no
+	// cross-iteration dependency, so they pipeline, and the combined OR
+	// fails the whole 32-byte block with one branch.
+	for ; i+32 <= n; i += 32 {
+		x0 := binary.LittleEndian.Uint64(a[i:])&m ^ binary.LittleEndian.Uint64(ref[i:])
+		x1 := binary.LittleEndian.Uint64(a[i+8:])&m ^ binary.LittleEndian.Uint64(ref[i+8:])
+		x2 := binary.LittleEndian.Uint64(a[i+16:])&m ^ binary.LittleEndian.Uint64(ref[i+16:])
+		x3 := binary.LittleEndian.Uint64(a[i+24:])&m ^ binary.LittleEndian.Uint64(ref[i+24:])
+		if x0|x1|x2|x3 != 0 {
+			return false
+		}
+	}
+	for ; i+8 <= n; i += 8 {
+		if binary.LittleEndian.Uint64(a[i:])&m != binary.LittleEndian.Uint64(ref[i:]) {
+			return false
+		}
+	}
+	for ; i < n; i++ {
+		if a[i]&mask != ref[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // zeroRunEnd returns the index of the first non-zero byte at or after i

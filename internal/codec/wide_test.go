@@ -95,6 +95,59 @@ func TestDeltaAddMaskMatchByteLoops(t *testing.T) {
 					t.Fatalf("maskInto mask %#x len %d: byte %d = %#x, want %#x", mask, n, i, got[i], a[i]&mask)
 				}
 			}
+
+			// maskSubInto fuses maskInto + deltaInto, and applying its delta
+			// to the reference must land exactly on the quantized content.
+			fused := make([]byte, n)
+			maskSubInto(fused, a, b, mask)
+			for i := range fused {
+				if fused[i] != a[i]&mask-b[i] {
+					t.Fatalf("maskSubInto mask %#x len %d: byte %d = %#x, want %#x", mask, n, i, fused[i], a[i]&mask-b[i])
+				}
+			}
+			ref := append([]byte(nil), b...)
+			addInto(ref, fused)
+			maskInto(got, a, mask)
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("addInto(b, maskSubInto(a,b)) != maskInto(a) at mask %#x len %d", mask, n)
+			}
+		}
+	}
+}
+
+func TestMaskedEqualByteLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range kernelLens {
+		for _, mask := range []byte{0x00, 0x80, 0xF0, 0xFC, 0xFF} {
+			a := randBuf(rng, n)
+			ref := make([]byte, n)
+			maskInto(ref, a, mask)
+			if !maskedEqual(a, ref, mask) {
+				t.Fatalf("mask %#x len %d: raw pixels do not match their own quantized form", mask, n)
+			}
+			// Flip one masked-visible bit: must report unequal, at every
+			// position (body words and the byte tail both).
+			if mask == 0 {
+				continue // everything quantizes to zero; nothing is visible
+			}
+			bit := mask & -mask // lowest set bit survives quantization
+			for i := 0; i < n; i++ {
+				ref[i] ^= bit
+				if maskedEqual(a, ref, mask) {
+					t.Fatalf("mask %#x len %d: flip at %d not detected", mask, n, i)
+				}
+				ref[i] ^= bit
+			}
+			// Bits below the mask in a must be invisible.
+			if inv := ^mask; inv != 0 {
+				b := append([]byte(nil), a...)
+				for i := range b {
+					b[i] ^= inv & byte(rng.Intn(256))
+				}
+				if !maskedEqual(b, ref, mask) {
+					t.Fatalf("mask %#x len %d: sub-quantum noise broke equality", mask, n)
+				}
+			}
 		}
 	}
 }

@@ -75,6 +75,22 @@ type Hub struct {
 	// evictCtr mirrors evicted into the metrics registry (nil-safe).
 	evictCtr *obs.Counter
 
+	// tileCache is the content-addressed encoded-tile cache every v2 lane
+	// encoder shares: a tile's payload is a pure function of its content
+	// bytes, so one cache serves frame payloads, stripe refreshes and splice
+	// cuts across all lanes without affecting any bitstream byte.
+	tileCache *codec.TileCache
+
+	// Cache stat publication: TileCache keeps its own totals; the hub mirrors
+	// them into the registry as deltas after every encode and every splice,
+	// so a post-drain scrape is exact. cachePubMu orders concurrent
+	// publishers (lane loops, session send loops).
+	cachePubMu                       sync.Mutex
+	pubHits, pubMisses, pubEvictions int64
+	cacheHits                        *obs.Counter
+	cacheMisses                      *obs.Counter
+	cacheEvictions                   *obs.Counter
+
 	// Observability (nil-safe; see HubConfig.Trace/Metrics). The hub-level
 	// probe carries the shared renderer's and shared encoders' energy under
 	// session="shared"; per-viewer probes live on each hubSession.
@@ -189,6 +205,17 @@ type hubSession struct {
 // NewHub returns a hub ready to Run.
 func NewHub(cfg HubConfig) *Hub {
 	cfg.applyDefaults()
+	if cfg.Codec.BitstreamVersion() == 2 {
+		// Every lane encoder shares one content-addressed tile cache and
+		// rotates intra refreshes across frames instead of emitting periodic
+		// full keys (joiners still get spliced keys on demand). Both are
+		// bitstream-deterministic, so hub streams stay byte-identical across
+		// lane membership and worker counts.
+		if cfg.Codec.Cache == nil {
+			cfg.Codec.Cache = codec.NewTileCache(0)
+		}
+		cfg.Codec.StripeKeyframes = true
+	}
 	epoch := time.Now()
 	dom := realrt.NewDomainAt(epoch)
 	h := &Hub{
@@ -203,6 +230,13 @@ func NewHub(cfg HubConfig) *Hub {
 		tr:       cfg.Trace,
 		ins:      obs.NewFrameInstruments(cfg.Metrics),
 		evictCtr: cfg.Metrics.Counter(obs.NameSessionsEvicted),
+	}
+	h.tileCache = cfg.Codec.Cache
+	if reg := cfg.Metrics; reg != nil {
+		v := registerLiveVecs(reg)
+		h.cacheHits = v.cacheHits
+		h.cacheMisses = v.cacheMisses
+		h.cacheEvictions = v.cacheEvictions
 	}
 	h.probe = newSessionProbe(cfg.Metrics, "shared")
 	h.game.ExtraCost = cfg.RenderCost
@@ -427,6 +461,25 @@ func (h *Hub) drainRequested() bool {
 	default:
 		return false
 	}
+}
+
+// publishCacheStats mirrors the shared tile cache's running totals into the
+// registry counters as deltas. Callers invoke it right after any operation
+// that did cache lookups (a lane encode, a splice), so once the hub drains
+// the scraped counters equal the cache's totals exactly — that equality is
+// the soak's conservation invariant.
+func (h *Hub) publishCacheStats() {
+	if h.tileCache == nil {
+		return
+	}
+	hits, misses, evs := h.tileCache.Stats()
+	h.cachePubMu.Lock()
+	dh, dm, de := hits-h.pubHits, misses-h.pubMisses, evs-h.pubEvictions
+	h.pubHits, h.pubMisses, h.pubEvictions = hits, misses, evs
+	h.cachePubMu.Unlock()
+	h.cacheHits.Add(dh)
+	h.cacheMisses.Add(dm)
+	h.cacheEvictions.Add(de)
 }
 
 // Evicted returns how many sessions were cut for blowing a deadline.
@@ -759,7 +812,15 @@ func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArti
 		seq := ln.lastSeq
 		encIdx := ln.enc.Frames()
 		renderNanos := ln.lastRenderNanos
+		spliceTiles := ln.enc.LastSpliceTiles()
 		ln.encMu.Unlock()
+		h.publishCacheStats()
+		if err == nil {
+			// Counted whether or not the write below lands: the cache lookups
+			// happened at splice time, and the conservation invariant
+			// (hits+misses == dirty+spliced tiles) must stay exact.
+			ln.splicedTiles.Add(int64(spliceTiles))
+		}
 		if err != nil {
 			// The shared encoder cannot produce this viewer's frame; end
 			// the session through the same drain-aware teardown as a

@@ -400,3 +400,48 @@ func TestDownsampleKnownAverage(t *testing.T) {
 		t.Fatalf("alpha = %d, want 255", dst[3])
 	}
 }
+
+// TestHubTileCacheConservation pins the accounting contract the soak's cache
+// invariant scrapes: every payload tile of every shared encode and every
+// tile of every spliced frame does exactly one cache lookup, and the hub
+// publishes the cache's totals after each operation — so once the hub has
+// stopped, hits + misses == dirty tiles + spliced tiles, exactly.
+func TestHubTileCacheConservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	h, stop := startHub(t, HubConfig{Width: 64, Height: 36, TargetFPS: 240, Metrics: reg})
+	defer stop()
+
+	const clients = 4
+	cleanups := make([]func(), 0, clients)
+	clis := make([]*Client, 0, clients)
+	for i := 0; i < clients; i++ {
+		cli, _, clean := attachClient(t, h, 0)
+		clis = append(clis, cli)
+		cleanups = append(cleanups, clean)
+		// Stagger so late joiners splice keys mid-stream.
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, cli := range clis {
+		waitFrames(t, cli, 25, 15*time.Second)
+	}
+	for _, clean := range cleanups {
+		clean()
+	}
+	h.Stop()
+
+	hits := reg.Counter(NameCodecTileCacheHits).Value()
+	misses := reg.Counter(NameCodecTileCacheMisses).Value()
+	dirty := reg.CounterVec(NameTilesOutcome, "", "tile_outcome").With1("dirty").Value()
+	spliced := reg.CounterVec(NameHubSplicedTiles, "", "lane").With1("1").Value()
+	if hits+misses == 0 {
+		t.Fatal("hub streamed with zero cache lookups; cache not wired to lanes")
+	}
+	if hits+misses != dirty+spliced {
+		t.Fatalf("cache conservation broken: hits %d + misses %d = %d, want dirty %d + spliced %d = %d",
+			hits, misses, hits+misses, dirty, spliced, dirty+spliced)
+	}
+	keys := reg.CounterVec(NameHubSplicedKeyframes, "", "lane").With1("1").Value()
+	if keys > 0 && spliced == 0 {
+		t.Fatal("spliced keyframes recorded but no spliced tiles counted")
+	}
+}

@@ -98,6 +98,11 @@ type encLane struct {
 
 	scratch []byte // downsample target; encode-loop goroutine only
 
+	// nanosScratch receives the per-tile encode timings each frame; copied
+	// out of the encoder under encMu (the encoder's own slice is rewritten
+	// by the next encode) and read by the encode loop only.
+	nanosScratch []int64
+
 	// free recycles retired artifact bitstream buffers.
 	freeMu sync.Mutex
 	free   [][]byte
@@ -108,6 +113,7 @@ type encLane struct {
 	sharedEncodes *obs.Counter
 	splicedKeys   *obs.Counter
 	splicedDeltas *obs.Counter
+	splicedTiles  *obs.Counter
 }
 
 // lane returns the shared-encoder lane for a downscale divisor, creating it
@@ -168,6 +174,7 @@ func (h *Hub) lane(div int) *encLane {
 		ln.sharedEncodes = v.hubEncodes.With1(lane)
 		ln.splicedKeys = v.hubSplicedKeys.With1(lane)
 		ln.splicedDeltas = v.hubSplicedDeltas.With1(lane)
+		ln.splicedTiles = v.hubSplicedTiles.With1(lane)
 	}
 	var next []*encLane
 	if cur != nil {
@@ -283,8 +290,12 @@ func (ln *encLane) run() {
 		ln.lastSeq = f.Seq
 		ln.lastRenderNanos = int64(f.RenderEnd)
 		tiles, dirty := ln.enc.TileStats()
-		tileNanos := ln.enc.TileNanos()
+		// Copy the timings out while still holding encMu: the encoder's own
+		// slice is rewritten by the next encode (or a concurrent splice).
+		ln.nanosScratch = ln.enc.TileNanosAppend(ln.nanosScratch[:0])
+		tileNanos := ln.nanosScratch
 		ln.encMu.Unlock()
+		h.publishCacheStats()
 		encEnd := h.dom.Now()
 
 		h.tr.Span(obs.TrackProxy, "encode", f.Seq, start, encEnd)

@@ -46,6 +46,18 @@ const (
 	// NameHubSplicedDeltas counts per-session catch-up deltas spliced for
 	// viewers whose verbatim chain skipped frames (latest-wins drops).
 	NameHubSplicedDeltas = "odr_hub_spliced_deltas_total"
+	// NameHubSplicedTiles counts the payload-carrying tiles of every spliced
+	// frame (keys and deltas). Together with odr_tiles_outcome_total{dirty}
+	// it closes the tile-cache conservation invariant: with a cache wired,
+	// hits + misses == dirty tiles + spliced tiles, exactly.
+	NameHubSplicedTiles = "odr_hub_spliced_tiles_total"
+	// NameCodecTileCacheHits counts encoded-tile cache lookups served from
+	// the content-addressed cache (payload bytes reused, no RLE pass).
+	NameCodecTileCacheHits = "odr_codec_tile_cache_hits_total"
+	// NameCodecTileCacheMisses counts lookups that had to encode.
+	NameCodecTileCacheMisses = "odr_codec_tile_cache_misses_total"
+	// NameCodecTileCacheEvictions counts entries the LRU budget pushed out.
+	NameCodecTileCacheEvictions = "odr_codec_tile_cache_evictions_total"
 )
 
 // sessionFlushInterval paces gauge publication: the send loop records every
@@ -84,7 +96,10 @@ type liveVecs struct {
 	outcome                                 *obs.CounterVec
 
 	// Hub fan-out families, labeled by lane (the downscale divisor).
-	hubEncodes, hubSplicedKeys, hubSplicedDeltas *obs.CounterVec
+	hubEncodes, hubSplicedKeys, hubSplicedDeltas, hubSplicedTiles *obs.CounterVec
+
+	// Encoded-tile cache counters (unlabeled: one cache serves every lane).
+	cacheHits, cacheMisses, cacheEvictions *obs.Counter
 }
 
 // registerLiveVecs idempotently registers every live-session family in reg.
@@ -92,13 +107,24 @@ func registerLiveVecs(reg *obs.Registry) liveVecs {
 	reg.CounterVec(NameSessionsStarted,
 		"Streaming sessions started, by regulation policy and bitstream generation.",
 		"policy", "codec_version")
+	reg.SetHelp(NameCodecTileCacheHits,
+		"Encoded-tile cache lookups served from the content-addressed cache.")
+	reg.SetHelp(NameCodecTileCacheMisses,
+		"Encoded-tile cache lookups that had to run the entropy coder.")
+	reg.SetHelp(NameCodecTileCacheEvictions,
+		"Encoded-tile cache entries evicted by the LRU byte budget.")
 	return liveVecs{
+		cacheHits:      reg.Counter(NameCodecTileCacheHits),
+		cacheMisses:    reg.Counter(NameCodecTileCacheMisses),
+		cacheEvictions: reg.Counter(NameCodecTileCacheEvictions),
 		hubEncodes: reg.CounterVec(NameHubSharedEncodes,
 			"Frames encoded once by a hub lane's shared encoder and fanned out to every viewer on the lane.", "lane"),
 		hubSplicedKeys: reg.CounterVec(NameHubSplicedKeyframes,
 			"Per-session keyframes spliced from a hub lane's shared encoder state (late joiners, keyframe requests).", "lane"),
 		hubSplicedDeltas: reg.CounterVec(NameHubSplicedDeltas,
 			"Per-session catch-up deltas spliced from a hub lane's shared encoder state after latest-wins drops.", "lane"),
+		hubSplicedTiles: reg.CounterVec(NameHubSplicedTiles,
+			"Payload-carrying tiles across all spliced frames (keys and catch-up deltas).", "lane"),
 		fps: reg.GaugeVec(NameSessionFPS,
 			"Delivered frames per second over the live QoE window.", "session"),
 		mtp: reg.GaugeVec(NameSessionMtPMs,

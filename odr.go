@@ -260,9 +260,18 @@ type (
 	// ClientReport summarizes client-side measurements.
 	ClientReport = stream.Report
 	// CodecOptions configures the frame codec (quantization, keyframe
-	// interval, band-skip delta coding).
+	// interval, band-skip delta coding, keyframe striping, tile cache).
 	CodecOptions = codec.Options
+	// TileCache is the content-addressed encoded-tile cache v2 encoders can
+	// share (CodecOptions.Cache): a tile's payload is a pure function of its
+	// content bytes, so sharing one cache across encoders, lanes and worker
+	// counts never changes any bitstream byte.
+	TileCache = codec.TileCache
 )
+
+// NewTileCache returns a bounded shared tile cache (maxBytes <= 0 selects
+// the default budget).
+func NewTileCache(maxBytes int64) *TileCache { return codec.NewTileCache(maxBytes) }
 
 // The streaming regulation strategies.
 const (
@@ -350,6 +359,18 @@ const (
 	// NameHubSplicedDeltas counts catch-up deltas spliced for viewers a few
 	// frames behind the shared stream.
 	NameHubSplicedDeltas = stream.NameHubSplicedDeltas
+	// NameHubSplicedTiles counts payload-carrying tiles across all spliced
+	// frames; with the tile cache wired it closes the conservation identity
+	// cache hits + misses == dirty tiles + spliced tiles.
+	NameHubSplicedTiles = stream.NameHubSplicedTiles
+)
+
+// Encoded-tile cache metric names (unlabeled counters; one cache serves
+// every lane of a hub).
+const (
+	NameCodecTileCacheHits      = stream.NameCodecTileCacheHits
+	NameCodecTileCacheMisses    = stream.NameCodecTileCacheMisses
+	NameCodecTileCacheEvictions = stream.NameCodecTileCacheEvictions
 )
 
 // Observability re-exports: the frame-lifecycle tracer, the telemetry
