@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-codec bench-codec-check bench-hub bench-hub-check bench-go report artifacts fidelity examples trace soak soak-hub fuzz metrics-check clean
+.PHONY: all build test race bench bench-codec bench-codec-check bench-hub bench-hub-check bench-go report artifacts fidelity examples trace soak soak-hub soak-cluster fuzz metrics-check clean
 
 all: build test
 
@@ -28,6 +28,14 @@ soak:
 soak-hub:
 	$(GO) run -race ./cmd/odrsoak -fanout 1000 -width 48 -height 27 -fps 10 -schedule flaky -seed 1 -duration 15s
 
+# Cluster failover soak: a master places chaos-churned clients across three
+# in-process workers, one worker is killed and another drained mid-run;
+# invariants assert zero sessions lost, bounded resync gaps, byte-identical
+# pixels across migration, clean odr_cluster_* accounting and no goroutine
+# leaks. Runs under the race detector.
+soak-cluster:
+	$(GO) run -race ./cmd/odrsoak -cluster -workers 3 -clients 8 -schedule flaky -seed 1 -duration 15s
+
 # Fuzz smoke over the wire framing, the chaos schedule parser, the codec
 # bitstream decoders (v1 + v2 tile), the content-addressed tile cache, and
 # the metrics scrape parser.
@@ -40,12 +48,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzTileCache -fuzztime=10s -run '^$$' ./internal/codec
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/obs/scrape
 
-# Metrics-surface lint: pre-register every family the server can export and
-# hold the registry to the odr_<subsystem>_<noun>_<unit> naming convention
-# (the same lint gates odrserver startup).
+# Metrics-surface lint: pre-register every family the server and the cluster
+# master can export and hold the registries to the
+# odr_<subsystem>_<noun>_<unit> naming convention (the same lint gates
+# odrserver and odrmaster startup).
 metrics-check:
 	$(GO) run ./cmd/odrserver -metrics-lint
-	$(GO) test -run 'TestRegisterLiveMetricsIsLintClean|TestLint' ./internal/stream ./internal/obs
+	$(GO) run ./cmd/odrmaster -metrics-lint
+	$(GO) test -run 'TestRegisterLiveMetricsIsLintClean|TestLint|TestClusterMetricsLintClean' ./internal/stream ./internal/obs ./internal/cluster
 
 # Scheduler / cache / codec performance evidence -> BENCH_sched.json
 # (cells/sec sequential vs parallel, warm-cache speedup, allocs/op).

@@ -6,11 +6,19 @@
 //
 //	odrclient [-addr localhost:7311] [-duration 10s] [-apm 180] [-view]
 //	          [-stats 1s]
+//	odrclient -master localhost:7400 [-duration 10s] ...
 //
 // With -view, decoded frames are drawn live in the terminal as 24-bit ANSI
 // half-block art. With -stats, a one-line QoS summary (frames, FPS,
 // bitrate, motion-to-photon latency) is logged at the given interval while
 // playing.
+//
+// With -master, the client resolves its endpoint through an odrmaster
+// control plane instead of dialing -addr directly: every (re)connect asks
+// the master for a placement, so when a worker fails or is drained the
+// client redials, lands on a surviving worker, and resumes via the
+// keyframe-resync path. The final report then includes reconnects and
+// redirects.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"odr"
@@ -28,6 +37,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "localhost:7311", "server address")
+	master := flag.String("master", "", "resolve the server through this odrmaster control plane instead of -addr")
 	duration := flag.Duration("duration", 10*time.Second, "play time")
 	apm := flag.Float64("apm", 180, "actions per minute to inject (Poisson)")
 	seed := flag.Int64("seed", 1, "input-timing seed")
@@ -37,11 +47,27 @@ func main() {
 	rows := flag.Int("rows", 22, "terminal rows for -view")
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
+	var cli *odr.StreamClient
+	if *master != "" {
+		masterURL := *master
+		if !strings.Contains(masterURL, "://") {
+			masterURL = "http://" + masterURL
+		}
+		res := odr.NewClusterResolver(masterURL)
+		cli = odr.NewReconnectingStreamClient(res.Dial, odr.ReconnectPolicy{
+			IdleTimeout: 5 * time.Second,
+			// A worker drain says goodbye; re-resolve through the master and
+			// resume on whichever worker it places us on next.
+			RedialOnBye: true,
+			Seed:        *seed,
+		})
+	} else {
+		conn, err := net.Dial("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli = odr.NewStreamClient(conn)
 	}
-	cli := odr.NewStreamClient(conn)
 	if *view {
 		var r *ansi.Renderer
 		fmt.Print(ansi.Clear())
@@ -123,4 +149,8 @@ func main() {
 		rep.Frames, rep.FPS,
 		float64(rep.Bytes)*8/1e6/duration.Seconds(),
 		rep.MeanLatency, rep.P99Latency, rep.LatencySamples)
+	if *master != "" {
+		log.Printf("cluster: %d resync(s), %d reconnect(s), %d redirect(s)",
+			rep.Resyncs, rep.Reconnects, rep.Redirects)
+	}
 }

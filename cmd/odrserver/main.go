@@ -19,6 +19,15 @@
 // including the per-session QoE/energy series), /debug/vars (expvar) and
 // /debug/pprof/ (profiles).
 //
+// With -master, the server joins a cluster as a worker: it registers its
+// data-plane address with the odrmaster control plane, heartbeats with a
+// load report derived from its own /metrics surface (sessions, watts,
+// dirty-tile ratio), and obeys drain orders — the hub drains (orderly
+// goodbye per session), the worker deregisters, and the process exits while
+// clients re-resolve through the master onto surviving workers. -master
+// implies -hub. -advertise overrides the data-plane address registered with
+// the master when -addr is not dialable from clients (e.g. ":7311").
+//
 // -metrics-lint validates the full metric surface against the registry
 // naming conventions and exits (0 clean, 1 with violations printed); the
 // same lint also guards normal startup.
@@ -29,6 +38,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -41,7 +51,9 @@ import (
 	"time"
 
 	"odr"
+	"odr/internal/cluster"
 	"odr/internal/obs"
+	"odr/internal/obs/scrape"
 	"odr/internal/stream"
 )
 
@@ -111,6 +123,9 @@ func main() {
 	height := flag.Int("height", 360, "frame height")
 	once := flag.Bool("once", false, "serve a single client, then exit")
 	hubMode := flag.Bool("hub", false, "share one game across all clients (spectating)")
+	master := flag.String("master", "", "join this odrmaster control plane as a cluster worker (implies -hub)")
+	workerID := flag.String("worker-id", "", "stable worker ID for -master (default: the advertised address)")
+	advertise := flag.String("advertise", "", "data-plane address registered with -master (default: the listen address)")
 	bands := flag.Bool("bands", false, "legacy v1 band-skip delta coding (default: the v2 tile codec, which supersedes it)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/odr, /metrics, /debug/vars and /debug/pprof/ on this address")
 	metricsLint := flag.Bool("metrics-lint", false, "validate the metric naming conventions and exit")
@@ -118,6 +133,11 @@ func main() {
 
 	if *metricsLint {
 		os.Exit(lintMetrics())
+	}
+	if *master != "" {
+		// A cluster worker serves many migrating clients out of one shared
+		// game; private sessions cannot be re-placed.
+		*hubMode = true
 	}
 
 	var kind odr.StreamPolicy
@@ -175,16 +195,78 @@ func main() {
 	}
 
 	// Graceful shutdown: close the listener so Accept unblocks, stop the
-	// hub if any, then log the final telemetry summary.
+	// hub if any, then log the final telemetry summary. Both the signal
+	// handler and a cluster drain order end up here.
 	done := make(chan struct{})
+	var shutdownOnce sync.Once
+	shutdown := func(reason string) {
+		shutdownOnce.Do(func() {
+			log.Printf("%s: shutting down", reason)
+			close(done)
+			ln.Close()
+		})
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
-		log.Printf("received %v: shutting down", s)
-		close(done)
-		ln.Close()
-	}()
+	go func() { shutdown(fmt.Sprintf("received %v", <-sig)) }()
+
+	if *master != "" {
+		masterURL := *master
+		if strings.HasPrefix(masterURL, ":") {
+			masterURL = "127.0.0.1" + masterURL
+		}
+		if !strings.Contains(masterURL, "://") {
+			masterURL = "http://" + masterURL
+		}
+		adAddr := *advertise
+		if adAddr == "" {
+			adAddr = ln.Addr().String()
+			// ":7311" listens on every interface but is not dialable; give
+			// the master a loopback address unless told otherwise.
+			if h, p, err := net.SplitHostPort(adAddr); err == nil && (h == "" || h == "::") {
+				adAddr = net.JoinHostPort("127.0.0.1", p)
+			}
+		}
+		id := *workerID
+		if id == "" {
+			id = adAddr
+		}
+		agent := odr.NewClusterWorker(odr.ClusterWorkerConfig{
+			ID:        id,
+			MasterURL: masterURL,
+			Addr:      adAddr,
+			// The load report is derived from the same /metrics surface
+			// operators scrape: live session series, watts, dirty-tile ratio.
+			Load: func() cluster.LoadReport {
+				var buf bytes.Buffer
+				if err := obs.WritePrometheusWith(&buf, reg, false); err != nil {
+					return cluster.LoadReport{}
+				}
+				sc, err := scrape.ParseBytes(buf.Bytes())
+				if err != nil {
+					return cluster.LoadReport{}
+				}
+				return cluster.LoadFromScrape(sc)
+			},
+			OnDrain: func() {
+				log.Printf("cluster: drain ordered; draining hub")
+				if err := hub.Drain(15 * time.Second); err != nil {
+					log.Printf("cluster: hub drain: %v", err)
+				}
+			},
+			Logf: log.Printf,
+		})
+		defer agent.Stop()
+		go func() {
+			if err := agent.Run(); err != nil {
+				log.Printf("cluster: worker agent: %v", err)
+			}
+			// The agent only returns on Stop or after a completed drain; in
+			// the drain case the hub is empty and the process should exit.
+			shutdown("cluster: worker agent exited")
+		}()
+		log.Printf("cluster worker %s: data plane %s, master %s", id, adAddr, masterURL)
+	}
 	finish := func() {
 		if hub != nil {
 			hub.Stop() // logs its own summary via Logf

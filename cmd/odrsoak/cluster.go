@@ -1,0 +1,450 @@
+// Cluster soak (-cluster): master + in-process workers + churning clients,
+// with a worker killed and another drained mid-run.
+//
+// The run stands up an odrmaster-equivalent control plane and N worker
+// processes-in-miniature (each a hub behind a real TCP listener plus the
+// cluster worker agent, heartbeating load reports scraped from its own
+// metrics registry). Clients resolve every (re)connect through the master,
+// and their data-plane conns run a chaos schedule on the worker side, so the
+// stream churns exactly like the single-hub soak.
+//
+// At one third of the run the first worker is killed abruptly — control
+// transport dead, listener closed, live conns cut, hub stopped — the way a
+// machine dies. At two thirds, the last worker is ordered to drain, the way
+// a scale-down retires one. Every affected session must migrate: redial
+// through the master, land on a survivor, keyframe-resync, keep decoding.
+//
+// Invariants (nonzero exit on any failure):
+//
+//   - zero sessions lost: every client loop is still running at the end and
+//     exits cleanly on Stop — no client exhausted its retry budget, because
+//     a master-issued redirect resets it
+//   - post-migration progress: every client decodes frames after the drain,
+//     i.e. ends the run streaming from the surviving worker
+//   - bounded resync gap: no client ever waits longer than the gap bound
+//     between two decoded frames, through kill, drain and chaos alike
+//   - pixel identity: all workers render the same deterministic game
+//     losslessly, so every decoded frame must hash identically to the
+//     reference for its sequence number — across migrations too
+//   - cluster accounting: the kill detected as a worker failure and exactly
+//     one drain order in the master's odr_cluster_* counters, and exactly
+//     one alive worker in the final registry (the killed one dead, the
+//     drained one deregistered)
+//   - no goroutine leaks: after teardown the count returns to baseline
+package main
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odr"
+	"odr/internal/cluster"
+	"odr/internal/obs"
+	"odr/internal/obs/scrape"
+	"odr/internal/testutil"
+)
+
+// clusterGapBound is the resync-gap invariant: the longest a client may go
+// between two decoded frames, covering fault detection (idle timeout),
+// master failover (heartbeat deadline) and reconnect backoff.
+const clusterGapBound = 10 * time.Second
+
+// killableTransport is the worker agent's control transport; kill() makes
+// every subsequent RPC fail the way a dead machine's would, without the
+// orderly deregistration a Stop would send.
+type killableTransport struct {
+	mu    sync.Mutex
+	dead  bool
+	inner http.RoundTripper
+}
+
+func (t *killableTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	dead := t.dead
+	t.mu.Unlock()
+	if dead {
+		return nil, errors.New("node killed")
+	}
+	return t.inner.RoundTrip(r)
+}
+
+func (t *killableTransport) kill() {
+	t.mu.Lock()
+	t.dead = true
+	t.mu.Unlock()
+}
+
+// soakWorker is one in-process worker node: hub, data listener, agent.
+type soakWorker struct {
+	idx     int
+	id      string
+	hub     *odr.Hub
+	reg     *odr.MetricsRegistry
+	ln      net.Listener
+	agent   *odr.ClusterWorker
+	kt      *killableTransport
+	runDone chan error
+
+	mu      sync.Mutex
+	conns   []net.Conn
+	accepts int64
+	killed  bool
+}
+
+// startSoakWorker boots one worker: the accept loop wraps each data conn in
+// the chaos schedule with a per-(worker, conn) seed, so runs with the same
+// flags replay the same faults.
+func startSoakWorker(idx int, masterURL string, sched odr.ChaosSchedule, seed int64,
+	fps float64, width, height int, verbose bool) *soakWorker {
+	reg := odr.NewMetricsRegistry()
+	hubCfg := odr.HubConfig{
+		Width: width, Height: height, TargetFPS: fps,
+		// Lossless: pixel identity across migration is the invariant.
+		Codec:   odr.CodecOptions{QuantShift: 0},
+		Metrics: reg,
+	}
+	if verbose {
+		hubCfg.Logf = log.Printf
+	}
+	hub := odr.NewHub(hubCfg)
+	go hub.Run()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("odrsoak: worker listener: %v", err)
+	}
+	w := &soakWorker{
+		idx: idx, id: fmt.Sprintf("w%d", idx), hub: hub, reg: reg, ln: ln,
+		kt:      &killableTransport{inner: &http.Transport{DisableKeepAlives: true}},
+		runDone: make(chan error, 1),
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			w.mu.Lock()
+			if w.killed {
+				w.mu.Unlock()
+				c.Close()
+				continue
+			}
+			w.conns = append(w.conns, c)
+			w.accepts++
+			connSeed := seed + int64(idx)*10007 + w.accepts*101
+			w.mu.Unlock()
+			hub.Attach(odr.WrapChaos(c, sched, connSeed), 0, nil)
+		}
+	}()
+	w.agent = odr.NewClusterWorker(odr.ClusterWorkerConfig{
+		ID:        w.id,
+		MasterURL: masterURL,
+		Addr:      ln.Addr().String(),
+		// Load reports come off the worker's own metrics surface, the same
+		// way odrserver -master self-scrapes.
+		Load: func() cluster.LoadReport {
+			var buf strings.Builder
+			if err := obs.WritePrometheusWith(&buf, reg, false); err != nil {
+				return cluster.LoadReport{}
+			}
+			sc, err := scrape.ParseBytes([]byte(buf.String()))
+			if err != nil {
+				return cluster.LoadReport{}
+			}
+			return cluster.LoadFromScrape(sc)
+		},
+		OnDrain: func() {
+			if err := hub.Drain(10 * time.Second); err != nil {
+				log.Printf("odrsoak: worker %s drain: %v", w.id, err)
+			}
+		},
+		HTTPClient: &http.Client{Timeout: 2 * time.Second, Transport: w.kt},
+		Logf: func(format string, args ...any) {
+			if verbose {
+				log.Printf(format, args...)
+			}
+		},
+	})
+	go func() { w.runDone <- w.agent.Run() }()
+	return w
+}
+
+// kill simulates the machine dying: control plane unreachable, data listener
+// gone, live conns cut, hub stopped. No goodbye anywhere.
+func (w *soakWorker) kill() {
+	w.kt.kill()
+	w.mu.Lock()
+	w.killed = true
+	conns := w.conns
+	w.mu.Unlock()
+	w.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	w.hub.Stop()
+}
+
+// shutdown is the orderly end-of-run teardown.
+func (w *soakWorker) shutdown() {
+	w.agent.Stop()
+	select {
+	case <-w.runDone:
+	case <-time.After(10 * time.Second):
+		log.Printf("odrsoak: worker %s agent did not stop", w.id)
+	}
+	w.ln.Close()
+	w.hub.Stop()
+}
+
+// clusterClient is one resolving, churning viewer and its outcome state.
+type clusterClient struct {
+	idx        int
+	cli        *odr.StreamClient
+	runErr     chan error
+	mismatches int64
+	finalErr   error
+	hung       bool
+
+	mu        sync.Mutex
+	lastFrame time.Time
+	maxGap    time.Duration
+}
+
+// noteFrame updates the inter-frame gap bound tracking.
+func (c *clusterClient) noteFrame(now time.Time) {
+	c.mu.Lock()
+	if !c.lastFrame.IsZero() {
+		if gap := now.Sub(c.lastFrame); gap > c.maxGap {
+			c.maxGap = gap
+		}
+	}
+	c.lastFrame = now
+	c.mu.Unlock()
+}
+
+func (c *clusterClient) gap() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxGap
+}
+
+// runCluster is the -cluster mode entry point.
+func runCluster(clients, workers int, sched odr.ChaosSchedule, seed int64,
+	duration time.Duration, fps float64, width, height int, retry int, verbose bool) {
+	// One worker is killed and one drained, so at least one must survive to
+	// host the migrated sessions.
+	if workers < 3 {
+		log.Fatalf("odrsoak: -cluster needs at least 3 workers (have %d)", workers)
+	}
+	log.Printf("odrsoak: cluster mode: %d clients over %d workers, schedule %q, seed %d, %v at %dx%d@%.0ffps",
+		clients, workers, sched.String(), seed, duration, width, height, fps)
+
+	base := testutil.Snapshot()
+
+	// Control plane: a fast cadence so failover fits a short run, but a full
+	// second of deadline so a race-detector or CI scheduler stall does not
+	// flap healthy workers dead. Failover still completes well inside one
+	// phase: a client redialing a dead worker inflates its pending score with
+	// every placement, so the master redirects it to a survivor (resetting
+	// the retry budget) long before the deadline even expires.
+	clusterReg := odr.NewMetricsRegistry()
+	master := odr.NewClusterMaster(odr.ClusterMasterConfig{
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatDeadline: time.Second,
+		Metrics:           clusterReg,
+		Logf:              log.Printf,
+	})
+	go master.Run()
+	ctlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("odrsoak: control listener: %v", err)
+	}
+	ctlSrv := &http.Server{Handler: master.Handler()}
+	go ctlSrv.Serve(ctlLn)
+	masterURL := "http://" + ctlLn.Addr().String()
+
+	watchdog := time.AfterFunc(3*duration+time.Minute, func() {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		fmt.Fprintf(os.Stderr, "odrsoak: WATCHDOG: cluster run wedged; goroutine dump:\n%s\n", buf[:n])
+		os.Exit(2)
+	})
+
+	fleet := make([]*soakWorker, workers)
+	for i := range fleet {
+		fleet[i] = startSoakWorker(i, masterURL, sched, seed, fps, width, height, verbose)
+	}
+
+	ref := newRefTable(width, height)
+	ctlClient := &http.Client{Timeout: 2 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	all := make([]*clusterClient, clients)
+	for i := range all {
+		cc := &clusterClient{idx: i, runErr: make(chan error, 1)}
+		all[i] = cc
+		res := odr.NewClusterResolver(masterURL)
+		res.HTTPClient = ctlClient
+		cc.cli = odr.NewReconnectingStreamClient(res.Dial, odr.ReconnectPolicy{
+			MaxAttempts: retry,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+			IdleTimeout: 2 * time.Second,
+			Seed:        seed + int64(i),
+			// A drained worker's goodbye must trigger re-resolution, not a
+			// clean client exit — that is the migration path.
+			RedialOnBye: true,
+		})
+		cc.cli.OnFrame(func(seq uint64, pix []byte) {
+			cc.noteFrame(time.Now())
+			if seq == 0 {
+				return
+			}
+			if sha256.Sum256(pix) != ref.hash(seq) {
+				atomic.AddInt64(&cc.mismatches, 1)
+			}
+		})
+		go func(cc *clusterClient) { cc.runErr <- cc.cli.Run() }(cc)
+	}
+
+	// Phase 1: steady churn across the full fleet.
+	time.Sleep(duration / 3)
+
+	// Phase 2: the first worker dies. Its sessions and its heartbeats stop at
+	// the same instant; the master reaps it and clients fail over.
+	log.Printf("odrsoak: killing worker %s", fleet[0].id)
+	fleet[0].kill()
+	time.Sleep(duration / 3)
+
+	// Phase 3: the last worker is retired. Orderly: drain (goodbyes), the
+	// agent deregisters, its clients re-resolve onto the survivors.
+	drainee := fleet[workers-1]
+	log.Printf("odrsoak: draining worker %s", drainee.id)
+	if err := master.DrainWorker(drainee.id); err != nil {
+		log.Fatalf("odrsoak: drain order: %v", err)
+	}
+	framesAtDrain := make([]int64, clients)
+	for i, cc := range all {
+		framesAtDrain[i] = cc.cli.Report().Frames
+	}
+	time.Sleep(duration - 2*(duration/3))
+
+	// End of run: stop the clients first (they must all still be alive),
+	// then the fleet and the control plane.
+	finalWorkers := master.Workers()
+	for _, cc := range all {
+		cc.cli.Stop()
+	}
+	for _, cc := range all {
+		select {
+		case cc.finalErr = <-cc.runErr:
+		case <-time.After(20 * time.Second):
+			cc.hung = true
+		}
+	}
+	for _, w := range fleet {
+		w.shutdown()
+	}
+	ctlSrv.Close()
+	master.Stop()
+	ctlClient.CloseIdleConnections()
+	watchdog.Stop()
+	leakErr := base.Check(5 * time.Second)
+
+	// ----- Invariant report -------------------------------------------------
+	var frames, resyncs, reconnects, redirects, mismatches, lost, hung, stalled int64
+	var maxGap time.Duration
+	for i, cc := range all {
+		rep := cc.cli.Report()
+		frames += rep.Frames
+		resyncs += rep.Resyncs
+		reconnects += rep.Reconnects
+		redirects += rep.Redirects
+		mismatches += atomic.LoadInt64(&cc.mismatches)
+		if cc.hung {
+			hung++
+		}
+		if cc.finalErr != nil {
+			lost++
+		}
+		if rep.Frames <= framesAtDrain[i] {
+			stalled++
+		}
+		if g := cc.gap(); g > maxGap {
+			maxGap = g
+		}
+		if verbose {
+			log.Printf("client %2d: frames=%5d (+%4d post-drain) resyncs=%d reconnects=%d redirects=%d maxgap=%v err=%v hung=%v",
+				cc.idx, rep.Frames, rep.Frames-framesAtDrain[i], rep.Resyncs, rep.Reconnects,
+				rep.Redirects, cc.gap().Round(time.Millisecond), cc.finalErr, cc.hung)
+		}
+	}
+	log.Printf("totals: frames=%d resyncs=%d reconnects=%d redirects=%d", frames, resyncs, reconnects, redirects)
+
+	fail := 0
+	check := func(name string, ok bool, detail string) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+			fail++
+		}
+		log.Printf("%s  %-24s %s", verdict, name, detail)
+	}
+	check("liveness", hung == 0, fmt.Sprintf("%d/%d client loops exited", int64(len(all))-hung, len(all)))
+	check("zero-session-loss", lost == 0,
+		fmt.Sprintf("%d/%d clients survived kill+drain to the end", int64(len(all))-lost, len(all)))
+	check("post-migration-progress", stalled == 0,
+		fmt.Sprintf("%d/%d clients decoded frames after the drain", int64(len(all))-stalled, len(all)))
+	check("bounded-resync-gap", maxGap < clusterGapBound,
+		fmt.Sprintf("max inter-frame gap %v (bound %v)", maxGap.Round(time.Millisecond), clusterGapBound))
+	check("pixel-identity", mismatches == 0,
+		fmt.Sprintf("%d decoded frames, %d mismatched the reference across migrations", frames, mismatches))
+	check("frames-delivered", frames > 0, fmt.Sprintf("%d frames decoded", frames))
+	check("migration-exercised", redirects >= 1 && reconnects >= 1,
+		fmt.Sprintf("%d redirects, %d reconnects across the fleet", redirects, reconnects))
+
+	// Cluster accounting against the master's own odr_cluster_* instruments
+	// and final registry: the kill was detected (at least one failure —
+	// scheduler stalls can flap a healthy worker dead and back, which is
+	// master working as designed, so the count is a floor), exactly one
+	// drain order, and the fleet ends with exactly one alive worker — the
+	// killed one dead, the drained one deregistered.
+	failures := clusterReg.Counter(cluster.NameClusterWorkerFailures).Value()
+	drains := clusterReg.Counter(cluster.NameClusterDrains).Value()
+	alive, dead := 0, 0
+	for _, wi := range finalWorkers {
+		switch wi.State {
+		case "alive":
+			alive++
+		case "dead":
+			dead++
+		}
+	}
+	states := make([]string, 0, len(finalWorkers))
+	for _, wi := range finalWorkers {
+		states = append(states, wi.ID+"="+wi.State)
+	}
+	check("cluster-accounting",
+		failures >= 1 && drains == 1 && alive == workers-2 && dead == 1 && len(finalWorkers) == workers-1,
+		fmt.Sprintf("failures=%d drains=%d, final registry: %s", failures, drains, strings.Join(states, " ")))
+
+	leakDetail := "goroutines returned to baseline"
+	if leakErr != nil {
+		leakDetail = strings.SplitN(leakErr.Error(), "\n", 2)[0]
+	}
+	check("no-goroutine-leaks", leakErr == nil, leakDetail)
+
+	if fail > 0 {
+		log.Printf("odrsoak: FAIL (%d invariant(s) violated)", fail)
+		os.Exit(1)
+	}
+	log.Printf("odrsoak: PASS")
+}

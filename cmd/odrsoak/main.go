@@ -8,12 +8,19 @@
 //	odrsoak [-clients 8] [-schedule flaky] [-seed 1] [-duration 10s]
 //	        [-fps 240] [-width 64] [-height 36] [-retry 8] [-v]
 //	odrsoak -fanout 1000 [-width 48] [-height 27] [-fps 10] ...
+//	odrsoak -cluster [-workers 3] [-clients 8] ...
 //
 // With -fanout N the run switches to the encode-once scale test (see
 // fanout.go): N same-resolution viewers share one lane encoder, a slice of
 // them churns through chaos-wrapped reconnects, and the invariants assert
 // the hub encoded O(frames) — not O(viewers x frames) — while every viewer
 // decoded byte-identical pixels.
+//
+// With -cluster the run switches to the control-plane failover test (see
+// cluster.go): an odrmaster-equivalent master places chaos-churned clients
+// across -workers in-process workers, one worker is killed and another
+// drained mid-run, and the invariants assert zero sessions lost, bounded
+// resync gaps, pixel identity across migration and clean cluster accounting.
 //
 // The run finishes with a pass/fail invariant report and a nonzero exit on
 // any failure:
@@ -123,6 +130,8 @@ func main() {
 	height := flag.Int("height", 36, "frame height")
 	retry := flag.Int("retry", 8, "per-client consecutive reconnect budget")
 	fanout := flag.Int("fanout", 0, "fan-out mode: attach this many shared-lane viewers instead of the classic churn run")
+	clusterMode := flag.Bool("cluster", false, "cluster mode: master + workers with a mid-run kill and drain (see cluster.go)")
+	workers := flag.Int("workers", 3, "worker count for -cluster")
 	verbose := flag.Bool("v", false, "log per-client progress")
 	flag.Parse()
 
@@ -134,6 +143,10 @@ func main() {
 	}
 	if *fanout > 0 {
 		runFanout(*fanout, sched, *seed, *duration, *fps, *width, *height, *retry, *verbose)
+		return
+	}
+	if *clusterMode {
+		runCluster(*clients, *workers, sched, *seed, *duration, *fps, *width, *height, *retry, *verbose)
 		return
 	}
 	log.Printf("odrsoak: %d clients, schedule %q -> %q, seed %d, %v at %dx%d@%.0ffps",

@@ -62,6 +62,13 @@ type Conn struct {
 	disconnected      bool
 	readDeadline      time.Time
 
+	// Node-fault state (Crash, Partition, HeartbeatDelay).
+	nodeHook    func()    // OnNodeFault; run (async) when Crash fires
+	partForever bool      // permanent partition in effect
+	partUntil   time.Time // healing partition in effect until this instant
+	hbDelayLeft int       // writes still to delay by hbDelayDur
+	hbDelayDur  time.Duration
+
 	events []Event
 }
 
@@ -81,6 +88,22 @@ func Wrap(conn net.Conn, sched Schedule, seed int64) *Conn {
 
 // Schedule returns the schedule this conn runs under.
 func (c *Conn) Schedule() Schedule { return c.sched }
+
+// OnNodeFault registers fn to run when a Crash step fires. A cluster harness
+// hooks process death here — hard-close the worker's listener and every live
+// session. fn runs on its own goroutine so it may close conns (including this
+// one) without deadlocking the write that fired the fault.
+func (c *Conn) OnNodeFault(fn func()) {
+	c.mu.Lock()
+	c.nodeHook = fn
+	c.mu.Unlock()
+}
+
+// partitionedLocked reports whether a partition is currently in effect;
+// callers hold c.mu.
+func (c *Conn) partitionedLocked() bool {
+	return c.partForever || (!c.partUntil.IsZero() && time.Now().Before(c.partUntil))
+}
 
 // Events returns a copy of the fault event log so far.
 func (c *Conn) Events() []Event {
@@ -115,6 +138,7 @@ type writeEffects struct {
 	drop       bool
 	corruptPos int // -1 = no corruption
 	disconnect bool
+	crash      bool // disconnect was a Crash: run the node-fault hook too
 }
 
 // fireLocked fires every armed step of the given side whose shifted offset
@@ -158,6 +182,24 @@ func (c *Conn) fireLocked(readSide bool, off int64, stall *time.Duration, eff *w
 			case HalfOpen:
 				c.halfOpen = true
 				c.recordLocked(st.Kind, off, "")
+			case Crash:
+				if eff != nil {
+					eff.disconnect = true
+					eff.crash = true
+				}
+				c.recordLocked(st.Kind, off, "")
+			case Partition:
+				if st.Dur > 0 {
+					c.partUntil = time.Now().Add(st.Dur)
+					c.recordLocked(st.Kind, off, fmt.Sprintf("dur=%s", st.Dur))
+				} else {
+					c.partForever = true
+					c.recordLocked(st.Kind, off, "")
+				}
+			case HeartbeatDelay:
+				c.hbDelayLeft += st.Count
+				c.hbDelayDur = st.Dur
+				c.recordLocked(st.Kind, off, fmt.Sprintf("dur=%s n=%d", st.Dur, st.Count))
 			}
 		}
 		c.armed = rest
@@ -209,12 +251,23 @@ func (c *Conn) Write(p []byte) (int, error) {
 	eff := writeEffects{corruptPos: -1}
 	c.fireLocked(false, c.writeOff, nil, &eff)
 	c.writeOff += int64(len(p))
+	var hook func()
+	if eff.crash {
+		hook = c.nodeHook
+	}
 	if eff.disconnect {
 		c.disconnected = true
+	} else if c.partitionedLocked() {
+		// Blackholed: the write "succeeds" locally, nothing crosses.
+		eff.drop = true
 	} else if c.lossLeft > 0 {
 		c.lossLeft--
 		eff.drop = true
 	} else {
+		if c.hbDelayLeft > 0 {
+			c.hbDelayLeft--
+			eff.stall += c.hbDelayDur
+		}
 		if c.corruptLeft > 0 && len(p) > 0 {
 			c.corruptLeft--
 			eff.corruptPos = c.rng.Intn(len(p))
@@ -237,6 +290,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 
 	switch {
 	case eff.disconnect:
+		if hook != nil {
+			go hook()
+		}
 		c.inner.Close()
 		return 0, ErrInjected
 	case eff.drop:
@@ -276,6 +332,8 @@ func (c *Conn) Read(p []byte) (int, error) {
 	c.fireLocked(true, c.readOff, &stall, nil)
 	halfOpen := c.halfOpen
 	deadline := c.readDeadline
+	partForever := c.partForever
+	partUntil := c.partUntil
 	c.mu.Unlock()
 
 	if stall > 0 {
@@ -289,7 +347,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 			return 0, err
 		}
 	}
-	if halfOpen {
+	if halfOpen || partForever {
 		// The peer's bytes never arrive: block until the deadline or Close.
 		if deadline.IsZero() {
 			<-c.done
@@ -299,6 +357,19 @@ func (c *Conn) Read(p []byte) (int, error) {
 			return 0, err
 		}
 		return 0, os.ErrDeadlineExceeded
+	}
+	if !partUntil.IsZero() && time.Now().Before(partUntil) {
+		// A healing partition: nothing is delivered until it heals, the
+		// deadline fires, or the conn closes.
+		if !deadline.IsZero() && deadline.Before(partUntil) {
+			if err := c.sleep(time.Until(deadline)); err != nil {
+				return 0, err
+			}
+			return 0, os.ErrDeadlineExceeded
+		}
+		if err := c.sleep(time.Until(partUntil)); err != nil {
+			return 0, err
+		}
 	}
 	n, err := c.inner.Read(p)
 	c.mu.Lock()

@@ -291,6 +291,193 @@ func TestStallInterruptedByClose(t *testing.T) {
 	}
 }
 
+// TestNodeFaultEventLogPinned drives fixed traffic through the node-level
+// fault kinds and pins the exact event log, exactly like TestEventLogPinned
+// does for the link-level kinds. Blackholed writes during a partition are
+// deliberately not logged (their count would depend on wall-clock healing),
+// so the log stays a pure function of (schedule, seed, traffic).
+func TestNodeFaultEventLogPinned(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sched := MustParse("hbdelay@0:1msx2,mpart@200:50ms,crash@400")
+	fc, cleanup := drainPair(t, sched, 1, nil)
+	defer cleanup()
+
+	payload := make([]byte, 100)
+	var lastErr error
+	for i := 0; i < 5; i++ {
+		if _, err := fc.Write(payload); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr != ErrInjected {
+		t.Fatalf("final write error = %v, want ErrInjected", lastErr)
+	}
+	want := strings.Join([]string{
+		"0 hbdelay off=0 dur=1ms n=2",
+		"1 mpart off=200 dur=50ms",
+		"2 crash off=400",
+	}, "\n")
+	if got := fc.EventLog(); got != want {
+		t.Fatalf("event log mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCrashFiresNodeFaultHook: a crash step must run the OnNodeFault hook
+// (asynchronously) and kill the conn like a disconnect.
+func TestCrashFiresNodeFaultHook(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	fc := Wrap(sc, MustParse("crash@0"), 1)
+	defer fc.Close()
+	fired := make(chan struct{})
+	fc.OnNodeFault(func() { close(fired) })
+	if _, err := fc.Write([]byte("x")); err != ErrInjected {
+		t.Fatalf("crash write error = %v, want ErrInjected", err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnNodeFault hook never ran")
+	}
+	if _, err := fc.Write([]byte("y")); err != ErrInjected {
+		t.Fatalf("post-crash write error = %v, want ErrInjected", err)
+	}
+}
+
+// TestPartitionBlackholesWrites: from the firing offset until the partition
+// heals, writes succeed locally but nothing crosses the link; after healing
+// traffic flows again.
+func TestPartitionBlackholesWrites(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var sink bytes.Buffer
+	fc, cleanup := drainPair(t, MustParse("mpart@64:80ms"), 1, &sink)
+	a := bytes.Repeat([]byte{'a'}, 64)
+	b := bytes.Repeat([]byte{'b'}, 64)
+	c := bytes.Repeat([]byte{'c'}, 64)
+	if _, err := fc.Write(a); err != nil { // delivered: partition not yet armed
+		t.Fatal(err)
+	}
+	if _, err := fc.Write(b); err != nil { // fires the partition: blackholed
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond) // let it heal
+	if _, err := fc.Write(c); err != nil {
+		t.Fatal(err)
+	}
+	cleanup()
+	got := sink.String()
+	want := strings.Repeat("a", 64) + strings.Repeat("c", 64)
+	if got != want {
+		t.Fatalf("partition delivered %q, want the blackholed write dropped", got)
+	}
+}
+
+// TestPartitionBlocksReadsUntilHeal: during a healing partition nothing is
+// delivered to Read; once it heals the peer's bytes arrive.
+func TestPartitionBlocksReadsUntilHeal(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	fc := Wrap(sc, MustParse("mpart@0:60ms"), 1)
+	defer fc.Close()
+	if _, err := fc.Write([]byte("x")); err != nil { // fires the partition
+		t.Fatal(err)
+	}
+	go cc.Write([]byte("hello"))
+	start := time.Now()
+	buf := make([]byte, 16)
+	n, err := fc.Read(buf)
+	if err != nil {
+		t.Fatalf("post-heal read: %v", err)
+	}
+	if got := string(buf[:n]); got != "hello" {
+		t.Fatalf("post-heal read delivered %q", got)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("read returned after %v, want ~60ms partition block", elapsed)
+	}
+}
+
+// TestPermanentPartitionRespectsReadDeadline: a bare mpart never heals, so a
+// deadline-bounded read must time out (the master's liveness check path).
+func TestPermanentPartitionRespectsReadDeadline(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	fc := Wrap(sc, MustParse("mpart@0"), 1)
+	defer fc.Close()
+	if _, err := fc.Write([]byte("x")); err != nil { // fires the partition
+		t.Fatal(err)
+	}
+	if err := fc.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := fc.Read(make([]byte, 16))
+	if err != os.ErrDeadlineExceeded {
+		t.Fatalf("partitioned read error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("partitioned read returned after %v, want ~50ms block", elapsed)
+	}
+}
+
+// TestHeartbeatDelayDelaysWrites: each of the next Count writes is delayed by
+// Dur — the late-heartbeat fault on a control conn.
+func TestHeartbeatDelayDelaysWrites(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var sink bytes.Buffer
+	fc, cleanup := drainPair(t, MustParse("hbdelay@0:40msx2"), 1, &sink)
+	start := time.Now()
+	if _, err := fc.Write([]byte("hb1")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("delayed heartbeat returned after %v, want >= ~40ms", elapsed)
+	}
+	if _, err := fc.Write([]byte("hb2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write([]byte("hb3")); err != nil {
+		t.Fatal(err)
+	}
+	cleanup()
+	// All three heartbeats are delivered — delayed, never dropped.
+	if got := sink.String(); got != "hb1hb2hb3" {
+		t.Fatalf("delivered %q, want all heartbeats", got)
+	}
+}
+
+// TestNodeFaultRoundTrip pins the String() rendering of the node-fault steps
+// as a Parse fixed point.
+func TestNodeFaultRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"crash@65536",
+		"mpart@400",
+		"mpart@400:250ms",
+		"hbdelay@0:120ms",
+		"hbdelay@0:120msx3",
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := s.String(); got != spec {
+			t.Fatalf("round trip %q -> %q", spec, got)
+		}
+	}
+	// A zero healing time renders as the permanent form — still a fixed point.
+	s, err := Parse("mpart@5:0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "mpart@5" {
+		t.Fatalf("mpart@5:0s rendered %q, want mpart@5", got)
+	}
+}
+
 func TestNamedSchedulesParse(t *testing.T) {
 	for _, name := range NamedSchedules() {
 		s, err := Named(name)
@@ -316,20 +503,26 @@ func TestNamedSchedulesParse(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
-		"latency",            // missing offset
-		"latency@x:1ms",      // bad offset
-		"latency@0",          // missing duration
-		"latency@0:zz",       // bad duration
-		"bw@0",               // missing rate
-		"bw@0:fast",          // bad rate
-		"loss@0x0",           // zero count
-		"disc@0:1ms",         // disc takes no parameter
-		"disc@0x2",           // disc takes no count
-		"loop@0",             // loop period must be positive
-		"warp@0",             // unknown kind
-		"latency@-5:1ms",     // negative offset
-		"latency@0:1msx3",    // latency takes no count
-		"corrupt@0:1ms",      // corrupt takes no parameter
+		"latency",         // missing offset
+		"latency@x:1ms",   // bad offset
+		"latency@0",       // missing duration
+		"latency@0:zz",    // bad duration
+		"bw@0",            // missing rate
+		"bw@0:fast",       // bad rate
+		"loss@0x0",        // zero count
+		"disc@0:1ms",      // disc takes no parameter
+		"disc@0x2",        // disc takes no count
+		"loop@0",          // loop period must be positive
+		"warp@0",          // unknown kind
+		"latency@-5:1ms",  // negative offset
+		"latency@0:1msx3", // latency takes no count
+		"corrupt@0:1ms",   // corrupt takes no parameter
+		"crash@0:1ms",     // crash takes no parameter
+		"crash@0x2",       // crash takes no count
+		"mpart@0x2",       // mpart takes no count
+		"mpart@0:zz",      // bad healing duration
+		"hbdelay@0",       // missing duration
+		"hbdelay@0:-1ms",  // negative duration
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted", spec)
@@ -345,6 +538,10 @@ func FuzzParseSchedule(f *testing.F) {
 	}
 	f.Add("latency@0:5ms,bw@65536:262144,loss@100x3,corrupt@200,stallr@300:1ms,stallw@400:2ms,disc@500,halfopen@600,loop@1000")
 	f.Add("loss@@0,")
+	f.Add("crash@65536,mpart@400:250ms,hbdelay@0:120msx3")
+	f.Add("mpart@0")
+	f.Add("mpart@5:0s")
+	f.Add("hbdelay@9:1h0m0sx2")
 	f.Fuzz(func(t *testing.T, spec string) {
 		s, err := Parse(spec)
 		if err != nil {

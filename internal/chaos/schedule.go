@@ -14,7 +14,8 @@
 //
 //	spec  := "" | step ("," step)*
 //	step  := kind "@" offset [":" param] ["x" count]
-//	kind  := latency | bw | loss | corrupt | stallr | stallw | disc | halfopen | loop
+//	kind  := latency | bw | loss | corrupt | stallr | stallw | disc | halfopen |
+//	         crash | mpart | hbdelay | loop
 //
 // offset is the cumulative byte offset (writes for write-side kinds, reads
 // for stallr/halfopen) at which the step arms. param is a Go duration for
@@ -32,6 +33,17 @@
 //	loss@49152x2,corrupt@98304       — two writes dropped, then a byte flipped
 //	stallw@32768:80ms,disc@147456    — a write stall, then a mid-stream cut
 //	halfopen@65536                   — reads go dark after 64 KiB (writes live)
+//
+// Node-level faults (the cluster fault model) use the same grammar:
+//
+//	crash@65536                      — node crash: the conn's OnNodeFault hook
+//	                                   fires (the harness hard-closes the
+//	                                   worker's listener) and the conn dies
+//	mpart@400                        — permanent partition: writes blackhole,
+//	                                   reads go dark (master⇄worker split)
+//	mpart@400:250ms                  — partition that heals after 250ms
+//	hbdelay@0:120msx3                — the next 3 writes (heartbeats, on a
+//	                                   control conn) are each delayed 120ms
 package chaos
 
 import (
@@ -70,17 +82,37 @@ const (
 	// HalfOpen stops delivering reads (they block until deadline or close)
 	// while writes keep succeeding — a half-open partition.
 	HalfOpen
+	// Crash is a node-level fault: when it fires, the conn's OnNodeFault
+	// hook runs (a cluster harness uses it to hard-close the worker's
+	// listener and every session — process death, no drain, no goodbye)
+	// and the conn itself dies like Disconnect.
+	Crash
+	// Partition is a two-way partition from the firing offset on: writes
+	// are silently blackholed and reads deliver nothing (blocking until
+	// the read deadline, Close, or the partition healing). Dur > 0 heals
+	// the partition after that long; Dur 0 is permanent. Wrapped around a
+	// control-plane conn it is the master⇄worker split of the cluster
+	// fault model; on a data conn it isolates one viewer.
+	Partition
+	// HeartbeatDelay delays each of the next Count writes by Dur. On a
+	// control conn where each write is one heartbeat request this is the
+	// late-heartbeat fault: Dur below the master's deadline must be
+	// tolerated, Dur beyond it must trigger failover.
+	HeartbeatDelay
 )
 
 var kindNames = map[Kind]string{
-	Latency:    "latency",
-	Bandwidth:  "bw",
-	Loss:       "loss",
-	Corrupt:    "corrupt",
-	StallRead:  "stallr",
-	StallWrite: "stallw",
-	Disconnect: "disc",
-	HalfOpen:   "halfopen",
+	Latency:        "latency",
+	Bandwidth:      "bw",
+	Loss:           "loss",
+	Corrupt:        "corrupt",
+	StallRead:      "stallr",
+	StallWrite:     "stallw",
+	Disconnect:     "disc",
+	HalfOpen:       "halfopen",
+	Crash:          "crash",
+	Partition:      "mpart",
+	HeartbeatDelay: "hbdelay",
 }
 
 // String implements fmt.Stringer.
@@ -101,11 +133,13 @@ type Step struct {
 	// At is the cumulative stream offset (bytes written, or read for
 	// read-side kinds) at which the step fires.
 	At int64
-	// Dur parameterizes Latency, StallRead and StallWrite.
+	// Dur parameterizes Latency, StallRead, StallWrite and HeartbeatDelay;
+	// for Partition it is the healing time (0 = permanent).
 	Dur time.Duration
 	// Rate parameterizes Bandwidth (bytes/second; 0 = unlimited).
 	Rate float64
-	// Count is how many writes Loss/Corrupt affect (default 1).
+	// Count is how many writes Loss/Corrupt/HeartbeatDelay affect
+	// (default 1).
 	Count int
 }
 
@@ -119,6 +153,15 @@ func (s Step) String() string {
 	case Bandwidth:
 		fmt.Fprintf(&b, ":%d", int64(s.Rate))
 	case Loss, Corrupt:
+		if s.Count > 1 {
+			fmt.Fprintf(&b, "x%d", s.Count)
+		}
+	case Partition:
+		if s.Dur > 0 {
+			fmt.Fprintf(&b, ":%s", s.Dur)
+		}
+	case HeartbeatDelay:
+		fmt.Fprintf(&b, ":%s", s.Dur)
 		if s.Count > 1 {
 			fmt.Fprintf(&b, "x%d", s.Count)
 		}
@@ -196,7 +239,7 @@ func Parse(spec string) (Schedule, error) {
 		}
 		step := Step{Kind: kind, At: off, Count: count}
 		switch kind {
-		case Latency, StallRead, StallWrite:
+		case Latency, StallRead, StallWrite, HeartbeatDelay:
 			if !hasParam {
 				return s, fmt.Errorf("chaos: step %q: %s needs a duration", tok, kind)
 			}
@@ -214,14 +257,24 @@ func Parse(spec string) (Schedule, error) {
 				return s, fmt.Errorf("chaos: step %q: bad rate %q", tok, param)
 			}
 			step.Rate = float64(r)
+		case Partition:
+			// The healing time is optional: a bare mpart is permanent.
+			if hasParam {
+				d, err := time.ParseDuration(param)
+				if err != nil || d < 0 {
+					return s, fmt.Errorf("chaos: step %q: bad duration %q", tok, param)
+				}
+				step.Dur = d
+			}
 		default:
 			if hasParam {
 				return s, fmt.Errorf("chaos: step %q: %s takes no parameter", tok, kind)
 			}
 		}
-		if step.Count == 0 && (kind == Loss || kind == Corrupt) {
+		counted := kind == Loss || kind == Corrupt || kind == HeartbeatDelay
+		if step.Count == 0 && counted {
 			step.Count = 1
-		} else if count > 0 && kind != Loss && kind != Corrupt {
+		} else if count > 0 && !counted {
 			return s, fmt.Errorf("chaos: step %q: %s takes no count", tok, kind)
 		}
 		s.Steps = append(s.Steps, step)

@@ -1,0 +1,557 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odr/internal/chaos"
+	"odr/internal/obs"
+	"odr/internal/stream"
+	"odr/internal/testutil"
+)
+
+// ---------------------------------------------------------------------------
+// Cluster failure matrix: every node-level chaos fault × every control-plane
+// operation, with an explicit expected outcome per cell. The faults land on
+// the victim worker's control link (the master never misbehaves — worker
+// failure is the paper's fault model for consolidation), through the same
+// chaos grammar the conn-level matrix uses:
+//
+//   crash   — the node dies: its next control write fires the chaos node-fault
+//             hook, which tears down the data plane too (listener, conns, hub)
+//   mpart   — the control link partitions: heartbeats blackhole, the data
+//             plane keeps running
+//   hbdelay — heartbeats are delayed but delivered inside the deadline
+//
+// Operations and expected outcomes:
+//
+//   op          crash               mpart                 hbdelay
+//   placement   re-place(survivor)  re-place(survivor)    tolerate(victim)
+//   steady      resume(redirect)    tolerate + revive     tolerate
+//   drain       evict(dead)         drain-after-heal      tolerate(late drain)
+//   migration   resume(redirect)    resume(bye+redirect)  resume(bye+redirect)
+// ---------------------------------------------------------------------------
+
+const (
+	clusterSeed     = 1
+	hbInterval      = 25 * time.Millisecond
+	hbDeadline      = 400 * time.Millisecond
+	ctlTimeout      = 80 * time.Millisecond
+	partitionWindow = 100 * time.Millisecond
+	matrixWait      = 10 * time.Second
+)
+
+// faultDialer dials control conns for the victim worker, wrapping each one
+// with the currently-armed chaos schedule. Keep-alives are disabled on the
+// transport, so every control RPC dials fresh and sees the schedule armed at
+// that moment.
+type faultDialer struct {
+	mu    sync.Mutex
+	sched *chaos.Schedule
+	hook  func() // chaos node-fault hook: tears down the victim's data plane
+}
+
+func (d *faultDialer) arm(spec string) {
+	sched := chaos.MustParse(spec)
+	d.mu.Lock()
+	d.sched = &sched
+	d.mu.Unlock()
+}
+
+func (d *faultDialer) heal() {
+	d.mu.Lock()
+	d.sched = nil
+	d.mu.Unlock()
+}
+
+func (d *faultDialer) setHook(fn func()) {
+	d.mu.Lock()
+	d.hook = fn
+	d.mu.Unlock()
+}
+
+func (d *faultDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	var nd net.Dialer
+	c, err := nd.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	sched, hook := d.sched, d.hook
+	d.mu.Unlock()
+	if sched == nil {
+		return c, nil
+	}
+	fc := chaos.Wrap(c, *sched, clusterSeed)
+	if hook != nil {
+		fc.OnNodeFault(hook)
+	}
+	return fc, nil
+}
+
+// testNode is one worker: a streaming hub behind a real TCP listener plus the
+// control-plane agent.
+type testNode struct {
+	t       *testing.T
+	id      string
+	hub     *stream.Hub
+	ln      net.Listener
+	agent   *Worker
+	runDone chan error
+	drained atomic.Bool
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	killed bool
+}
+
+// startNode boots the hub, the accept loop and the agent. bias inflates the
+// node's reported session count so placement prefers its peer.
+func startNode(t *testing.T, masterURL, id string, bias int, client *http.Client) *testNode {
+	t.Helper()
+	hub := stream.NewHub(stream.HubConfig{Width: 32, Height: 18, TargetFPS: 240})
+	go hub.Run()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &testNode{t: t, id: id, hub: hub, ln: ln, runDone: make(chan error, 1)}
+	go n.serve()
+	n.agent = NewWorker(WorkerConfig{
+		ID:        id,
+		MasterURL: masterURL,
+		Addr:      ln.Addr().String(),
+		Load: func() LoadReport {
+			return LoadReport{Sessions: hub.Clients() + bias}
+		},
+		OnDrain: func() {
+			n.drained.Store(true)
+			hub.Drain(2 * time.Second)
+		},
+		HTTPClient: client,
+		Logf:       t.Logf,
+	})
+	go func() { n.runDone <- n.agent.Run() }()
+	t.Cleanup(n.stop)
+	return n
+}
+
+func (n *testNode) serve() {
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.killed {
+			n.mu.Unlock()
+			c.Close()
+			continue
+		}
+		n.conns = append(n.conns, c)
+		n.mu.Unlock()
+		n.hub.Attach(c, 0, nil)
+	}
+}
+
+// killData simulates the node dying: data listener gone, live conns cut, hub
+// stopped. It is the chaos crash hook for the victim, and every node's final
+// teardown. Idempotent.
+func (n *testNode) killData() {
+	n.mu.Lock()
+	if n.killed {
+		n.mu.Unlock()
+		return
+	}
+	n.killed = true
+	conns := n.conns
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.hub.Stop()
+}
+
+func (n *testNode) stop() {
+	n.agent.Stop()
+	select {
+	case <-n.runDone:
+	case <-time.After(matrixWait):
+		n.t.Errorf("worker %s agent did not stop", n.id)
+	}
+	n.killData()
+}
+
+// harness is one matrix cell's world: a master with a fast heartbeat cadence,
+// a victim worker whose control link runs under the armed chaos schedule, and
+// a clean survivor that placement avoids (load bias) until the victim fails.
+type harness struct {
+	t        *testing.T
+	reg      *obs.Registry
+	master   *Master
+	srv      *httptest.Server
+	dialer   *faultDialer
+	victim   *testNode
+	survivor *testNode
+	httpc    *http.Client // resolver-side control client
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	testutil.VerifyNoLeaks(t)
+	reg := obs.NewRegistry()
+	m := NewMaster(MasterConfig{
+		HeartbeatInterval: hbInterval,
+		HeartbeatDeadline: hbDeadline,
+		Metrics:           reg,
+		Logf:              t.Logf,
+	})
+	go m.Run()
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		m.Stop()
+	})
+	dialer := &faultDialer{}
+	victimCtl := &http.Client{
+		Timeout:   ctlTimeout,
+		Transport: &http.Transport{DialContext: dialer.DialContext, DisableKeepAlives: true},
+	}
+	survivorCtl := &http.Client{
+		Timeout:   2 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	httpc := &http.Client{
+		Timeout:   2 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	h := &harness{t: t, reg: reg, master: m, srv: srv, dialer: dialer, httpc: httpc}
+	h.victim = startNode(t, srv.URL, "victim", 0, victimCtl)
+	dialer.setHook(h.victim.killData)
+	h.survivor = startNode(t, srv.URL, "survivor", 10, survivorCtl)
+	h.waitState("victim", "alive")
+	h.waitState("survivor", "alive")
+	return h
+}
+
+// state returns a worker's registry state, or "" when deregistered.
+func (h *harness) state(id string) string {
+	for _, w := range h.master.Workers() {
+		if w.ID == id {
+			return w.State
+		}
+	}
+	return ""
+}
+
+// waitState polls until the worker reaches the wanted state ("" = gone).
+func (h *harness) waitState(id, want string) {
+	h.t.Helper()
+	deadline := time.Now().Add(matrixWait)
+	for time.Now().Before(deadline) {
+		if h.state(id) == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.t.Fatalf("worker %s never reached state %q (now %q)", id, want, h.state(id))
+}
+
+// placements reads the master's placement counter for one worker.
+func (h *harness) placements(id string) int64 {
+	return h.master.met.placements.With1(id).Value()
+}
+
+// startClient runs a reconnecting stream client whose dial resolves through
+// the master — the full redirect-reconnect-keyreq path.
+func (h *harness) startClient() (*stream.Client, chan error) {
+	h.t.Helper()
+	res := NewResolver(h.srv.URL)
+	res.HTTPClient = h.httpc
+	cli := stream.NewReconnectingClient(res.Dial, stream.ReconnectPolicy{
+		MaxAttempts: 20,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		IdleTimeout: time.Second,
+		Seed:        clusterSeed,
+		RedialOnBye: true,
+	})
+	done := make(chan error, 1)
+	go func() { done <- cli.Run() }()
+	h.t.Cleanup(func() {
+		cli.Stop()
+		select {
+		case err := <-done:
+			if err != nil {
+				h.t.Errorf("client Run: %v", err)
+			}
+		case <-time.After(matrixWait):
+			h.t.Error("client did not stop")
+		}
+		h.httpc.CloseIdleConnections()
+	})
+	return cli, done
+}
+
+// waitClientFrames polls until the client has decoded at least n frames.
+func waitClientFrames(t *testing.T, cli *stream.Client, n int64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cli.Report().Frames >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("client stuck at %d frames, want %d", cli.Report().Frames, n)
+}
+
+// --- placement column ------------------------------------------------------
+
+// TestClusterMatrixPlacement: node faults before a session is placed. A dead
+// victim means re-placement on the survivor; delayed heartbeats keep the
+// victim placeable.
+func TestClusterMatrixPlacement(t *testing.T) {
+	cells := []struct {
+		kind   string
+		spec   string
+		expect string // re-place | tolerate
+	}{
+		{"crash", "crash@0", "re-place"},
+		{"mpart", "mpart@0", "re-place"},
+		{"hbdelay", "hbdelay@0:40ms", "tolerate"},
+	}
+	for _, cell := range cells {
+		t.Run(cell.kind, func(t *testing.T) {
+			h := newHarness(t)
+			h.dialer.arm(cell.spec)
+
+			switch cell.expect {
+			case "re-place":
+				// The fault severs the control link: the victim misses its
+				// deadline and placement fails over to the loaded survivor.
+				h.waitState("victim", "dead")
+				if n := h.reg.Counter(NameClusterWorkerFailures).Value(); n != 1 {
+					t.Errorf("worker failures = %d, want 1", n)
+				}
+				cli, _ := h.startClient()
+				waitClientFrames(t, cli, 10, matrixWait)
+				if got := h.placements("survivor"); got < 1 {
+					t.Errorf("survivor placements = %d, want >= 1", got)
+				}
+				if got := h.placements("victim"); got != 0 {
+					t.Errorf("victim placements = %d, want 0 (it is dead)", got)
+				}
+			case "tolerate":
+				// Delayed heartbeats still land inside the deadline: after a
+				// full deadline window the victim must remain alive and keep
+				// winning placement over the loaded survivor.
+				time.Sleep(hbDeadline + 100*time.Millisecond)
+				if got := h.state("victim"); got != "alive" {
+					t.Fatalf("victim state under hbdelay = %q, want alive", got)
+				}
+				cli, _ := h.startClient()
+				waitClientFrames(t, cli, 10, matrixWait)
+				if got := h.placements("victim"); got < 1 {
+					t.Errorf("victim placements = %d, want >= 1", got)
+				}
+			}
+		})
+	}
+}
+
+// --- steady-streaming column ----------------------------------------------
+
+// TestClusterMatrixSteady: node faults under an established stream. A crash
+// forces redirect-reconnect-keyreq onto the survivor; a control-plane
+// partition must NOT disturb the data plane (the paper's planes are
+// independent) and the victim revives by re-registering after the heal.
+func TestClusterMatrixSteady(t *testing.T) {
+	cells := []struct {
+		kind   string
+		spec   string
+		expect string // resume | tolerate-revive | tolerate
+	}{
+		{"crash", "crash@0", "resume"},
+		{"mpart", "mpart@0", "tolerate-revive"},
+		{"hbdelay", "hbdelay@0:40ms", "tolerate"},
+	}
+	for _, cell := range cells {
+		t.Run(cell.kind, func(t *testing.T) {
+			h := newHarness(t)
+			cli, _ := h.startClient()
+			waitClientFrames(t, cli, 10, matrixWait)
+			before := cli.Report()
+			h.dialer.arm(cell.spec)
+
+			switch cell.expect {
+			case "resume":
+				// The crash hook kills the data plane: the client's conn dies,
+				// it redials through the master and is re-placed.
+				h.waitState("victim", "dead")
+				waitClientFrames(t, cli, before.Frames+40, matrixWait)
+				rep := cli.Report()
+				if rep.Redirects < 1 {
+					t.Errorf("redirects = %d, want >= 1 (%+v)", rep.Redirects, rep)
+				}
+				if rep.Reconnects < 1 {
+					t.Errorf("reconnects = %d, want >= 1 (%+v)", rep.Reconnects, rep)
+				}
+				if got := h.placements("survivor"); got < 1 {
+					t.Errorf("survivor placements = %d, want >= 1", got)
+				}
+			case "tolerate-revive":
+				// Control partition only: the master declares the victim dead,
+				// but the stream keeps flowing untouched...
+				h.waitState("victim", "dead")
+				waitClientFrames(t, cli, before.Frames+40, matrixWait)
+				if rep := cli.Report(); rep.Reconnects != before.Reconnects {
+					t.Errorf("control partition disturbed the stream: %+v", rep)
+				}
+				// ...and after the heal the agent's refused heartbeat makes it
+				// re-register on its own.
+				h.dialer.heal()
+				h.waitState("victim", "alive")
+			case "tolerate":
+				time.Sleep(hbDeadline + 100*time.Millisecond)
+				if got := h.state("victim"); got != "alive" {
+					t.Fatalf("victim state under hbdelay = %q, want alive", got)
+				}
+				waitClientFrames(t, cli, before.Frames+40, matrixWait)
+				if rep := cli.Report(); rep.Reconnects != before.Reconnects {
+					t.Errorf("hbdelay disturbed the stream: %+v", rep)
+				}
+			}
+		})
+	}
+}
+
+// --- drain (scale-down) column --------------------------------------------
+
+// TestClusterMatrixDrain: node faults against an in-flight drain order. A
+// crashed node can never complete its drain — the deadline evicts it; a
+// healed partition and delayed heartbeats both deliver the order late but
+// orderly (drain, deregister, agent exit).
+func TestClusterMatrixDrain(t *testing.T) {
+	cells := []struct {
+		kind   string
+		spec   string
+		expect string // evict | drain
+	}{
+		{"crash", "crash@0", "evict"},
+		{"mpart", "mpart@0", "drain"},
+		{"hbdelay", "hbdelay@0:40ms", "drain"},
+	}
+	for _, cell := range cells {
+		t.Run(cell.kind, func(t *testing.T) {
+			h := newHarness(t)
+			// Arm first so the order can never slip through on a clean beat:
+			// the cell is "fault wins the race", deterministically.
+			h.dialer.arm(cell.spec)
+			if err := h.master.DrainWorker("victim"); err != nil {
+				t.Fatal(err)
+			}
+			if cell.kind == "mpart" {
+				time.Sleep(partitionWindow)
+				h.dialer.heal()
+			}
+
+			switch cell.expect {
+			case "evict":
+				// The order is undeliverable: the victim is declared dead and
+				// keeps its (dead) record — it never drained.
+				h.waitState("victim", "dead")
+				if h.victim.drained.Load() {
+					t.Error("crashed victim ran its drain hook")
+				}
+				if n := h.reg.Counter(NameClusterWorkerFailures).Value(); n != 1 {
+					t.Errorf("worker failures = %d, want 1", n)
+				}
+			case "drain":
+				// The order rides a (late) heartbeat: hub drained, record gone,
+				// agent exited cleanly.
+				h.waitState("victim", "")
+				if !h.victim.drained.Load() {
+					t.Error("victim never ran its drain hook")
+				}
+				select {
+				case err := <-h.victim.runDone:
+					if err != nil {
+						t.Errorf("agent Run after drain: %v", err)
+					}
+					h.victim.runDone <- nil // keep stop() from blocking
+				case <-time.After(matrixWait):
+					t.Error("agent did not exit after drain")
+				}
+			}
+			if n := h.reg.Counter(NameClusterDrains).Value(); n != 1 {
+				t.Errorf("drain orders = %d, want 1", n)
+			}
+		})
+	}
+}
+
+// --- migration column ------------------------------------------------------
+
+// TestClusterMatrixMigration: a live session rides out a scale-down. The
+// orderly path is drain → bye → redial-through-master → survivor → keyframe
+// resync; a crashed node skips the goodbye but the client still lands on the
+// survivor through its retry budget (reset by the redirect).
+func TestClusterMatrixMigration(t *testing.T) {
+	cells := []struct {
+		kind   string
+		spec   string
+		expect string // resume-crash | resume-bye
+	}{
+		{"crash", "crash@0", "resume-crash"},
+		{"mpart", "mpart@0", "resume-bye"},
+		{"hbdelay", "hbdelay@0:40ms", "resume-bye"},
+	}
+	for _, cell := range cells {
+		t.Run(cell.kind, func(t *testing.T) {
+			h := newHarness(t)
+			cli, _ := h.startClient()
+			waitClientFrames(t, cli, 10, matrixWait)
+			before := cli.Report()
+			h.dialer.arm(cell.spec)
+			if err := h.master.DrainWorker("victim"); err != nil {
+				t.Fatal(err)
+			}
+			if cell.kind == "mpart" {
+				time.Sleep(partitionWindow)
+				h.dialer.heal()
+			}
+
+			switch cell.expect {
+			case "resume-crash":
+				// No goodbye: the conn just dies. The client redials, the
+				// master (which evicts the victim) re-places it.
+				h.waitState("victim", "dead")
+			case "resume-bye":
+				// Orderly: the victim drains (msgBye), deregisters, exits.
+				h.waitState("victim", "")
+				if !h.victim.drained.Load() {
+					t.Error("victim never drained")
+				}
+			}
+
+			// Either way the session must resume on the survivor with zero
+			// loss: frames advance and the dial was a redirect.
+			waitClientFrames(t, cli, before.Frames+40, matrixWait)
+			rep := cli.Report()
+			if rep.Redirects < 1 {
+				t.Errorf("redirects = %d, want >= 1 (%+v)", rep.Redirects, rep)
+			}
+			if got := h.placements("survivor"); got < 1 {
+				t.Errorf("survivor placements = %d, want >= 1", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"odr/internal/obs"
+)
+
+// Placement score weights: live sessions dominate, pending placements count
+// as sessions the load report has not caught up with yet, and the energy and
+// content-business terms break ties toward the coolest, idlest worker — the
+// paper's consolidation argument applied at placement time.
+const (
+	scoreWattsWeight = 0.1
+	scoreDirtyWeight = 2.0
+)
+
+// ErrNoWorkers is returned by Place when no alive worker is registered.
+var ErrNoWorkers = errors.New("cluster: no alive workers")
+
+// MasterConfig configures a Master.
+type MasterConfig struct {
+	// HeartbeatInterval is the beat cadence dictated to workers
+	// (default 250ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatDeadline is how stale a worker's last beat may be before it
+	// is declared dead (default 4× the interval).
+	HeartbeatDeadline time.Duration
+	// Metrics, when non-nil, receives the odr_cluster_* families.
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives control-plane lifecycle logs.
+	Logf func(format string, args ...any)
+}
+
+// worker state machine: alive -> draining (drain order) -> gone (deregister),
+// or alive/draining -> dead (missed deadline) -> alive (re-register).
+type workerState int
+
+const (
+	workerAlive workerState = iota
+	workerDraining
+	workerDead
+)
+
+func (s workerState) String() string {
+	switch s {
+	case workerAlive:
+		return "alive"
+	case workerDraining:
+		return "draining"
+	default:
+		return "dead"
+	}
+}
+
+// workerRec is the master's record of one worker.
+type workerRec struct {
+	id       string
+	addr     string
+	load     LoadReport
+	lastBeat time.Time
+	state    workerState
+	// pending counts placements issued since the last heartbeat: the load
+	// report lags behind them, so they are billed into the score directly
+	// (and cleared when a fresh report arrives).
+	pending int
+}
+
+// Master is the cluster coordinator: it owns the worker registry, answers
+// placement queries with the lowest-scored alive worker, and enforces the
+// heartbeat deadline. Run drives the reaper; Handler serves the control
+// RPCs; both are safe concurrently.
+type Master struct {
+	cfg MasterConfig
+	met clusterMetrics
+
+	mu      sync.Mutex
+	workers map[string]*workerRec
+
+	stopOnce sync.Once
+	stopping chan struct{}
+}
+
+// NewMaster returns a master ready to serve; start the deadline reaper with
+// go m.Run().
+func NewMaster(cfg MasterConfig) *Master {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if cfg.HeartbeatDeadline <= 0 {
+		cfg.HeartbeatDeadline = 4 * cfg.HeartbeatInterval
+	}
+	return &Master{
+		cfg:      cfg,
+		met:      registerClusterMetrics(cfg.Metrics),
+		workers:  make(map[string]*workerRec),
+		stopping: make(chan struct{}),
+	}
+}
+
+// Run enforces the heartbeat deadline until Stop: a worker whose last beat
+// is older than the deadline is declared dead and stops receiving
+// placements. Its clients discover the failure on the data plane, redial
+// through the master, and are re-placed on survivors.
+func (m *Master) Run() {
+	t := time.NewTicker(m.cfg.HeartbeatInterval / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopping:
+			return
+		case <-t.C:
+			m.reap(time.Now())
+		}
+	}
+}
+
+// Stop ends Run. It does not contact workers; orderly scale-down goes
+// through DrainWorker.
+func (m *Master) Stop() {
+	m.stopOnce.Do(func() { close(m.stopping) })
+}
+
+// reap declares every overdue worker dead.
+func (m *Master) reap(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.workers {
+		if w.state == workerDead {
+			continue
+		}
+		if now.Sub(w.lastBeat) > m.cfg.HeartbeatDeadline {
+			w.state = workerDead
+			m.met.workerFailures.Inc()
+			m.logf("cluster: worker %s (%s) missed heartbeat deadline %s: declared dead",
+				w.id, w.addr, m.cfg.HeartbeatDeadline)
+		}
+	}
+	m.publishLocked()
+}
+
+// score is the placement objective; lower places sooner.
+func (w *workerRec) score() float64 {
+	return float64(w.load.Sessions+w.pending) +
+		scoreWattsWeight*w.load.Watts +
+		scoreDirtyWeight*w.load.DirtyRatio
+}
+
+// register adds or revives a worker.
+func (m *Master) register(req RegisterRequest) RegisterResponse {
+	if req.ID == "" || req.Addr == "" {
+		return RegisterResponse{Error: "cluster: register needs id and addr"}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[req.ID]
+	if w == nil {
+		w = &workerRec{id: req.ID}
+		m.workers[req.ID] = w
+	}
+	revived := w.state == workerDead
+	w.addr = req.Addr
+	w.load = req.Load
+	w.lastBeat = time.Now()
+	w.state = workerAlive
+	w.pending = 0
+	m.publishLocked()
+	if revived {
+		m.logf("cluster: worker %s (%s) re-registered after death", w.id, w.addr)
+	} else {
+		m.logf("cluster: worker %s registered at %s", w.id, w.addr)
+	}
+	return RegisterResponse{
+		OK:       true,
+		Interval: m.cfg.HeartbeatInterval,
+		Deadline: m.cfg.HeartbeatDeadline,
+	}
+}
+
+// heartbeat records a beat. An unknown or already-dead worker gets OK false
+// and must re-register: its record (and any drain order it carried) is gone
+// or stale, so the handshake restarts from scratch.
+func (m *Master) heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[req.ID]
+	if w == nil || w.state == workerDead {
+		return HeartbeatResponse{OK: false}
+	}
+	w.load = req.Load
+	w.lastBeat = time.Now()
+	w.pending = 0
+	m.met.heartbeats.With1(w.id).Inc()
+	m.publishLocked()
+	return HeartbeatResponse{OK: true, Drain: w.state == workerDraining}
+}
+
+// deregister removes a worker's record entirely.
+func (m *Master) deregister(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[id]
+	if w == nil {
+		return
+	}
+	delete(m.workers, id)
+	m.met.loadScore.Delete(id)
+	m.publishLocked()
+	m.logf("cluster: worker %s deregistered", id)
+}
+
+// Place picks the alive worker with the lowest load score and bills the
+// placement against it until its next load report.
+func (m *Master) Place() (workerID, addr string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best *workerRec
+	for _, w := range m.workers {
+		if w.state != workerAlive {
+			continue
+		}
+		if best == nil || w.score() < best.score() ||
+			(w.score() == best.score() && w.id < best.id) {
+			best = w
+		}
+	}
+	if best == nil {
+		m.met.placementErrors.Inc()
+		return "", "", ErrNoWorkers
+	}
+	best.pending++
+	m.met.placements.With1(best.id).Inc()
+	m.publishLocked()
+	return best.id, best.addr, nil
+}
+
+// DrainWorker orders a worker to drain: it stops receiving placements
+// immediately, and its next heartbeat carries the drain command — the
+// worker then drains its hub (orderly msgBye per session, whose clients
+// redial through the master) and deregisters.
+func (m *Master) DrainWorker(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[id]
+	if w == nil {
+		return fmt.Errorf("cluster: unknown worker %q", id)
+	}
+	if w.state == workerDead {
+		return fmt.Errorf("cluster: worker %q is dead", id)
+	}
+	if w.state != workerDraining {
+		w.state = workerDraining
+		m.met.drains.Inc()
+		m.publishLocked()
+		m.logf("cluster: drain ordered for worker %s", id)
+	}
+	return nil
+}
+
+// Workers returns the registry snapshot, sorted by ID.
+func (m *Master) Workers() []WorkerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(m.workers))
+	for _, w := range m.workers {
+		out = append(out, WorkerInfo{
+			ID:       w.id,
+			Addr:     w.addr,
+			State:    w.state.String(),
+			Load:     w.load,
+			Score:    w.score(),
+			LastBeat: w.lastBeat,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// publishLocked mirrors the registry into the gauges; callers hold m.mu.
+func (m *Master) publishLocked() {
+	if m.met.workers == nil {
+		return
+	}
+	var counts [3]int
+	for _, w := range m.workers {
+		counts[w.state]++
+		m.met.loadScore.With1(w.id).Set(w.score())
+	}
+	for s, n := range counts {
+		m.met.workers.With1(workerState(s).String()).Set(float64(n))
+	}
+}
+
+// logf logs through the configured sink.
+func (m *Master) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the control-RPC surface: register, heartbeat and
+// deregister are POSTs with JSON bodies; place and workers are GETs.
+func (m *Master) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, m.register(req))
+	})
+	mux.HandleFunc(PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, m.heartbeat(req))
+	})
+	mux.HandleFunc(PathDeregister, func(w http.ResponseWriter, r *http.Request) {
+		var req DeregisterRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		m.deregister(req.ID)
+		writeJSON(w, struct {
+			OK bool `json:"ok"`
+		}{true})
+	})
+	mux.HandleFunc(PathDrain, func(w http.ResponseWriter, r *http.Request) {
+		var req DrainRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if err := m.DrainWorker(req.ID); err != nil {
+			writeJSON(w, DrainResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, DrainResponse{OK: true})
+	})
+	mux.HandleFunc(PathPlace, func(w http.ResponseWriter, r *http.Request) {
+		id, addr, err := m.Place()
+		if err != nil {
+			writeJSON(w, PlaceResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, PlaceResponse{OK: true, Worker: id, Addr: addr})
+	})
+	mux.HandleFunc(PathWorkers, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, m.Workers())
+	})
+	return mux
+}
+
+// decodeJSON parses a request body, answering 400 on malformed input.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("cluster: bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeJSON answers with a JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Resolver is the client side of placement: Dial asks the master where to
+// connect, dials that worker's data plane, and marks the conn as redirected
+// when the master moved the session to a different worker than last time.
+// Plug Dial into stream.NewReconnectingClient and every reconnect
+// re-resolves — which is exactly how migration reaches the client: the old
+// worker's drain says goodbye, the redial lands here, and the master places
+// the session on a survivor. The stream client sees Redirected() (via the
+// stream.Redirector interface) and resets its retry budget.
+type Resolver struct {
+	// MasterURL is the master's control endpoint base.
+	MasterURL string
+	// HTTPClient overrides the control-RPC client (tests); nil uses
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// DataDial overrides the data-plane dial (tests, chaos wrapping); nil
+	// uses net.Dial("tcp", addr).
+	DataDial func(addr string) (net.Conn, error)
+
+	mu         sync.Mutex
+	lastWorker string
+}
+
+// NewResolver returns a resolver against the given master.
+func NewResolver(masterURL string) *Resolver {
+	return &Resolver{MasterURL: masterURL}
+}
+
+// placedConn tags a data-plane conn with its placement outcome.
+type placedConn struct {
+	net.Conn
+	worker     string
+	redirected bool
+}
+
+// Redirected implements stream.Redirector.
+func (p *placedConn) Redirected() bool { return p.redirected }
+
+// Worker returns the ID of the worker this conn was placed on.
+func (p *placedConn) Worker() string { return p.worker }
+
+// Dial resolves a placement through the master and dials the chosen worker.
+// The returned conn implements stream.Redirector: Redirected reports true
+// when this placement moved to a different worker than the previous Dial
+// from this resolver.
+func (r *Resolver) Dial() (net.Conn, error) {
+	client := r.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	hr, err := client.Get(r.MasterURL + PathPlace)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: place: %w", err)
+	}
+	defer hr.Body.Close()
+	var resp PlaceResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: place: %w", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("cluster: place refused: %s", resp.Error)
+	}
+	dial := r.DataDial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(resp.Addr)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	redirected := r.lastWorker != "" && resp.Worker != r.lastWorker
+	r.lastWorker = resp.Worker
+	r.mu.Unlock()
+	return &placedConn{Conn: conn, worker: resp.Worker, redirected: redirected}, nil
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odr/internal/testutil"
+)
+
+// startMaster spins up a master with a fast cadence behind a real HTTP
+// server and cleans both up with the test.
+func startMaster(t *testing.T) (*Master, *httptest.Server) {
+	t.Helper()
+	m := NewMaster(MasterConfig{
+		HeartbeatInterval: 20 * time.Millisecond,
+		Logf:              t.Logf,
+	})
+	go m.Run()
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		m.Stop()
+	})
+	return m, srv
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, within time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestWorkerRegistersAndHeartbeats: a worker agent registers, adopts the
+// master's cadence, keeps its record fresh with load reports, and Stop
+// deregisters it promptly.
+func TestWorkerRegistersAndHeartbeats(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	m, srv := startMaster(t)
+
+	var sessions atomic.Int64
+	sessions.Store(3)
+	w := NewWorker(WorkerConfig{
+		ID:        "w1",
+		MasterURL: srv.URL,
+		Addr:      "127.0.0.1:7311",
+		Load:      func() LoadReport { return LoadReport{Sessions: int(sessions.Load())} },
+		Logf:      t.Logf,
+	})
+	done := make(chan error, 1)
+	go func() { done <- w.Run() }()
+
+	waitFor(t, 5*time.Second, func() bool {
+		ws := m.Workers()
+		return len(ws) == 1 && ws[0].State == "alive"
+	}, "registration")
+
+	// The next heartbeat must carry a fresh load report.
+	sessions.Store(5)
+	waitFor(t, 5*time.Second, func() bool {
+		ws := m.Workers()
+		return len(ws) == 1 && ws[0].Load.Sessions == 5
+	}, "heartbeat load report")
+
+	w.Stop()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ws := m.Workers(); len(ws) != 0 {
+		t.Fatalf("workers after Stop = %+v, want none (deregistered)", ws)
+	}
+}
+
+// TestWorkerDrainOrder: DrainWorker reaches the agent on its next beat, the
+// OnDrain hook runs, and the worker deregisters and ends Run cleanly.
+func TestWorkerDrainOrder(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	m, srv := startMaster(t)
+
+	var drained atomic.Bool
+	w := NewWorker(WorkerConfig{
+		ID:        "w1",
+		MasterURL: srv.URL,
+		Addr:      "127.0.0.1:7311",
+		OnDrain:   func() { drained.Store(true) },
+		Logf:      t.Logf,
+	})
+	done := make(chan error, 1)
+	go func() { done <- w.Run() }()
+	defer w.Stop()
+
+	waitFor(t, 5*time.Second, func() bool { return len(m.Workers()) == 1 }, "registration")
+	if err := m.DrainWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not end after drain order")
+	}
+	if !drained.Load() {
+		t.Fatal("OnDrain hook never ran")
+	}
+	if ws := m.Workers(); len(ws) != 0 {
+		t.Fatalf("workers after drain = %+v, want none", ws)
+	}
+}
+
+// TestWorkerReRegistersAfterDeath: when the master declares a worker dead
+// (deadline expiry), the worker's next heartbeat gets OK false and the agent
+// re-registers, reviving the record without operator action.
+func TestWorkerReRegistersAfterDeath(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	m, srv := startMaster(t)
+
+	w := NewWorker(WorkerConfig{
+		ID:        "w1",
+		MasterURL: srv.URL,
+		Addr:      "127.0.0.1:7311",
+		Logf:      t.Logf,
+	})
+	done := make(chan error, 1)
+	go func() { done <- w.Run() }()
+	defer func() {
+		w.Stop()
+		<-done
+	}()
+
+	waitFor(t, 5*time.Second, func() bool { return len(m.Workers()) == 1 }, "registration")
+
+	// Force deadline expiry as if the worker had been partitioned away.
+	m.reap(time.Now().Add(time.Hour))
+	if ws := m.Workers(); len(ws) != 1 || ws[0].State != "dead" {
+		t.Fatalf("workers after forced reap = %+v, want one dead", ws)
+	}
+
+	// The agent's next beat is refused, so it re-registers on its own.
+	waitFor(t, 5*time.Second, func() bool {
+		ws := m.Workers()
+		return len(ws) == 1 && ws[0].State == "alive"
+	}, "re-registration after death")
+}

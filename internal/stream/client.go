@@ -42,6 +42,20 @@ type ReconnectPolicy struct {
 	IdleTimeout time.Duration
 	// Seed drives the jitter RNG, keeping soak runs reproducible.
 	Seed int64
+	// RedialOnBye makes an orderly msgBye redial (through the dial func)
+	// instead of ending Run. A cluster client sets it so a worker's drain —
+	// which says goodbye to every session — sends the client back to the
+	// master for re-placement rather than terminating it.
+	RedialOnBye bool
+}
+
+// Redirector is implemented by connections whose dial was re-resolved to a
+// different endpoint than the previous session's — a master-issued redirect.
+// The reconnecting client treats a redirected dial as progress and resets its
+// consecutive-failure budget: the control plane moved the session, so the
+// failures that led here belong to the old placement, not the new one.
+type Redirector interface {
+	Redirected() bool
 }
 
 // withDefaults fills zero fields.
@@ -96,6 +110,7 @@ type Client struct {
 	lastBright   float64
 	resyncs      int64
 	reconnects   int64
+	redirects    int64
 	firstFrame   time.Duration
 	lastFrame    time.Duration
 	onFrame      func(seq uint64, pix []byte)
@@ -323,6 +338,14 @@ func (c *Client) Run() error {
 		}
 		conn, err := c.dial()
 		if err == nil {
+			if r, ok := conn.(Redirector); ok && r.Redirected() {
+				// A master-issued re-placement: the failures spent reaching it
+				// belong to the old endpoint, so the budget starts over.
+				attempts = 0
+				c.mu.Lock()
+				c.redirects++
+				c.mu.Unlock()
+			}
 			c.setConn(conn)
 			if sessions > 0 {
 				c.mu.Lock()
@@ -339,8 +362,15 @@ func (c *Client) Run() error {
 			before := c.frameCount()
 			err = c.runSession(conn)
 			conn.Close()
-			if errors.Is(err, errBye) || c.stopped.Load() {
+			if c.stopped.Load() {
 				return nil
+			}
+			if errors.Is(err, errBye) {
+				if !c.pol.RedialOnBye {
+					return nil
+				}
+				// A drain's goodbye: redial (the dial func re-resolves the
+				// endpoint) instead of ending the run.
 			}
 			if c.frameCount() > before {
 				attempts = 0 // the session made progress; reset the budget
@@ -394,6 +424,7 @@ type Report struct {
 	Brightness     float64 // last frame's luminance
 	Resyncs        int64   // keyframe resyncs (mid-stream joins, chain breaks, corruption)
 	Reconnects     int64   // sessions redialed after a mid-stream death
+	Redirects      int64   // dials the resolver re-placed onto a new endpoint
 	RetryBudget    int     // consecutive-failure budget (0 for single-conn clients)
 }
 
@@ -411,6 +442,7 @@ func (c *Client) Report() Report {
 		Brightness:     c.lastBright,
 		Resyncs:        c.resyncs,
 		Reconnects:     c.reconnects,
+		Redirects:      c.redirects,
 	}
 	if c.dial != nil {
 		r.RetryBudget = c.pol.MaxAttempts

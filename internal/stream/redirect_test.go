@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odr/internal/testutil"
+)
+
+// ---------------------------------------------------------------------------
+// Master-issued redirect semantics: a re-resolved dial resets the retry
+// budget, and RedialOnBye turns a drain's goodbye into a re-placement instead
+// of the end of the run. These are the client-side halves of cluster
+// migration.
+// ---------------------------------------------------------------------------
+
+// redirConn marks a dialed conn as a master-issued redirect.
+type redirConn struct {
+	net.Conn
+}
+
+func (redirConn) Redirected() bool { return true }
+
+// TestRedirectResetsRetryBudget is the regression test for the budget bug: a
+// master-issued redirect must reset the consecutive-failure budget, because a
+// successful re-placement is progress, not another failed retry. The dial
+// sequence — two refused dials, then a redirected placement whose session
+// dies before any frame — used to exhaust MaxAttempts=3 and end Run with the
+// budget error; with the reset the client survives to the fourth dial and
+// streams.
+func TestRedirectResetsRetryBudget(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	h := NewHub(HubConfig{Width: 32, Height: 18, TargetFPS: 240})
+	go h.Run()
+	defer h.Stop()
+
+	var dials atomic.Int32
+	dial := func() (net.Conn, error) {
+		switch dials.Add(1) {
+		case 1, 2:
+			return nil, errors.New("refused")
+		case 3:
+			// The re-placement: the master redirected us, but the new worker
+			// dies before delivering a single frame.
+			sc, cc := net.Pipe()
+			sc.Close()
+			return redirConn{cc}, nil
+		default:
+			sc, cc := net.Pipe()
+			h.Attach(sc, 0, nil)
+			return cc, nil
+		}
+	}
+	cli := NewReconnectingClient(dial, ReconnectPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        1,
+	})
+	runErr := make(chan error, 1)
+	go func() { runErr <- cli.Run() }()
+	defer cli.Stop()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for cli.Report().Frames < 5 {
+		select {
+		case err := <-runErr:
+			t.Fatalf("client gave up: %v (the redirect burned the retry budget)", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no frames after redirect; report %+v", cli.Report())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := cli.Report().Redirects; got != 1 {
+		t.Errorf("Redirects = %d, want 1", got)
+	}
+	cli.Stop()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run after Stop = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client did not stop")
+	}
+}
+
+// TestRedialOnByeResumesAfterDrain: with RedialOnBye a drain's orderly bye
+// sends the client back through its dial func — which re-resolves to the
+// surviving hub — instead of ending Run. This is the client half of "drain,
+// redirect, reconnect, keyreq" migration.
+func TestRedialOnByeResumesAfterDrain(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	h1 := NewHub(HubConfig{Width: 32, Height: 18, TargetFPS: 240})
+	h2 := NewHub(HubConfig{Width: 32, Height: 18, TargetFPS: 240})
+	go h1.Run()
+	go h2.Run()
+	defer h1.Stop()
+	defer h2.Stop()
+
+	var drained atomic.Bool
+	dial := func() (net.Conn, error) {
+		sc, cc := net.Pipe()
+		if drained.Load() {
+			h2.Attach(sc, 0, nil)
+		} else {
+			h1.Attach(sc, 0, nil)
+		}
+		return cc, nil
+	}
+	cli := NewReconnectingClient(dial, ReconnectPolicy{
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        1,
+		RedialOnBye: true,
+	})
+	runErr := make(chan error, 1)
+	go func() { runErr <- cli.Run() }()
+	defer cli.Stop()
+
+	waitFrames(t, cli, 5, 10*time.Second)
+	drained.Store(true)
+	if err := h1.Drain(10 * time.Second); err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+
+	// The bye must not have ended Run; the client redials onto h2 and keeps
+	// decoding frames there.
+	want := cli.Report().Frames + 5
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		rep := cli.Report()
+		if rep.Reconnects >= 1 && rep.Frames >= want {
+			break
+		}
+		select {
+		case err := <-runErr:
+			t.Fatalf("Run ended on drain bye (err=%v), want redial onto the surviving hub", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never resumed on h2; report %+v", rep)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cli.Stop()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run after Stop = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client did not stop")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"odr/internal/chaos"
+	"odr/internal/cluster"
 	"odr/internal/codec"
 	"odr/internal/core"
 	"odr/internal/obs"
@@ -413,6 +414,50 @@ func ServeDebug(addr string, snapshot func() any) (*DebugServer, error) {
 func ServeDebugWithMetrics(addr string, reg *MetricsRegistry, snapshot func() any) (*DebugServer, error) {
 	return obs.ServeDebugRegistry(addr, reg, snapshot)
 }
+
+// Distributed control plane re-exports: a master that places sessions on
+// registered workers by load score and drains or migrates them on failure
+// and scale-down. Migration reuses the stream layer's own machinery — the
+// handoff is "drain, redirect, reconnect, keyreq". See internal/cluster.
+type (
+	// ClusterMaster owns the worker registry, heartbeat deadlines and
+	// placement; serve its Handler and run its deadline reaper.
+	ClusterMaster = cluster.Master
+	// ClusterMasterConfig configures a ClusterMaster.
+	ClusterMasterConfig = cluster.MasterConfig
+	// ClusterWorker is the worker-side agent: register, heartbeat with load
+	// reports, obey drain orders.
+	ClusterWorker = cluster.Worker
+	// ClusterWorkerConfig configures a ClusterWorker.
+	ClusterWorkerConfig = cluster.WorkerConfig
+	// ClusterResolver dials the data plane through a master placement query;
+	// plug its Dial into NewReconnectingStreamClient.
+	ClusterResolver = cluster.Resolver
+	// ClusterLoadReport is a worker's self-reported placement load.
+	ClusterLoadReport = cluster.LoadReport
+	// ClusterWorkerInfo is the master's view of one registered worker.
+	ClusterWorkerInfo = cluster.WorkerInfo
+)
+
+// ErrClusterNoWorkers is returned by ClusterMaster.Place when no alive
+// worker is registered.
+var ErrClusterNoWorkers = cluster.ErrNoWorkers
+
+// NewClusterMaster returns a cluster master; start its heartbeat-deadline
+// reaper with go m.Run() and serve m.Handler() on the control address.
+func NewClusterMaster(cfg ClusterMasterConfig) *ClusterMaster { return cluster.NewMaster(cfg) }
+
+// NewClusterWorker returns a worker agent; drive it with Run.
+func NewClusterWorker(cfg ClusterWorkerConfig) *ClusterWorker { return cluster.NewWorker(cfg) }
+
+// NewClusterResolver returns a placement resolver against the given master
+// control URL.
+func NewClusterResolver(masterURL string) *ClusterResolver { return cluster.NewResolver(masterURL) }
+
+// RegisterClusterMetrics pre-registers the odr_cluster_* metric surface in
+// reg (for lint gates and dashboards that want the families present before
+// the first worker registers).
+func RegisterClusterMetrics(reg *MetricsRegistry) { cluster.RegisterClusterMetrics(reg) }
 
 // ThrottleConfig shapes a connection like a wide-area path (bandwidth cap,
 // propagation delay, bounded buffering).
