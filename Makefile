@@ -21,12 +21,14 @@ race:
 soak:
 	$(GO) run -race ./cmd/odrsoak -clients 16 -schedule flaky -seed 1 -duration 20s
 
-# Encode-once fan-out soak: 1000 same-resolution viewers share one lane
-# encoder, one in 16 churning through chaos reconnects; invariants assert
-# O(frames) encoding, spliced catch-up keyframes, byte-identical pixels and
-# flat per-viewer memory. Runs under the race detector.
+# Encode-once fan-out soak: 2000 same-resolution viewers share one lane
+# encoder, one in 16 churning through chaos reconnects, one in 8 paced at
+# half rate through the timer wheel; invariants assert O(frames) encoding,
+# spliced catch-up keyframes, byte-identical pixels, flat per-viewer memory
+# and an O(pool) goroutine budget. Runs under the race detector; a failure
+# leaves a full goroutine dump in soak-hub-goroutines.txt.
 soak-hub:
-	$(GO) run -race ./cmd/odrsoak -fanout 1000 -width 48 -height 27 -fps 10 -schedule flaky -seed 1 -duration 15s
+	$(GO) run -race ./cmd/odrsoak -fanout 2000 -width 48 -height 27 -fps 10 -schedule flaky -seed 1 -duration 15s -faildump soak-hub-goroutines.txt
 
 # Cluster failover soak: a master places chaos-churned clients across three
 # in-process workers, one worker is killed and another drained mid-run;

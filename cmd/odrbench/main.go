@@ -25,13 +25,18 @@
 //
 // The hub fan-out suite (hubsuite.go) measures the encode-once hub:
 //
-//   - `odrbench -hub` streams to 1/4/16/64 same-resolution viewers sharing
-//     one lane encoder and writes encode and delivery rates plus the
-//     sends_per_encode amplification to BENCH_hub.json;
+//   - `odrbench -hub` streams to 1/4/16/64/256/1024/4096 same-resolution
+//     viewers sharing one lane encoder and writes encode and delivery rates,
+//     the sends_per_encode amplification, and the event-driven engine shape
+//     (goroutines/session, heap bytes/session, coalescing ratio) to
+//     BENCH_hub.json;
 //   - `odrbench -hub-check BENCH_hub.json` re-runs the suite and exits
 //     nonzero when any cell's sends_per_encode ratio falls more than
 //     -hub-tol below the committed baseline (the ratio is machine-portable;
-//     it collapses only if the hub regresses toward per-viewer encoding).
+//     it collapses only if the hub regresses toward per-viewer encoding),
+//     when a >=256-viewer cell spends more than 0.25 goroutines or grows
+//     heap per session beyond the baseline by -hub-tol, or when the
+//     coalescing accounting reports a ratio below 1.
 //
 // Usage:
 //

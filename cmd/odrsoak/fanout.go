@@ -43,6 +43,12 @@ import (
 // churnEvery attaches via a fault-injected, reconnecting client.
 const churnEvery = 16
 
+// pacedEvery picks which steady viewers attach with a per-session FPS cap
+// (half the hub rate): their every frame rides a timer-wheel pacing deadline,
+// so the soak exercises the wheel at session scale, not just the fan-out
+// path.
+const pacedEvery = 8
+
 // fanoutViewer is one shared-lane viewer and its outcome counters.
 type fanoutViewer struct {
 	idx        int
@@ -64,7 +70,7 @@ type fanoutViewer struct {
 const fanoutBytesPerViewer = 256 << 10
 
 func runFanout(viewers int, sched chaos.Schedule, seed int64, duration time.Duration,
-	fps float64, width, height, retry int, verbose bool) {
+	fps float64, width, height, retry int, verbose bool, faildump string) {
 	log.Printf("odrsoak: fan-out mode, %d viewers (1 in %d chaos-churned, schedule %q), seed %d, %v at %dx%d@%.0ffps",
 		viewers, churnEvery, sched.String(), seed, duration, width, height, fps)
 
@@ -117,7 +123,11 @@ func runFanout(viewers int, sched chaos.Schedule, seed int64, duration time.Dura
 			})
 		} else {
 			hubEnd, clientEnd := net.Pipe()
-			hub.Attach(hubEnd, 0, nil)
+			viewerFPS := 0.0
+			if i%pacedEvery == pacedEvery/2 {
+				viewerFPS = fps / 2 // paced: every frame schedules a wheel deadline
+			}
+			hub.Attach(hubEnd, viewerFPS, nil)
 			v.sessions = 1
 			v.cli = odr.NewStreamClient(clientEnd)
 		}
@@ -138,6 +148,13 @@ func runFanout(viewers int, sched chaos.Schedule, seed int64, duration time.Dura
 	}
 
 	time.Sleep(duration)
+
+	// Steady-state goroutine count, read while every viewer is attached. The
+	// harness owns one Run loop per viewer; everything on top must be O(pool)
+	// — sender workers, readers, one wheel, one lane, debug server, chaos
+	// churn transients — never O(sessions). The old goroutine-per-session
+	// hub sat near 4x viewers here.
+	goroutinesNow := runtime.NumGoroutine()
 
 	// Steady-state memory, measured while every viewer is still attached.
 	runtime.GC()
@@ -209,6 +226,10 @@ func runFanout(viewers int, sched chaos.Schedule, seed int64, duration time.Dura
 	check("no-goroutine-leaks", leakErr == nil, leakDetail)
 	check("flat-memory", perViewer < fanoutBytesPerViewer,
 		fmt.Sprintf("%d B/viewer steady-state heap (bound %d)", perViewer, fanoutBytesPerViewer))
+	goroutineBudget := viewers + 256
+	check("goroutine-budget", goroutinesNow <= goroutineBudget,
+		fmt.Sprintf("%d goroutines at steady state for %d viewers (bound %d: harness Run loops + O(pool) hub)",
+			goroutinesNow, viewers, goroutineBudget))
 
 	check("metrics-scrape", scrapeErr == nil, fmt.Sprintf("GET /metrics parsed: %v", scrapeErr))
 	if scrapeErr == nil {
@@ -245,9 +266,33 @@ func runFanout(viewers int, sched chaos.Schedule, seed int64, duration time.Dura
 			fmt.Sprintf("hits=%.0f + misses=%.0f = %.0f, want dirty=%.0f + spliced=%.0f = %.0f",
 				cacheHits, cacheMisses, cacheHits+cacheMisses,
 				dirtyTiles, splicedTiles, dirtyTiles+splicedTiles))
+
+		// Event-driven engine metrics. Coalesced writes must accumulate at
+		// fan-out scale (many sessions flushing per sender wakeup); the
+		// queue-depth and wheel-lag gauges must at least be exported — and
+		// with paced viewers in the mix the wheel fired, so its lag gauge
+		// carries a real observation (non-negative by construction).
+		coalesced := s.Number(odr.NameHubCoalescedWrites)
+		check("coalesced-writes", coalesced > 0,
+			fmt.Sprintf("%.0f frames flushed in multi-frame sender batches", coalesced))
+		depth, depthOK := s.Value(odr.NameHubSenderQueueDepth)
+		check("sender-queue-exported", depthOK && depth >= 0,
+			fmt.Sprintf("odr_hub_sender_queue_depth=%.0f", depth))
+		lag, lagOK := s.Value(odr.NameHubTimerwheelLagUs)
+		check("timerwheel-lag-exported", lagOK && lag >= 0,
+			fmt.Sprintf("odr_hub_timerwheel_lag_us=%.0f (paced 1-in-%d viewers rode the wheel)", lag, pacedEvery))
 	}
 
 	if fail > 0 {
+		if faildump != "" {
+			buf := make([]byte, 1<<22)
+			n := runtime.Stack(buf, true)
+			if werr := os.WriteFile(faildump, buf[:n], 0o644); werr != nil {
+				log.Printf("odrsoak: could not write goroutine dump to %s: %v", faildump, werr)
+			} else {
+				log.Printf("odrsoak: goroutine dump written to %s", faildump)
+			}
+		}
 		log.Printf("odrsoak: FAIL (%d invariant(s) violated)", fail)
 		os.Exit(1)
 	}

@@ -133,6 +133,7 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "cluster mode: master + workers with a mid-run kill and drain (see cluster.go)")
 	workers := flag.Int("workers", 3, "worker count for -cluster")
 	verbose := flag.Bool("v", false, "log per-client progress")
+	faildump := flag.String("faildump", "", "fan-out mode: write a full goroutine dump to this path when invariants fail")
 	flag.Parse()
 
 	sched, err := chaos.Named(*schedule)
@@ -142,7 +143,7 @@ func main() {
 		}
 	}
 	if *fanout > 0 {
-		runFanout(*fanout, sched, *seed, *duration, *fps, *width, *height, *retry, *verbose)
+		runFanout(*fanout, sched, *seed, *duration, *fps, *width, *height, *retry, *verbose, *faildump)
 		return
 	}
 	if *clusterMode {

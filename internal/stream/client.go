@@ -347,6 +347,16 @@ func (c *Client) Run() error {
 				c.mu.Unlock()
 			}
 			c.setConn(conn)
+			// Stop may have raced the dial: its conn.Close targeted whatever
+			// currentConn held before the swap, which misses this one. After
+			// the swap, either this load sees the stop flag (close here), or
+			// the flag was set later and Stop's close runs after the swap and
+			// hits the new conn — both orders leave it closed, so runSession
+			// can never sit on a live stream past Stop.
+			if c.stopped.Load() {
+				conn.Close()
+				return nil
+			}
 			if sessions > 0 {
 				c.mu.Lock()
 				c.reconnects++
@@ -385,6 +395,11 @@ func (c *Client) Run() error {
 			delay = c.pol.MaxDelay
 		}
 		delay += time.Duration((rng.Float64()*2 - 1) * c.pol.Jitter * float64(delay))
+		// Stop/drain safety: the backoff sleep must not outlive Stop. stopCh
+		// is closed exactly once (stopOnce), so this select wakes immediately
+		// however the close interleaves with NewTimer, and the timer is
+		// stopped on that path — a cancelled backoff leaves no timer, no
+		// goroutine and no connection behind.
 		t := time.NewTimer(delay)
 		select {
 		case <-t.C:

@@ -13,6 +13,7 @@ import (
 	"odr/internal/frame"
 	"odr/internal/obs"
 	"odr/internal/realrt"
+	"odr/internal/timerwheel"
 )
 
 // Hub streams one game to many clients — the "render once, view many" shape
@@ -97,6 +98,17 @@ type Hub struct {
 	tr    *obs.Tracer
 	ins   obs.FrameInstruments
 	probe *sessionProbe
+
+	// eng is the event-driven session engine: a fixed sender worker pool, a
+	// pacing timer wheel, and a shared input-reader pool replace the old
+	// three-goroutines-per-viewer session loops (see engine.go).
+	eng *hubEngine
+
+	// paceHook, when non-nil, observes every per-session pacing decision
+	// (test hook: the differential pacing test shadows the engine's
+	// arithmetic against a reference pacer). Set before Run; read by sender
+	// workers.
+	paceHook func(id uint32, start, end, d time.Duration)
 }
 
 // HubConfig configures a Hub.
@@ -175,13 +187,22 @@ type hubSession struct {
 	// for no gain.
 	vectored bool
 
-	// payload is the session's reusable splice buffer (header + bitstream);
-	// verbatim sends never copy the shared bitstream — they writev the
-	// header and the artifact's bytes in one batch via iov/head below.
-	payload []byte
-	head    [5 + frameHeaderLen]byte
-	iov     net.Buffers
-	iovArr  [2][]byte
+	// Engine scheduling state (see engine.go): wk pins the session to one
+	// sender stripe so its writes stay ordered; sched is the parked/queued/
+	// pacing state machine; timer carries its ODR pacing deadline on the
+	// hub's wheel. sendMu excludes teardown's buffer drain from a send pass
+	// (same-stripe serialization covers worker-vs-worker already).
+	wk       int
+	sched    atomic.Int32
+	timer    timerwheel.Timer
+	detached atomic.Bool
+	sendMu   sync.Mutex
+
+	// rdbuf is the session's input read buffer, owned by its reader stripe.
+	rdbuf []byte
+
+	detachOnce sync.Once
+	detachCb   func(SessionStats)
 
 	sent    int64
 	dropped int64
@@ -232,11 +253,15 @@ func NewHub(cfg HubConfig) *Hub {
 		evictCtr: cfg.Metrics.Counter(obs.NameSessionsEvicted),
 	}
 	h.tileCache = cfg.Codec.Cache
+	h.eng = newHubEngine(h)
 	if reg := cfg.Metrics; reg != nil {
 		v := registerLiveVecs(reg)
 		h.cacheHits = v.cacheHits
 		h.cacheMisses = v.cacheMisses
 		h.cacheEvictions = v.cacheEvictions
+		h.eng.queueGauge = v.senderQueueDepth
+		h.eng.lagGauge = v.timerwheelLag
+		h.eng.coalescedCtr = v.coalescedWrites
 	}
 	h.probe = newSessionProbe(cfg.Metrics, "shared")
 	h.game.ExtraCost = cfg.RenderCost
@@ -246,6 +271,14 @@ func NewHub(cfg HubConfig) *Hub {
 		}
 	}
 	return h
+}
+
+// deadlineAfter converts a timeout into an absolute conn deadline on the
+// hub's own clock domain: epoch + domain-now + d. Every hub deadline (read,
+// write, drain seal) routes through here so they all live on the one
+// epoch-aligned timeline instead of sampling the wall clock ad hoc.
+func (h *Hub) deadlineAfter(d time.Duration) time.Time {
+	return h.epoch.Add(h.dom.Now() + d)
 }
 
 // Clients returns the number of attached clients.
@@ -397,11 +430,16 @@ func (h *Hub) Stop() {
 			}
 		}
 		h.laneMu.Unlock()
+		// Close every session and kick it so a sender worker observes the
+		// closed buffer and tears it down; engine shutdown below drains those
+		// kicks and sweeps any pacing stragglers whose wheel timers it drops.
 		for _, s := range h.allSessions() {
 			s.close()
+			h.eng.kick(s)
 		}
 		h.renderWG.Wait()
 		h.laneWG.Wait()
+		h.eng.shutdown()
 		if h.cfg.Logf != nil {
 			snap := h.Snapshot()
 			h.cfg.Logf("hub stopped: rendered=%v inputs=%v sessions_served=%v sent=%v dropped=%v",
@@ -435,9 +473,10 @@ func (h *Hub) Drain(timeout time.Duration) error {
 	h.laneWG.Wait()
 	deadline := time.Now().Add(timeout)
 	for {
-		// Close session buffers (not conns): each send loop drains what is
-		// buffered, writes msgBye, then tears the session down. Re-closing
-		// every poll round covers sessions that raced Attach.
+		// Close session buffers (not conns): each kicked session drains what
+		// is buffered on a sender worker, writes msgBye, then tears down.
+		// Re-closing and re-kicking every poll round covers sessions that
+		// raced Attach; sessions mid-pacing requeue when their timer fires.
 		sessions := h.allSessions()
 		if len(sessions) == 0 {
 			h.Stop()
@@ -445,6 +484,7 @@ func (h *Hub) Drain(timeout time.Duration) error {
 		}
 		for _, s := range sessions {
 			s.buf.Close()
+			h.eng.kick(s)
 		}
 		if time.Now().After(deadline) {
 			h.Stop()
@@ -603,10 +643,22 @@ func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
 		downscale: div,
 		w:         ln.w,
 		h:         ln.h,
-		payload:   make([]byte, frameHeaderLen, frameHeaderLen+ln.w*ln.h/2),
+		wk:        int(id),
 		vectored:  supportsVectoredWrites(conn),
+		detachCb:  opts.Detach,
 	}
 	s.buf = core.NewMultiBuffer(s.dom)
+	// The timer's job is only to requeue the session once its pacing delay
+	// elapses; a Submit refused by a closing pool is fine — shutdown's
+	// straggler sweep tears the session down instead.
+	s.timer.Fn = func() {
+		if s.sched.CompareAndSwap(schedPacing, schedQueued) {
+			if !h.eng.senders.Submit(s.wk, s) {
+				s.sched.Store(schedParked)
+			}
+		}
+	}
+	h.eng.start()
 	sh := ln.shard(id)
 	sh.mu.Lock()
 	select {
@@ -625,40 +677,12 @@ func (h *Hub) AttachWithOptions(conn net.Conn, opts AttachOptions) {
 	sh.mu.Unlock()
 	s.probe = newSessionProbe(h.cfg.Metrics, "h"+strconv.FormatUint(uint64(id), 10))
 	recordSessionStart(h.cfg.Metrics, "Hub", h.cfg.Codec)
-	detach := opts.Detach
-
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { defer wg.Done(); s.sendLoop() }()
-	go func() { defer wg.Done(); s.inputLoop() }()
-	go func() {
-		wg.Wait()
-		sh.mu.Lock()
-		delete(sh.m, s.id)
-		sh.rebuildLocked()
-		sh.mu.Unlock()
-		// Release artifacts still queued in the (now closed) buffer so
-		// their bitstream buffers recycle.
-		for {
-			f := s.buf.TryAcquire()
-			if f == nil {
-				break
-			}
-			if a, ok := f.Encoded.(*encArtifact); ok {
-				a.release()
-			}
-			s.buf.Release()
-		}
-		s.probe.close(h.dom.Now(), true)
-		sent := atomic.LoadInt64(&s.sent)
-		droppedN := atomic.LoadInt64(&s.dropped)
-		atomic.AddInt64(&h.served, 1)
-		atomic.AddInt64(&h.totalSent, sent)
-		atomic.AddInt64(&h.totalDropped, droppedN)
-		if detach != nil {
-			detach(SessionStats{Sent: sent, Dropped: droppedN})
-		}
-	}()
+	// No per-session goroutines: the engine's reader pool serves the input
+	// path and lane fan-out kicks the sender pool when artifacts arrive. The
+	// initial kick covers nothing today (the buffer is empty) but is cheap
+	// insurance against future reorderings.
+	h.eng.readerFor(id).register(s)
+	h.eng.kick(s)
 }
 
 // close tears the session down.
@@ -670,7 +694,7 @@ func (s *hubSession) close() {
 }
 
 // sealOnDrain writes the orderly msgBye when the hub is draining, so the
-// client sees a graceful end instead of an abrupt close. Every send-loop
+// client sees a graceful end instead of an abrupt close. Every send-pass
 // exit path routes through here — including send errors — because a client
 // that still has a working read half deserves the bye even if the last
 // frame write failed.
@@ -679,46 +703,26 @@ func (s *hubSession) sealOnDrain() {
 		return
 	}
 	if wt := s.hub.cfg.WriteTimeout; wt > 0 {
-		s.conn.SetWriteDeadline(time.Now().Add(wt))
+		// The hub's clock domain supplies the deadline (not time.Now): every
+		// hub deadline lives on the same epoch-aligned timeline.
+		s.conn.SetWriteDeadline(s.hub.deadlineAfter(wt))
 	}
 	writeMsg(s.conn, msgBye, nil)
-}
-
-// sendLoop transmits shared-lane artifacts to this client, applying the
-// client's own pacing; it owns all per-session chain state.
-func (s *hubSession) sendLoop() {
-	defer s.close()
-	w := realrt.NewWaiter(s.dom)
-	for {
-		f := s.buf.Acquire(w)
-		if f == nil {
-			// Buffer closed: a hub Drain flush ends with an orderly bye.
-			s.sealOnDrain()
-			return
-		}
-		art := f.Encoded.(*encArtifact)
-		err := s.sendArtifact(w, f, art)
-		s.buf.Release()
-		art.release()
-		if err != nil {
-			if isTimeoutErr(err) {
-				s.hub.evictSession()
-			}
-			return
-		}
-	}
 }
 
 // sendArtifact delivers one shared encode to this viewer: verbatim when the
 // viewer's chain is intact (writev of its private header + the shared
 // bitstream, zero copies), spliced from the lane encoder's state when the
 // chain skipped frames, the viewer just joined, or it requested a keyframe.
-func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArtifact) error {
+// It runs on a sender worker with that worker's scratch buffers; sent
+// reports whether a frame actually shipped, and delay carries the session's
+// ODR pacing delay for the engine to put on the timer wheel.
+func (s *hubSession) sendArtifact(scr *senderScratch, f *frame.Frame, art *encArtifact) (sent bool, delay time.Duration, err error) {
 	h := s.hub
 	if hk := h.sendErr.Load(); hk != nil {
 		if err := (*hk)(s.id); err != nil {
 			s.sealOnDrain()
-			return err
+			return false, 0, err
 		}
 	}
 	if art.seq <= s.lastSentSeq {
@@ -729,7 +733,7 @@ func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArti
 			s.carried = append(s.carried, f.Inputs...)
 			s.carriedMu.Unlock()
 		}
-		return nil
+		return false, 0, nil
 	}
 	start := h.dom.Now()
 	wantKey := s.wantKey.Swap(false)
@@ -769,28 +773,28 @@ func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArti
 			renderNanos: art.renderNanos,
 		}
 		if wt := h.cfg.WriteTimeout; wt > 0 {
-			s.conn.SetWriteDeadline(time.Now().Add(wt))
+			s.conn.SetWriteDeadline(h.deadlineAfter(wt))
 		}
 		if s.vectored {
 			// One writev batches the 49-byte private head with the shared
 			// bitstream: the encoded payload is never copied per viewer.
-			s.head[0] = msgFrame
-			binary.LittleEndian.PutUint32(s.head[1:], uint32(frameHeaderLen+len(art.bs)))
-			putFrameHeaderCRC(s.head[5:], meta, art.crc)
-			s.iovArr[0] = s.head[:]
-			s.iovArr[1] = art.bs
-			s.iov = s.iovArr[:]
-			if _, err := s.iov.WriteTo(s.conn); err != nil {
+			scr.head[0] = msgFrame
+			binary.LittleEndian.PutUint32(scr.head[1:], uint32(frameHeaderLen+len(art.bs)))
+			putFrameHeaderCRC(scr.head[5:], meta, art.crc)
+			scr.iovArr[0] = scr.head[:]
+			scr.iovArr[1] = art.bs
+			scr.iov = scr.iovArr[:]
+			if _, err := scr.iov.WriteTo(s.conn); err != nil {
 				s.sealOnDrain()
-				return err
+				return false, 0, err
 			}
 		} else {
-			payload := append(s.payload[:frameHeaderLen], art.bs...)
-			s.payload = payload
+			payload := append(scr.payload[:frameHeaderLen], art.bs...)
+			scr.payload = payload
 			putFrameHeaderCRC(payload, meta, art.crc)
 			if err := writeMsg(s.conn, msgFrame, payload); err != nil {
 				s.sealOnDrain()
-				return err
+				return false, 0, err
 			}
 		}
 		sentBytes = frameHeaderLen + len(art.bs)
@@ -808,7 +812,7 @@ func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArti
 			parent = s.lastEncIdx
 		}
 		ln.encMu.Lock()
-		payload, err := ln.enc.AppendSplice(s.payload[:frameHeaderLen], parent)
+		payload, err := ln.enc.AppendSplice(scr.payload[:frameHeaderLen], parent)
 		seq := ln.lastSeq
 		encIdx := ln.enc.Frames()
 		renderNanos := ln.lastRenderNanos
@@ -826,9 +830,9 @@ func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArti
 			// the session through the same drain-aware teardown as a
 			// buffer close so a draining hub still seals with msgBye.
 			s.sealOnDrain()
-			return err
+			return false, 0, err
 		}
-		s.payload = payload
+		scr.payload = payload
 		spliceEnd := h.dom.Now()
 		s.probe.onEncode(spliceEnd - start) // splice work is this viewer's
 		var hdrParent uint64
@@ -844,12 +848,12 @@ func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArti
 			renderNanos: renderNanos,
 		}, bs)
 		if wt := h.cfg.WriteTimeout; wt > 0 {
-			s.conn.SetWriteDeadline(time.Now().Add(wt))
+			s.conn.SetWriteDeadline(h.deadlineAfter(wt))
 		}
 		txStart = h.dom.Now()
 		if err := writeMsg(s.conn, msgFrame, payload); err != nil {
 			s.sealOnDrain()
-			return err
+			return false, 0, err
 		}
 		if parent > 0 {
 			ln.splicedDeltas.Inc()
@@ -876,48 +880,19 @@ func (s *hubSession) sendArtifact(w *realrt.Waiter, f *frame.Frame, art *encArti
 	}
 	s.probe.onSend(txEnd, sentBytes, txEnd-txStart, mtpUs)
 	if !f.Priority {
-		if d := s.pace.PaceAfterObserved(start, h.dom.Now()); d > 0 {
-			w.Sleep(d)
+		// Same ODR arithmetic as the old in-loop sleep — the delay now rides
+		// the timer wheel instead of blocking a goroutine. The differential
+		// pacing test pins this call bit-for-bit against a reference pacer.
+		end := h.dom.Now()
+		d := s.pace.PaceAfterObserved(start, end)
+		if h.paceHook != nil {
+			h.paceHook(s.id, start, end, d)
+		}
+		if d > 0 {
+			delay = d
 		}
 	}
-	return nil
-}
-
-// inputLoop forwards this client's inputs into the shared game.
-func (s *hubSession) inputLoop() {
-	defer s.close()
-	var buf []byte
-	for {
-		if s.hub.cfg.ReadTimeout > 0 {
-			s.conn.SetReadDeadline(time.Now().Add(s.hub.cfg.ReadTimeout))
-		}
-		typ, payload, err := readMsg(s.conn, buf)
-		if err != nil {
-			if isTimeoutErr(err) {
-				s.hub.evictSession()
-			}
-			return
-		}
-		buf = payload[:cap(payload)]
-		switch typ {
-		case msgInput:
-			id, nanos, err := parseInputMsg(payload)
-			if err != nil {
-				return
-			}
-			atomic.AddInt64(&s.hub.inputs, 1)
-			s.hub.tr.Instant(obs.TrackInput, "input", id, s.hub.dom.Now())
-			s.hub.ins.Inputs.Inc()
-			s.probe.onInput(s.hub.dom.Now())
-			s.hub.box.OnInput(packInput(s.id, id), time.Duration(nanos))
-		case msgKeyReq:
-			// The lane encoder is shared; a per-viewer keyframe is spliced
-			// from its state by the send loop, so only flag the request.
-			s.wantKey.Store(true)
-		case msgBye:
-			return
-		}
-	}
+	return true, delay, nil
 }
 
 // supportsVectoredWrites reports whether the conn's underlying transport

@@ -350,7 +350,11 @@ func (ln *encLane) run() {
 						da.release()
 					}
 				}
-				if !stored {
+				if stored {
+					// Hand the session to a sender worker; a no-op when it
+					// is already queued or waiting out a pacing delay.
+					h.eng.kick(s)
+				} else {
 					art.refs.Add(-1)
 				}
 			}
@@ -376,7 +380,7 @@ func (ln *encLane) fail() {
 		}
 		sh.mu.Unlock()
 		for _, s := range sessions {
-			s.close()
+			s.teardown(false)
 		}
 	}
 }

@@ -34,6 +34,43 @@ func TestClientReconnectBudgetExhausted(t *testing.T) {
 	}
 }
 
+// TestReconnectBackoffStopNoLeak: Stop during a long backoff sleep must end
+// Run immediately — not after the delay elapses — and leave no timer
+// goroutine, dial goroutine or connection behind.
+func TestReconnectBackoffStopNoLeak(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dialed := make(chan struct{}, 16)
+	cli := NewReconnectingClient(func() (net.Conn, error) {
+		dialed <- struct{}{}
+		return nil, errors.New("refused")
+	}, ReconnectPolicy{
+		MaxAttempts: 100,
+		BaseDelay:   5 * time.Second, // Stop must win long before this elapses
+		MaxDelay:    5 * time.Second,
+	})
+	runErr := make(chan error, 1)
+	go func() { runErr <- cli.Run() }()
+	select {
+	case <-dialed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never dialed")
+	}
+	// The client is now inside (or entering) its 5s backoff sleep.
+	start := time.Now()
+	cli.Stop()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run after Stop = %v, want nil", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Run did not return within 1s of Stop: backoff sleep ignored the stop")
+	}
+	if el := time.Since(start); el >= time.Second {
+		t.Fatalf("Run took %v to observe Stop", el)
+	}
+}
+
 // TestClientReconnectBudgetResetsOnProgress: a session that delivers frames
 // resets the consecutive-failure budget, so a long-lived flaky stream
 // survives far more deaths than MaxAttempts.

@@ -51,6 +51,20 @@ const (
 	// it closes the tile-cache conservation invariant: with a cache wired,
 	// hits + misses == dirty tiles + spliced tiles, exactly.
 	NameHubSplicedTiles = "odr_hub_spliced_tiles_total"
+	// NameHubSenderQueueDepth gauges how many ready sessions sit queued for
+	// the hub's sender worker pool: 0 means every flush pass drains faster
+	// than fan-out feeds it; sustained depth means the pool is the
+	// bottleneck.
+	NameHubSenderQueueDepth = "odr_hub_sender_queue_depth"
+	// NameHubTimerwheelLagUs gauges how late the hub's pacing timer wheel
+	// fired its most recent deadline, in microseconds. ODR pacing delays ride
+	// the wheel, so this is the scheduling error added on top of each
+	// session's computed delay.
+	NameHubTimerwheelLagUs = "odr_hub_timerwheel_lag_us"
+	// NameHubCoalescedWrites counts frames flushed in sender passes that
+	// drained two or more sessions back-to-back — writes whose syscall cost
+	// amortized across a batch instead of paying one wakeup each.
+	NameHubCoalescedWrites = "odr_hub_coalesced_writes_total"
 	// NameCodecTileCacheHits counts encoded-tile cache lookups served from
 	// the content-addressed cache (payload bytes reused, no RLE pass).
 	NameCodecTileCacheHits = "odr_codec_tile_cache_hits_total"
@@ -100,6 +114,11 @@ type liveVecs struct {
 
 	// Encoded-tile cache counters (unlabeled: one cache serves every lane).
 	cacheHits, cacheMisses, cacheEvictions *obs.Counter
+
+	// Sender-engine instruments (unlabeled: one engine per hub).
+	senderQueueDepth *obs.Gauge
+	timerwheelLag    *obs.Gauge
+	coalescedWrites  *obs.Counter
 }
 
 // registerLiveVecs idempotently registers every live-session family in reg.
@@ -113,10 +132,19 @@ func registerLiveVecs(reg *obs.Registry) liveVecs {
 		"Encoded-tile cache lookups that had to run the entropy coder.")
 	reg.SetHelp(NameCodecTileCacheEvictions,
 		"Encoded-tile cache entries evicted by the LRU byte budget.")
+	reg.SetHelp(NameHubSenderQueueDepth,
+		"Ready sessions queued for the hub's sender worker pool, awaiting a flush pass.")
+	reg.SetHelp(NameHubTimerwheelLagUs,
+		"Lag of the most recent pacing timer-wheel fire past its deadline, microseconds.")
+	reg.SetHelp(NameHubCoalescedWrites,
+		"Frames flushed in sender passes that drained two or more sessions back-to-back.")
 	return liveVecs{
-		cacheHits:      reg.Counter(NameCodecTileCacheHits),
-		cacheMisses:    reg.Counter(NameCodecTileCacheMisses),
-		cacheEvictions: reg.Counter(NameCodecTileCacheEvictions),
+		cacheHits:        reg.Counter(NameCodecTileCacheHits),
+		cacheMisses:      reg.Counter(NameCodecTileCacheMisses),
+		cacheEvictions:   reg.Counter(NameCodecTileCacheEvictions),
+		senderQueueDepth: reg.Gauge(NameHubSenderQueueDepth),
+		timerwheelLag:    reg.Gauge(NameHubTimerwheelLagUs),
+		coalescedWrites:  reg.Counter(NameHubCoalescedWrites),
 		hubEncodes: reg.CounterVec(NameHubSharedEncodes,
 			"Frames encoded once by a hub lane's shared encoder and fanned out to every viewer on the lane.", "lane"),
 		hubSplicedKeys: reg.CounterVec(NameHubSplicedKeyframes,

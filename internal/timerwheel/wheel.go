@@ -1,0 +1,293 @@
+// Package timerwheel provides a hashed timer wheel: many timers, one
+// goroutine, O(1) schedule and cancel, zero allocations on the hot path.
+//
+// The hub uses it to schedule every viewer session's ODR pacing deadline.
+// The naive shape — one blocked waiter per paced session — costs a goroutine
+// (plus a runtime timer) per viewer; the wheel replaces all of them with a
+// single ticker goroutine walking an array of intrusive timer lists. Timers
+// are caller-owned (embed a Timer, never heap-allocate per schedule), so the
+// schedule/fire path performs no allocation at all; see the AllocsPerRun pin
+// in wheel_test.go.
+//
+// Clocks are injected: the wheel reads time exclusively through Config.Now,
+// a monotonic duration since some epoch. The hub passes its realrt domain
+// clock so wheel deadlines live on the exact same epoch-aligned timeline as
+// every other hub component.
+package timerwheel
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer is one schedulable deadline, owned by the caller and linked
+// intrusively into a wheel slot. The zero value is ready to use once Fn is
+// set.
+//
+// Contract: after a Timer has been handed to Schedule it must not be
+// scheduled again until either its Fn has been invoked or Cancel returned
+// true. Violating this while the timer sits on a fired-but-not-yet-run chain
+// corrupts the wheel's lists.
+type Timer struct {
+	// Fn runs on the wheel goroutine when the deadline passes. It must not
+	// block for long — every timer behind it waits — and it may not call
+	// Schedule on its own Timer reentrantly (submit work elsewhere instead).
+	Fn func()
+
+	deadline   time.Duration
+	next, prev *Timer
+	slot       int32 // slot index while linked; -1 when unlinked
+	linked     bool
+}
+
+// Config configures a Wheel.
+type Config struct {
+	// Slots is the number of wheel slots, rounded up to a power of two
+	// (default 512).
+	Slots int
+	// Tick is the wheel granularity (default 1ms): a deadline fires at most
+	// one tick plus scheduling lag after it is due.
+	Tick time.Duration
+	// Now returns the current time as a monotonic duration since the
+	// caller's epoch (default: process-start wall clock). The hub passes its
+	// domain clock here so deadlines share the hub epoch.
+	Now func() time.Duration
+	// OnFire, when non-nil, observes each fired timer's lag (now − deadline)
+	// from the wheel goroutine, before Fn runs.
+	OnFire func(lag time.Duration)
+}
+
+// Wheel is a hashed timer wheel driven by one goroutine.
+type Wheel struct {
+	tick   time.Duration
+	mask   int64
+	now    func() time.Duration
+	onFire func(lag time.Duration)
+
+	mu       sync.Mutex
+	slots    []*Timer // head of each slot's doubly-linked list
+	lastTick int64    // newest tick index already advanced through
+	count    int
+
+	kick     chan struct{}
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New starts a wheel and its goroutine. Stop it with Stop.
+func New(cfg Config) *Wheel {
+	w := newWheel(cfg)
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// newWheel builds a wheel without starting its goroutine; unit tests drive
+// it deterministically through Advance.
+func newWheel(cfg Config) *Wheel {
+	n := cfg.Slots
+	if n <= 0 {
+		n = 512
+	}
+	// Round up to a power of two so slot hashing is a mask.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	now := cfg.Now
+	if now == nil {
+		epoch := time.Now()
+		now = func() time.Duration { return time.Since(epoch) }
+	}
+	w := &Wheel{
+		tick:   tick,
+		mask:   int64(p - 1),
+		now:    now,
+		onFire: cfg.OnFire,
+		slots:  make([]*Timer, p),
+		kick:   make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	w.lastTick = int64(now() / tick)
+	return w
+}
+
+// Len returns the number of scheduled timers.
+func (w *Wheel) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Schedule arms t to fire delay from now (a delay ≤ 0 fires on the next
+// advance). Rescheduling a still-linked timer moves it. O(1), no allocation.
+func (w *Wheel) Schedule(t *Timer, delay time.Duration) {
+	deadline := w.now() + delay
+	w.mu.Lock()
+	if t.linked {
+		w.unlinkLocked(t)
+	}
+	t.deadline = deadline
+	// Ceiling bucketing: hash into the first tick whose boundary is at or
+	// past the deadline. By the time the advance cursor reaches that tick,
+	// now >= tick boundary >= deadline, so the timer is guaranteed due on
+	// the first visit. Floor bucketing would strand a mid-tick deadline for
+	// a full lap whenever the advance lands early in its tick window.
+	tk := int64((deadline + w.tick - 1) / w.tick)
+	if tk <= w.lastTick {
+		// Already-due (or past) deadline: hash into the next tick so the
+		// advance loop visits it; the deadline check fires it immediately.
+		tk = w.lastTick + 1
+	}
+	w.linkLocked(t, int32(tk&w.mask))
+	wasIdle := w.count == 1
+	w.mu.Unlock()
+	if wasIdle {
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Cancel unlinks t if it is still scheduled; it returns false when t was not
+// linked (never scheduled, already fired, or sitting on a fired chain about
+// to run).
+func (w *Wheel) Cancel(t *Timer) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !t.linked {
+		return false
+	}
+	w.unlinkLocked(t)
+	return true
+}
+
+// Stop halts the wheel goroutine. Pending timers are dropped without firing.
+func (w *Wheel) Stop() {
+	w.stopOnce.Do(func() { close(w.stopCh) })
+	w.wg.Wait()
+}
+
+func (w *Wheel) linkLocked(t *Timer, slot int32) {
+	head := w.slots[slot]
+	t.slot = slot
+	t.prev = nil
+	t.next = head
+	if head != nil {
+		head.prev = t
+	}
+	w.slots[slot] = t
+	t.linked = true
+	w.count++
+}
+
+func (w *Wheel) unlinkLocked(t *Timer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		w.slots[t.slot] = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	}
+	t.next, t.prev = nil, nil
+	t.slot = -1
+	t.linked = false
+	w.count--
+}
+
+// run sleeps a tick at a time while timers are pending and parks when the
+// wheel is empty; a Schedule on an idle wheel kicks it awake.
+func (w *Wheel) run() {
+	defer w.wg.Done()
+	sleep := time.NewTimer(w.tick)
+	defer sleep.Stop()
+	for {
+		w.mu.Lock()
+		idle := w.count == 0
+		if idle {
+			// Keep the cursor current while idle so a future Schedule's
+			// next-tick clamp stays tight.
+			if tk := int64(w.now() / w.tick); tk > w.lastTick {
+				w.lastTick = tk
+			}
+		}
+		w.mu.Unlock()
+		if idle {
+			select {
+			case <-w.kick:
+			case <-w.stopCh:
+				return
+			}
+			continue
+		}
+		sleep.Reset(w.tick)
+		select {
+		case <-sleep.C:
+		case <-w.kick:
+			// A timer landed on a previously idle wheel (or raced the park
+			// check); advance now — it may already be due.
+			if !sleep.Stop() {
+				<-sleep.C
+			}
+		case <-w.stopCh:
+			return
+		}
+		w.Advance(w.now())
+	}
+}
+
+// Advance fires every timer whose deadline is ≤ now. The wheel goroutine
+// calls it once per tick; tests may drive an un-started wheel through it
+// directly. Fns run outside the wheel lock.
+func (w *Wheel) Advance(now time.Duration) {
+	nowTick := int64(now / w.tick)
+	var fired, firedTail *Timer
+	w.mu.Lock()
+	if w.count > 0 && nowTick > w.lastTick {
+		from, to := w.lastTick+1, nowTick
+		if to-from >= int64(len(w.slots)) {
+			// A full lap (or more) passed: one sweep of every slot sees all
+			// candidates, so skip the redundant wraps.
+			from = to - int64(len(w.slots)) + 1
+		}
+		for tk := from; tk <= to; tk++ {
+			t := w.slots[tk&w.mask]
+			for t != nil {
+				next := t.next
+				if t.deadline <= now {
+					w.unlinkLocked(t)
+					// Chain fired timers through their (now free) next
+					// pointers — no allocation — appending at the tail so
+					// they run in tick (deadline) order.
+					if firedTail != nil {
+						firedTail.next = t
+					} else {
+						fired = t
+					}
+					firedTail = t
+				}
+				t = next
+			}
+		}
+	}
+	if nowTick > w.lastTick {
+		w.lastTick = nowTick
+	}
+	w.mu.Unlock()
+	for fired != nil {
+		t := fired
+		fired = t.next
+		t.next = nil
+		if w.onFire != nil {
+			w.onFire(now - t.deadline)
+		}
+		t.Fn()
+	}
+}

@@ -1,0 +1,231 @@
+package timerwheel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable monotonic clock for deterministic wheel tests.
+type fakeClock struct{ now atomic.Int64 }
+
+func (c *fakeClock) Now() time.Duration      { return time.Duration(c.now.Load()) }
+func (c *fakeClock) Set(d time.Duration)     { c.now.Store(int64(d)) }
+func (c *fakeClock) Advance(d time.Duration) { c.now.Add(int64(d)) }
+
+func TestScheduleFiresInOrderAcrossTicks(t *testing.T) {
+	clk := &fakeClock{}
+	w := newWheel(Config{Slots: 8, Tick: time.Millisecond, Now: clk.Now})
+	var fired []int
+	mk := func(i int) *Timer {
+		tm := &Timer{}
+		tm.Fn = func() { fired = append(fired, i) }
+		return tm
+	}
+	t3 := mk(3)
+	t1 := mk(1)
+	t2 := mk(2)
+	w.Schedule(t3, 30*time.Millisecond)
+	w.Schedule(t1, 10*time.Millisecond)
+	w.Schedule(t2, 20*time.Millisecond)
+	if got := w.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	clk.Set(11 * time.Millisecond)
+	w.Advance(clk.Now())
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("after 11ms fired = %v, want [1]", fired)
+	}
+	clk.Set(35 * time.Millisecond)
+	w.Advance(clk.Now())
+	if len(fired) != 3 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("after 35ms fired = %v, want [1 2 3]", fired)
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("Len after all fired = %d, want 0", got)
+	}
+}
+
+// A timer whose slot hashes onto a visited tick but whose deadline is a full
+// wheel lap away must not fire early.
+func TestFarDeadlineSurvivesSlotCollision(t *testing.T) {
+	clk := &fakeClock{}
+	w := newWheel(Config{Slots: 8, Tick: time.Millisecond, Now: clk.Now})
+	var near, far bool
+	tn := &Timer{Fn: func() { near = true }}
+	tf := &Timer{Fn: func() { far = true }}
+	w.Schedule(tn, 2*time.Millisecond)
+	// 2ms + 8 slots × 1ms = same slot, one lap later.
+	w.Schedule(tf, 10*time.Millisecond)
+	clk.Set(3 * time.Millisecond)
+	w.Advance(clk.Now())
+	if !near || far {
+		t.Fatalf("near=%v far=%v after 3ms, want near only", near, far)
+	}
+	clk.Set(11 * time.Millisecond)
+	w.Advance(clk.Now())
+	if !far {
+		t.Fatal("far timer never fired after its deadline")
+	}
+}
+
+// A deadline landing mid-tick must fire on the first advance at or past it,
+// even when the advance that covers its floor tick runs early in that tick's
+// window. Floor bucketing fails this: the cursor passes the slot with the
+// timer not yet due, stranding it for a full wheel lap (Slots × Tick late —
+// ~512ms at the hub's defaults, which throttled paced viewers to a crawl).
+func TestMidTickDeadlineNotStrandedForALap(t *testing.T) {
+	clk := &fakeClock{}
+	w := newWheel(Config{Slots: 8, Tick: time.Millisecond, Now: clk.Now})
+	fired := false
+	tm := &Timer{Fn: func() { fired = true }}
+	// Due at 2.5ms: floor tick 2, ceil tick 3.
+	w.Schedule(tm, 2500*time.Microsecond)
+	// Advance early in tick 2's window — before the deadline.
+	clk.Set(2100 * time.Microsecond)
+	w.Advance(clk.Now())
+	if fired {
+		t.Fatal("timer fired 400µs before its deadline")
+	}
+	// First advance past the deadline must fire it, not a lap later.
+	clk.Set(3100 * time.Microsecond)
+	w.Advance(clk.Now())
+	if !fired {
+		t.Fatal("mid-tick deadline stranded past its due advance (one-lap stall)")
+	}
+}
+
+func TestPastDeadlineFiresOnNextAdvance(t *testing.T) {
+	clk := &fakeClock{}
+	clk.Set(100 * time.Millisecond)
+	w := newWheel(Config{Slots: 8, Tick: time.Millisecond, Now: clk.Now})
+	fired := false
+	tm := &Timer{Fn: func() { fired = true }}
+	w.Schedule(tm, -5*time.Millisecond)
+	clk.Advance(time.Millisecond)
+	w.Advance(clk.Now())
+	if !fired {
+		t.Fatal("past-deadline timer did not fire on the next advance")
+	}
+}
+
+func TestCancelUnlinksAndReschedulingMoves(t *testing.T) {
+	clk := &fakeClock{}
+	w := newWheel(Config{Slots: 16, Tick: time.Millisecond, Now: clk.Now})
+	n := 0
+	tm := &Timer{Fn: func() { n++ }}
+	w.Schedule(tm, 5*time.Millisecond)
+	if !w.Cancel(tm) {
+		t.Fatal("Cancel of a linked timer returned false")
+	}
+	if w.Cancel(tm) {
+		t.Fatal("second Cancel returned true")
+	}
+	clk.Set(10 * time.Millisecond)
+	w.Advance(clk.Now())
+	if n != 0 {
+		t.Fatalf("cancelled timer fired %d times", n)
+	}
+	// Reschedule moves a linked timer instead of double-linking it.
+	w.Schedule(tm, 5*time.Millisecond)  // due at 15ms
+	w.Schedule(tm, 20*time.Millisecond) // moved to 30ms
+	if got := w.Len(); got != 1 {
+		t.Fatalf("Len after reschedule = %d, want 1", got)
+	}
+	clk.Set(16 * time.Millisecond)
+	w.Advance(clk.Now())
+	if n != 0 {
+		t.Fatalf("moved timer fired at its old deadline (n=%d)", n)
+	}
+	clk.Set(31 * time.Millisecond)
+	w.Advance(clk.Now())
+	if n != 1 {
+		t.Fatalf("moved timer fired %d times, want 1", n)
+	}
+}
+
+func TestOnFireReportsLag(t *testing.T) {
+	clk := &fakeClock{}
+	var lag time.Duration
+	w := newWheel(Config{Slots: 8, Tick: time.Millisecond, Now: clk.Now,
+		OnFire: func(l time.Duration) { lag = l }})
+	tm := &Timer{Fn: func() {}}
+	w.Schedule(tm, 2*time.Millisecond)
+	clk.Set(5 * time.Millisecond)
+	w.Advance(clk.Now())
+	if lag != 3*time.Millisecond {
+		t.Fatalf("lag = %v, want 3ms", lag)
+	}
+}
+
+// The live wheel (goroutine started, real clock) fires a real deadline.
+func TestLiveWheelFires(t *testing.T) {
+	w := New(Config{Slots: 64, Tick: time.Millisecond})
+	defer w.Stop()
+	done := make(chan struct{})
+	tm := &Timer{Fn: func() { close(done) }}
+	w.Schedule(tm, 5*time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("live wheel never fired a 5ms timer")
+	}
+}
+
+// Stop drops pending timers and terminates the goroutine.
+func TestStopDropsPending(t *testing.T) {
+	w := New(Config{Slots: 64, Tick: time.Millisecond})
+	var fired atomic.Bool
+	tm := &Timer{Fn: func() { fired.Store(true) }}
+	w.Schedule(tm, time.Hour)
+	w.Stop()
+	if fired.Load() {
+		t.Fatal("hour-long timer fired during Stop")
+	}
+}
+
+// Concurrent Schedule against a live wheel must not race or lose timers.
+func TestConcurrentScheduleAllFire(t *testing.T) {
+	w := New(Config{Slots: 256, Tick: time.Millisecond})
+	defer w.Stop()
+	const n = 200
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	timers := make([]Timer, n)
+	for i := range timers {
+		timers[i].Fn = func() { fired.Add(1) }
+	}
+	for i := range timers {
+		wg.Add(1)
+		go func(tm *Timer, i int) {
+			defer wg.Done()
+			w.Schedule(tm, time.Duration(i%20)*time.Millisecond)
+		}(&timers[i], i)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for fired.Load() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("fired %d of %d timers", fired.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The schedule→advance→fire hot path must not allocate: the engine arms one
+// pacing deadline per sent frame for every paced viewer, so an allocation
+// here is an allocation per frame per session.
+func TestScheduleFireHotPathZeroAlloc(t *testing.T) {
+	clk := &fakeClock{}
+	w := newWheel(Config{Slots: 64, Tick: time.Millisecond, Now: clk.Now})
+	tm := &Timer{Fn: func() {}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.Schedule(tm, 2*time.Millisecond)
+		clk.Advance(3 * time.Millisecond)
+		w.Advance(clk.Now())
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/fire hot path allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,138 @@
+package wpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Striped is a fixed pool of workers, each owning one serial queue (a
+// stripe). Items submitted to the same stripe are handled by the same worker
+// in submission order — per-stripe ordering with no locking in the handler —
+// while distinct stripes run concurrently. The hub's sender engine pins each
+// viewer session to a stripe so per-connection writes stay ordered while the
+// worker count stays O(GOMAXPROCS) instead of O(sessions).
+//
+// Each worker drains its whole queue in one swap and hands the batch to the
+// handler in a single call: the batch is the pool's coalescing unit (the hub
+// flushes every ready session in it back-to-back).
+type Striped[T any] struct {
+	workers []stripedQueue[T]
+	handler func(worker int, batch []T)
+	queued  atomic.Int64
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+type stripedQueue[T any] struct {
+	mu       sync.Mutex
+	q        []T
+	spare    []T // recycled batch slice; nil while the worker is using it
+	sleeping bool
+	wake     chan struct{}
+}
+
+// NewStriped starts n workers (minimum 1) delivering batches to handler.
+// handler runs on the worker goroutine; worker is the stripe index.
+func NewStriped[T any](n int, handler func(worker int, batch []T)) *Striped[T] {
+	if n < 1 {
+		n = 1
+	}
+	p := &Striped[T]{
+		workers: make([]stripedQueue[T], n),
+		handler: handler,
+	}
+	for i := range p.workers {
+		p.workers[i].wake = make(chan struct{}, 1)
+	}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.run(i)
+	}
+	return p
+}
+
+// Workers returns the stripe count.
+func (p *Striped[T]) Workers() int { return len(p.workers) }
+
+// QueueLen returns the number of submitted items not yet handed to a
+// handler; a live gauge of sender backlog.
+func (p *Striped[T]) QueueLen() int { return int(p.queued.Load()) }
+
+// Submit enqueues v on stripe (mod worker count) and wakes its worker. It
+// returns false — dropping v — once Close has begun; items racing Close may
+// also be dropped silently, so callers must not Submit work they cannot
+// afford to lose after initiating shutdown.
+func (p *Striped[T]) Submit(stripe int, v T) bool {
+	if p.closed.Load() {
+		return false
+	}
+	if stripe < 0 {
+		stripe = -stripe
+	}
+	w := &p.workers[stripe%len(p.workers)]
+	w.mu.Lock()
+	w.q = append(w.q, v)
+	wasSleeping := w.sleeping
+	w.mu.Unlock()
+	p.queued.Add(1)
+	if wasSleeping {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// Close stops accepting submissions, lets every worker drain what is already
+// queued, and waits for them to exit.
+func (p *Striped[T]) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		p.wg.Wait()
+		return
+	}
+	for i := range p.workers {
+		select {
+		case p.workers[i].wake <- struct{}{}:
+		default:
+		}
+	}
+	p.wg.Wait()
+}
+
+func (p *Striped[T]) run(i int) {
+	defer p.wg.Done()
+	w := &p.workers[i]
+	for {
+		w.mu.Lock()
+		for len(w.q) == 0 {
+			if p.closed.Load() {
+				w.mu.Unlock()
+				return
+			}
+			w.sleeping = true
+			w.mu.Unlock()
+			<-w.wake
+			w.mu.Lock()
+			w.sleeping = false
+		}
+		batch := w.q
+		if w.spare != nil {
+			w.q = w.spare[:0]
+			w.spare = nil
+		} else {
+			w.q = nil
+		}
+		w.mu.Unlock()
+		p.queued.Add(-int64(len(batch)))
+		p.handler(i, batch)
+		// Recycle the batch slice (clearing stale references) so the
+		// steady-state submit path stops allocating.
+		clear(batch)
+		w.mu.Lock()
+		if w.spare == nil {
+			w.spare = batch[:0]
+		}
+		w.mu.Unlock()
+	}
+}

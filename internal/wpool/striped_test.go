@@ -1,0 +1,123 @@
+package wpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStripedDeliversEverythingOnce(t *testing.T) {
+	var mu sync.Mutex
+	got := make(map[int]int)
+	p := NewStriped[int](4, func(_ int, batch []int) {
+		mu.Lock()
+		for _, v := range batch {
+			got[v]++
+		}
+		mu.Unlock()
+	})
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if !p.Submit(i, i) {
+			t.Fatalf("Submit(%d) refused before Close", i)
+		}
+	}
+	p.Close()
+	if len(got) != n {
+		t.Fatalf("delivered %d distinct items, want %d", len(got), n)
+	}
+	for v, c := range got {
+		if c != 1 {
+			t.Fatalf("item %d delivered %d times", v, c)
+		}
+	}
+	if q := p.QueueLen(); q != 0 {
+		t.Fatalf("QueueLen after Close = %d, want 0", q)
+	}
+}
+
+// Items on one stripe arrive in submission order, in order across batches.
+func TestStripedPreservesPerStripeOrder(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	slow := make(chan struct{})
+	p := NewStriped[int](2, func(wk int, batch []int) {
+		if wk == 1 {
+			<-slow // stall the other stripe; stripe 0 must be unaffected
+			return
+		}
+		mu.Lock()
+		seen = append(seen, batch...)
+		mu.Unlock()
+	})
+	p.Submit(1, -1) // occupy stripe 1
+	const n = 500
+	for i := 0; i < n; i++ {
+		p.Submit(0, i)
+	}
+	close(slow)
+	p.Close()
+	if len(seen) != n {
+		t.Fatalf("stripe 0 saw %d items, want %d", len(seen), n)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("stripe 0 order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestStripedSubmitAfterCloseDrops(t *testing.T) {
+	var handled atomic.Int64
+	p := NewStriped[int](2, func(_ int, batch []int) { handled.Add(int64(len(batch))) })
+	p.Submit(0, 1)
+	p.Close()
+	if p.Submit(0, 2) {
+		t.Fatal("Submit after Close returned true")
+	}
+	if got := handled.Load(); got != 1 {
+		t.Fatalf("handled %d items, want 1", got)
+	}
+}
+
+func TestStripedConcurrentSubmitters(t *testing.T) {
+	var handled atomic.Int64
+	p := NewStriped[int](3, func(_ int, batch []int) {
+		handled.Add(int64(len(batch)))
+	})
+	var wg sync.WaitGroup
+	const per, workers = 1000, 8
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Submit(g*per+i, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Close()
+	if got := handled.Load(); got != per*workers {
+		t.Fatalf("handled %d items, want %d", got, per*workers)
+	}
+}
+
+// The steady-state submit→batch→recycle cycle must settle to no allocations
+// once the batch slices have grown.
+func TestStripedBatchRecycling(t *testing.T) {
+	var handled atomic.Int64
+	p := NewStriped[int](1, func(_ int, batch []int) { handled.Add(int64(len(batch))) })
+	defer p.Close()
+	for i := 0; i < 100; i++ {
+		p.Submit(0, i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.QueueLen() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -366,6 +366,15 @@ const (
 	NameHubSplicedTiles = stream.NameHubSplicedTiles
 )
 
+// Hub sender-engine metric names (unlabeled; one engine per hub): the sender
+// worker pool's queue depth, the pacing timer wheel's firing lag, and the
+// frames whose socket flushes coalesced onto shared worker wakeups.
+const (
+	NameHubSenderQueueDepth = stream.NameHubSenderQueueDepth
+	NameHubTimerwheelLagUs  = stream.NameHubTimerwheelLagUs
+	NameHubCoalescedWrites  = stream.NameHubCoalescedWrites
+)
+
 // Encoded-tile cache metric names (unlabeled counters; one cache serves
 // every lane of a hub).
 const (
